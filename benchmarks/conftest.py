@@ -1,0 +1,35 @@
+"""Shared bench fixtures.
+
+Benches run on the "default" profile (600 entities) unless the
+experiment needs a size sweep. Fitted models are session-scoped: they
+are pure functions of configs, so sharing is sound and keeps the whole
+bench suite in the minutes range.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ShoalConfig
+from repro.core.pipeline import ShoalModel, ShoalPipeline
+from repro.data.marketplace import PROFILES, Marketplace, generate_marketplace
+
+
+@pytest.fixture(scope="session")
+def bench_marketplace() -> Marketplace:
+    """The main bench corpus (default profile)."""
+    return generate_marketplace(PROFILES["default"])
+
+
+@pytest.fixture(scope="session")
+def bench_model(bench_marketplace) -> ShoalModel:
+    """SHOAL fitted on the main bench corpus with paper defaults."""
+    return ShoalPipeline(ShoalConfig()).fit(bench_marketplace)
+
+
+@pytest.fixture(scope="session")
+def bench_truth(bench_marketplace):
+    """Ground-truth entity → leaf-scenario labels."""
+    return {
+        e.entity_id: e.scenario_id for e in bench_marketplace.catalog.entities
+    }

@@ -1,0 +1,58 @@
+"""E6 — similarity mixing coefficient α (paper Sec. 2.1, Eq. 3).
+
+Paper sets α = 0.7 (query-driven similarity weighted over content).
+We sweep α from pure content (0.0) to pure query (1.0) and score the
+resulting taxonomy against ground truth. The shape target: quality
+peaks in the upper-middle range — both signals help, query evidence
+helps more — justifying the paper's 0.7.
+"""
+
+import pytest
+
+from repro._util import format_table
+from repro.core.config import ShoalConfig
+from repro.core.pipeline import ShoalPipeline
+from repro.eval.metrics import cluster_purity, normalized_mutual_information
+from repro.graph.modularity import modularity
+
+ALPHAS = (0.0, 0.3, 0.5, 0.7, 0.9, 1.0)
+
+
+def test_bench_alpha_sweep(benchmark, bench_marketplace, bench_truth, capfd):
+    scores = {}
+    rows = [["paper", "alpha=0.7 chosen", "-", "-", "-"]]
+    for alpha in ALPHAS:
+        cfg = ShoalConfig().with_alpha(alpha)
+        model = ShoalPipeline(cfg).fit(bench_marketplace)
+        pred = model.clustering.dendrogram.root_partition()
+        nmi = normalized_mutual_information(pred, bench_truth)
+        purity = cluster_purity(pred, bench_truth)
+        q = modularity(model.entity_graph, pred)
+        scores[alpha] = nmi
+        rows.append(
+            [
+                f"measured alpha={alpha}",
+                f"{nmi:.3f}",
+                f"{purity:.3f}",
+                f"{q:.3f}",
+                model.entity_graph.n_edges,
+            ]
+        )
+
+    benchmark.pedantic(
+        lambda: ShoalPipeline(ShoalConfig().with_alpha(0.7)).fit(bench_marketplace),
+        rounds=1,
+        iterations=1,
+    )
+
+    with capfd.disabled():
+        print("\n\n== E6: alpha sweep — Eq. 3 mixing coefficient ==")
+        print(
+            format_table(
+                ["run", "NMI vs truth", "purity", "modularity", "edges"], rows
+            )
+        )
+
+    # Shape: the paper's 0.7 beats both extremes on NMI.
+    assert scores[0.7] >= scores[0.0]
+    assert scores[0.7] >= scores[1.0] - 0.02

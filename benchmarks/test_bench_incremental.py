@@ -1,0 +1,95 @@
+"""Extension bench — incremental window maintenance vs full refit.
+
+Production SHOAL rebuilds daily over a 7-day sliding window. The
+incremental maintainer keeps word2vec warm (titles change slowly) and
+rebuilds only the window-dependent stages. This bench measures the
+daily-refresh cost of both strategies and the day-over-day taxonomy
+stability the warm path delivers.
+"""
+
+import dataclasses
+import time
+
+import pytest
+
+from repro._util import format_table
+from repro.core.config import ShoalConfig
+from repro.core.incremental import IncrementalShoal
+from repro.core.pipeline import ShoalPipeline
+from repro.data.marketplace import PROFILES, generate_marketplace
+from repro.data.queries import QueryLogConfig
+
+
+@pytest.fixture(scope="module")
+def long_market():
+    cfg = dataclasses.replace(
+        PROFILES["default"],
+        query_log=QueryLogConfig(n_days=10, events_per_day=2000),
+    )
+    return generate_marketplace(cfg)
+
+
+def test_bench_incremental_vs_full(benchmark, long_market, capfd):
+    titles = {e.entity_id: e.title for e in long_market.catalog.entities}
+    query_texts = {q.query_id: q.text for q in long_market.query_log.queries}
+    categories = {
+        e.entity_id: e.category_id for e in long_market.catalog.entities
+    }
+
+    # Warm path: slide the window day 6 → 9 reusing embeddings.
+    inc = IncrementalShoal(
+        ShoalConfig(), titles, query_texts, categories, retrain_every=100
+    )
+    inc.advance(long_market.query_log, last_day=6)  # cold start
+
+    def warm_advance():
+        return inc.advance(long_market.query_log, last_day=7)
+
+    update = benchmark.pedantic(warm_advance, rounds=1, iterations=1)
+
+    warm_times = []
+    stabilities = [update.taxonomy_stability]
+    for day in (8, 9):
+        t0 = time.perf_counter()
+        u = inc.advance(long_market.query_log, last_day=day)
+        warm_times.append(time.perf_counter() - t0)
+        stabilities.append(u.taxonomy_stability)
+
+    # Cold path: a full pipeline fit (retrains word2vec) per day.
+    cold_times = []
+    for day in (8, 9):
+        t0 = time.perf_counter()
+        ShoalPipeline(ShoalConfig()).fit_raw(
+            long_market.query_log,
+            titles,
+            query_texts,
+            entity_categories=categories,
+            corpus=list(titles.values()) + list(query_texts.values()),
+            first_day=day - 6,
+            last_day=day,
+        )
+        cold_times.append(time.perf_counter() - t0)
+
+    warm = sum(warm_times) / len(warm_times)
+    cold = sum(cold_times) / len(cold_times)
+    rows = [
+        ["full refit (retrain word2vec)", f"{cold:.2f}s", "-", "-"],
+        [
+            "incremental (warm embeddings)",
+            f"{warm:.2f}s",
+            f"{cold / warm:.2f}x",
+            f"{min(s for s in stabilities if s is not None):.3f}",
+        ],
+    ]
+    with capfd.disabled():
+        print("\n\n== extension: incremental window maintenance ==")
+        print(
+            format_table(
+                ["strategy", "per-day refresh", "speedup", "min day-over-day NMI"],
+                rows,
+            )
+        )
+
+    # Shape: warm refresh is faster and the taxonomy is stable.
+    assert warm < cold
+    assert all(s is None or s > 0.6 for s in stabilities)

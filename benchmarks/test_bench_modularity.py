@@ -1,0 +1,48 @@
+"""E3 — clustering modularity (paper Sec. 2.2).
+
+Paper: "Parallel HAC consistently produces clusters with modularity
+> 0.3". We score the Newman–Girvan modularity of the root-topic
+partition over corpus sizes and seeds — "consistently" is the claim, so
+the table is a sweep, not a single number.
+"""
+
+import pytest
+
+from repro._util import format_table
+from repro.core.config import ShoalConfig
+from repro.core.pipeline import ShoalPipeline
+from repro.data.marketplace import PROFILES, generate_marketplace
+from repro.graph.modularity import modularity
+
+PAPER_FLOOR = 0.3
+
+
+def _modularity_of(profile: str, seed: int) -> float:
+    market = generate_marketplace(PROFILES[profile].with_seed(seed))
+    model = ShoalPipeline(ShoalConfig()).fit(market)
+    labels = model.clustering.dendrogram.root_partition()
+    return modularity(model.entity_graph, labels)
+
+
+def test_bench_modularity(benchmark, bench_model, capfd):
+    graph = bench_model.entity_graph
+
+    def score():
+        return modularity(graph, bench_model.clustering.dendrogram.root_partition())
+
+    measured = benchmark(score)
+
+    rows = [["paper (ODPS, 2x10^8 entities)", "> 0.3", "-"]]
+    rows.append(["measured default/seed0", f"{measured:.3f}", f"{graph.n_vertices} entities"])
+    for profile in ("tiny", "small", "large"):
+        for seed in (0, 1):
+            q = _modularity_of(profile, seed)
+            rows.append(
+                [f"measured {profile}/seed{seed}", f"{q:.3f}", "full refit"]
+            )
+    with capfd.disabled():
+        print("\n\n== E3: Parallel HAC modularity (paper Sec. 2.2) ==")
+        print(format_table(["run", "modularity", "notes"], rows))
+
+    benchmark.extra_info["modularity"] = measured
+    assert measured > PAPER_FLOOR

@@ -1,0 +1,128 @@
+"""E4 — scalability (paper Sec. 2.2).
+
+Paper: sequential HAC "does not scale to large graphs" (Challenge 2);
+Parallel HAC on ODPS processes 2x10^8 entities in 4 hours. On one
+machine we reproduce the *shape*:
+
+* entity-count sweep: Parallel HAC's round count grows far slower than
+  sequential HAC's iteration count (which is Θ(merges));
+* a simulated distributed wall-clock from the BSP engine's
+  critical-path accounting shows near-linear speedup in workers.
+"""
+
+import time
+
+import pytest
+
+from repro._util import format_table
+from repro.clustering.hac import HACConfig, SequentialHAC
+from repro.clustering.parallel_hac import ParallelHAC, ParallelHACConfig
+from repro.core.config import ShoalConfig
+from repro.core.pipeline import ShoalPipeline
+from repro.data.marketplace import PROFILES, generate_marketplace
+
+PROFILE_ORDER = ("tiny", "small", "default", "large")
+
+
+def _entity_graph(profile: str):
+    market = generate_marketplace(PROFILES[profile])
+    model = ShoalPipeline(ShoalConfig()).fit(market)
+    return model.entity_graph
+
+
+def test_bench_scalability_size_sweep(benchmark, capfd):
+    rows = []
+    graphs = {}
+    for profile in PROFILE_ORDER:
+        graph = _entity_graph(profile)
+        graphs[profile] = graph
+
+        t0 = time.perf_counter()
+        seq = SequentialHAC(HACConfig()).fit(graph)
+        seq_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        par = ParallelHAC(ParallelHACConfig()).fit(graph)
+        par_s = time.perf_counter() - t0
+
+        rows.append(
+            [
+                profile,
+                graph.n_vertices,
+                graph.n_edges,
+                seq.n_merges,
+                f"{seq_s:.3f}s",
+                par.n_rounds,
+                f"{par.mean_parallelism():.2f}",
+                f"{par_s:.3f}s",
+            ]
+        )
+
+    # benchmark the headline configuration (default profile).
+    benchmark.pedantic(
+        lambda: ParallelHAC(ParallelHACConfig()).fit(graphs["default"]),
+        rounds=3,
+        iterations=1,
+    )
+
+    with capfd.disabled():
+        print("\n\n== E4a: size sweep — sequential iterations vs parallel rounds ==")
+        print("paper: sequential HAC needs O(V) global iterations; Parallel")
+        print("HAC compresses them into rounds of concurrent merges (2x10^8")
+        print("entities / 4h on ODPS). Rounds << merges is the shape target.")
+        print(
+            format_table(
+                [
+                    "profile", "entities", "edges", "seq merges",
+                    "seq time", "par rounds", "merges/round", "par time",
+                ],
+                rows,
+            )
+        )
+
+    # Shape assertions: rounds are much fewer than sequential iterations
+    # and the gap widens with size.
+    big = rows[-1]
+    assert big[5] < big[3]  # rounds < merges
+
+
+def test_bench_scalability_worker_speedup(benchmark, capfd):
+    """Simulated distributed wall-clock from BSP critical-path stats.
+
+    Each superstep costs max-worker-load work units plus a per-remote-
+    message network charge; speedup = t(1 worker) / t(w workers).
+    """
+    graph = _entity_graph("default")
+    network_cost = 0.002  # work units per remote message
+
+    def simulated_seconds(n_workers: int) -> float:
+        result = ParallelHAC(
+            ParallelHACConfig(engine="pregel", n_workers=n_workers)
+        ).fit(graph)
+        work = 0.0
+        for r in result.rounds:
+            # per round: supersteps dominated by the busiest worker
+            # (clusters/worker) plus network for remote messages.
+            per_worker = max(1.0, r.live_clusters / n_workers)
+            work += r.supersteps * per_worker + network_cost * r.remote_messages
+        return work
+
+    base = simulated_seconds(1)
+    rows = [["paper", "2x10^8 entities in 4h on ODPS", "-", "-"]]
+    speedups = {}
+    for w in (1, 2, 4, 8, 16):
+        t = simulated_seconds(w)
+        speedups[w] = base / t
+        rows.append(
+            [f"measured w={w}", f"{t:,.0f} work units", f"{base / t:.2f}x", "-"]
+        )
+
+    benchmark.pedantic(lambda: simulated_seconds(4), rounds=1, iterations=1)
+
+    with capfd.disabled():
+        print("\n\n== E4b: simulated distributed speedup (BSP critical path) ==")
+        print(format_table(["run", "simulated cost", "speedup", "notes"], rows))
+
+    # Shape: speedup grows with workers and is substantial at 16.
+    assert speedups[4] > speedups[1]
+    assert speedups[16] > 3.0

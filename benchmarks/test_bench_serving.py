@@ -1,0 +1,93 @@
+"""F5 — serving latency for the four demo scenarios (paper Fig. 5).
+
+The demo paper's GUI serves interactive exploration: Query→Topic,
+Topic→Sub-topic, Topic→Category→Item, Category→Category. The paper
+claims "millions of searches per day" — ~12 QPS average, far higher at
+peak. This bench measures single-threaded latency per scenario so the
+claim can be sanity-checked against the simulated serving stack.
+"""
+
+import pytest
+
+from repro._util import format_table
+from repro.core.serving import ShoalService
+
+
+@pytest.fixture(scope="module")
+def service(bench_model, bench_marketplace):
+    svc = ShoalService(bench_model)
+    svc.set_entity_categories(
+        {e.entity_id: e.category_id for e in bench_marketplace.catalog.entities}
+    )
+    return svc
+
+
+@pytest.fixture(scope="module")
+def scenario_query(bench_marketplace):
+    return next(
+        q.text
+        for q in bench_marketplace.query_log.queries
+        if q.intent_kind == "scenario"
+    )
+
+
+def test_bench_scenario_a_query_to_topic(benchmark, service, scenario_query):
+    hits = benchmark(service.search_topics, scenario_query, 5)
+    assert hits
+
+
+def test_bench_scenario_b_topic_to_subtopic(benchmark, service):
+    roots = service.taxonomy.root_topics()
+    target = next((t for t in roots if t.child_ids), roots[0])
+    benchmark(service.subtopics, target.topic_id)
+
+
+def test_bench_scenario_c_topic_category_items(benchmark, service):
+    root = next(t for t in service.taxonomy.root_topics() if t.category_ids)
+    cid = root.category_ids[0]
+    benchmark(service.entities_of_topic_category, root.topic_id, cid)
+
+
+def test_bench_scenario_d_category_to_category(benchmark, service, bench_model):
+    cats = bench_model.correlations.categories()
+    if not cats:
+        pytest.skip("no correlated categories on this corpus")
+    hits = benchmark(service.related_categories, cats[0], 8)
+    assert hits
+
+
+def test_bench_serving_summary(benchmark, service, scenario_query, bench_model, capfd):
+    """Qualitative Fig. 5 check: print one worked example per scenario."""
+    import time
+
+    benchmark(service.search_topics, scenario_query, 3)
+
+    rows = []
+    t0 = time.perf_counter()
+    hits = service.search_topics(scenario_query, 3)
+    rows.append(["A Query→Topic", scenario_query, f"{len(hits)} topics",
+                 f"{(time.perf_counter() - t0) * 1e3:.2f} ms"])
+    if hits:
+        topic_id = hits[0].topic_id
+        t0 = time.perf_counter()
+        subs = service.subtopics(topic_id)
+        rows.append(["B Topic→Sub-topic", service.taxonomy.topic(topic_id).label(),
+                     f"{len(subs)} sub-topics",
+                     f"{(time.perf_counter() - t0) * 1e3:.2f} ms"])
+        cats = service.categories_of_topic(topic_id)
+        if cats:
+            t0 = time.perf_counter()
+            items = service.entities_of_topic_category(topic_id, cats[0])
+            rows.append(["C Topic→Category→Item", f"category {cats[0]}",
+                         f"{len(items)} items",
+                         f"{(time.perf_counter() - t0) * 1e3:.2f} ms"])
+    corr_cats = bench_model.correlations.categories()
+    if corr_cats:
+        t0 = time.perf_counter()
+        related = service.related_categories(corr_cats[0], 8)
+        rows.append(["D Category→Category", f"category {corr_cats[0]}",
+                     f"{len(related)} related",
+                     f"{(time.perf_counter() - t0) * 1e3:.2f} ms"])
+    with capfd.disabled():
+        print("\n\n== F5: the four demo scenarios, one worked example each ==")
+        print(format_table(["scenario", "input", "output", "latency"], rows))

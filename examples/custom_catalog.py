@@ -1,0 +1,116 @@
+"""Use SHOAL on your *own* data — no synthetic marketplace required.
+
+The pipeline only needs three things:
+
+1. a :class:`~repro.data.queries.QueryLog` of (day, user, query, clicks),
+2. entity titles, and
+3. optionally entity → category labels (for correlation mining).
+
+This example hand-builds a miniature outdoor-gear shop with two real
+shopping scenarios (beach trips, winter camping), feeds the raw pieces
+through ``fit_raw`` and prints the topics SHOAL recovers.
+
+Run:  python examples/custom_catalog.py
+"""
+
+from repro import ShoalConfig, ShoalPipeline, ShoalService
+from repro.data.queries import Query, QueryEvent, QueryLog
+
+# -- 1. the catalog: 10 item entities across 5 categories ----------------
+
+TITLES = {
+    0: "beach dress floral summer",
+    1: "beach towel stripe cotton",
+    2: "sunblock spf50 waterproof",
+    3: "swimwear bikini summer",
+    4: "flip flops beach sandal",
+    5: "thermal tent winter camping",
+    6: "sleeping bag down winter",
+    7: "camping stove gas compact",
+    8: "wool socks thermal hiking",
+    9: "headlamp led camping night",
+}
+
+CATEGORIES = {
+    0: 100,  # dresses
+    1: 101,  # towels
+    2: 102,  # skincare
+    3: 103,  # swimwear
+    4: 104,  # footwear
+    5: 105,  # tents
+    6: 106,  # sleeping gear
+    7: 107,  # stoves
+    8: 104,  # footwear (socks share the footwear shelf here)
+    9: 108,  # lighting
+}
+
+# -- 2. the queries users actually typed -----------------------------------
+
+QUERIES = [
+    Query(0, "beach holiday", "scenario", 0),
+    Query(1, "beach dress", "scenario", 0),
+    Query(2, "sun protection beach", "scenario", 0),
+    Query(3, "winter camping", "scenario", 1),
+    Query(4, "camping gear cold", "scenario", 1),
+    Query(5, "thermal camping", "scenario", 1),
+]
+
+# Which entities each query's clicks landed on, per searching user/day.
+CLICKS = {
+    0: [0, 1, 2, 3, 4],
+    1: [0, 3, 2],
+    2: [2, 1, 3],
+    3: [5, 6, 7, 8],
+    4: [5, 7, 9, 8],
+    5: [6, 8, 5],
+}
+
+
+def build_log() -> QueryLog:
+    events = []
+    event_id = 0
+    for day in range(7):
+        for qid, clicked in CLICKS.items():
+            # Each day, a few users issue each query and click a
+            # rotating subset — enough co-click evidence for Eq. 1.
+            for u in range(3):
+                subset = tuple(sorted(clicked[(u + day) % 2 :]))
+                events.append(QueryEvent(event_id, day, u, qid, subset))
+                event_id += 1
+    return QueryLog(QUERIES, events)
+
+
+def main() -> None:
+    log = build_log()
+    query_texts = {q.query_id: q.text for q in log.queries}
+
+    # Small corpus → smaller embeddings, gentler pruning.
+    config = ShoalConfig()
+    config = ShoalConfig(
+        word2vec=type(config.word2vec)(dim=16, epochs=30, seed=0),
+        entity_graph=type(config.entity_graph)(min_similarity=0.25),
+    )
+    model = ShoalPipeline(config).fit_raw(
+        log, TITLES, query_texts, entity_categories=CATEGORIES
+    )
+
+    print(model.summary())
+    print()
+    for topic in model.taxonomy.root_topics():
+        tags = ", ".join(repr(d) for d in topic.descriptions[:2])
+        print(f"topic {topic.topic_id} — {tags}")
+        print(f"  categories: {sorted(topic.category_ids)}")
+        for e in topic.entity_ids:
+            print(f"    {TITLES[e]}")
+        print()
+
+    service = ShoalService(model)
+    for probe in ("beach", "camping cold"):
+        hits = service.search_topics(probe, k=1)
+        if hits:
+            print(f"query {probe!r} -> topic {hits[0].topic_id} "
+                  f"(\"{hits[0].label}\")")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Quickstart: build SHOAL over a synthetic marketplace and look around.
+
+Reproduces the paper's Figure 1 contrast: the rigid ontology tree
+(Fig. 1a) next to SHOAL's query-driven topics that cut across it
+(Fig. 1b — "Trip to the beach" spanning beach pants, swimwear,
+sunblock).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ShoalConfig, ShoalPipeline, generate_marketplace
+from repro.data.marketplace import PROFILES
+
+
+def show_ontology(market, max_departments: int = 3) -> None:
+    print("=== Fig. 1a — the ontology-driven taxonomy (rigid tree) ===")
+    ontology = market.ontology
+    for dept in ontology.children(ontology.root.category_id)[:max_departments]:
+        print(f"  {dept.name}/")
+        for child in ontology.children(dept.category_id)[:3]:
+            leaves = ontology.subtree_leaf_ids(child.category_id)
+            print(f"    {child.name}/   ({len(leaves)} leaf categories)")
+    print()
+
+
+def show_shoal_topics(market, model, max_topics: int = 5) -> None:
+    print("=== Fig. 1b — SHOAL topics (shopping scenarios across categories) ===")
+    roots = sorted(
+        model.taxonomy.root_topics(), key=lambda t: -t.size
+    )[:max_topics]
+    for topic in roots:
+        tags = ", ".join(f"\"{d}\"" for d in topic.descriptions[:2]) or "(untagged)"
+        names = [market.ontology.name_of(c) for c in topic.category_ids[:5]]
+        print(f"  topic {topic.topic_id}: {tags}")
+        print(f"    {topic.size} item entities across {len(topic.category_ids)} "
+              f"categories: {', '.join(names)}"
+              + (" ..." if len(topic.category_ids) > 5 else ""))
+        for sub in model.taxonomy.subtopics(topic.topic_id)[:2]:
+            sub_tag = sub.descriptions[0] if sub.descriptions else sub.label()
+            print(f"      sub-topic: \"{sub_tag}\" ({sub.size} entities)")
+    print()
+
+
+def main() -> None:
+    print("Generating the synthetic marketplace (Taobao-data substitute)...")
+    market = generate_marketplace(PROFILES["small"])
+    print(f"  {market.summary()}\n")
+
+    print("Running the SHOAL pipeline (bipartite graph -> word2vec -> ")
+    print("entity graph -> Parallel HAC -> descriptions -> correlations)...")
+    model = ShoalPipeline(ShoalConfig()).fit(market)
+    print(f"  {model.summary()}")
+    print("  stage seconds:",
+          {k: round(v, 2) for k, v in model.stage_seconds.items()}, "\n")
+
+    show_ontology(market)
+    show_shoal_topics(market, model)
+
+    print("=== Fig. 2 — the query-item bipartite graph underneath ===")
+    b = model.bipartite
+    print(f"  {b.n_queries} queries x {b.n_entities} entities, "
+          f"{b.n_edges} edges, {b.total_clicks} clicks "
+          f"(last {model.config.window_days} days)")
+
+
+if __name__ == "__main__":
+    main()

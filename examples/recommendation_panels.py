@@ -1,0 +1,68 @@
+"""Reproduce the paper's Figure 4 recommendation panels plus the A/B test.
+
+Control group (Fig. 4a): recommendations by ontology-category matching.
+Experiment group (Fig. 4b): recommendations by SHOAL topic matching.
+Then the paper's Sec. 3 experiment: a paired CTR A/B simulation.
+
+Run:  python examples/recommendation_panels.py
+"""
+
+from repro import ShoalConfig, ShoalPipeline, ShoalService, generate_marketplace
+from repro.baselines.ontology_rec import (
+    OntologyRecommender,
+    OntologyRecommenderConfig,
+)
+from repro.data.marketplace import PROFILES
+from repro.eval.abtest import ABTestConfig, ABTestSimulator
+
+
+def print_panel(title: str, market, slate) -> None:
+    print(f"--- {title} ---")
+    if not slate:
+        print("  (empty slate)")
+        return
+    for entity_id in slate:
+        e = market.catalog.entity(entity_id)
+        print(f"  [{market.ontology.name_of(e.category_id):<14}] "
+              f"{e.title}  (${e.price})")
+
+
+def main() -> None:
+    market = generate_marketplace(PROFILES["small"])
+    model = ShoalPipeline(ShoalConfig()).fit(market)
+
+    service = ShoalService(model)
+    service.set_entity_categories(
+        {e.entity_id: e.category_id for e in market.catalog.entities}
+    )
+    control = OntologyRecommender(
+        market.ontology, market.catalog, OntologyRecommenderConfig(slate_size=8)
+    )
+
+    # A user expressing a scenario intent (the case the paper targets).
+    query = next(
+        q for q in market.query_log.queries if q.intent_kind == "scenario"
+    )
+    scenario = market.scenario(query.intent_id)
+    print(f"user query: {query.text!r}")
+    print(f"(latent intent: shopping scenario {scenario.name!r} spanning "
+          f"{len(scenario.category_ids)} categories)\n")
+
+    print_panel("Fig. 4a control: category recommendation", market,
+                control.recommend(0, query.text))
+    print()
+    print_panel("Fig. 4b experiment: SHOAL topic recommendation", market,
+                service.recommend_entities_for_query(query.text, 8))
+
+    print("\nRunning the paired A/B simulation (paper Sec. 3)...")
+    sim = ABTestSimulator(market, ABTestConfig(n_impressions=6000, seed=0))
+    report = sim.run(
+        control.recommend,
+        lambda uid, q: service.recommend_entities_for_query(q, 8),
+    )
+    print(f"  {report.summary()}")
+    print("  paper reported: +5% CTR with 3M users on Taobao")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no `wheel` package and no network, so
+PEP 517 editable installs fail; this setup.py lets
+``pip install -e . --no-build-isolation`` take the legacy
+``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

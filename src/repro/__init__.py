@@ -1,0 +1,52 @@
+"""SHOAL reproduction: Large-scale Hierarchical Taxonomy via Graph-based
+Query Coalition in E-commerce (Li et al., PVLDB 12(12), 2019).
+
+Public API highlights::
+
+    from repro import generate_marketplace, ShoalPipeline, ShoalService
+
+    market = generate_marketplace()
+    model = ShoalPipeline().fit(market)
+    service = ShoalService(model)
+    for hit in service.search_topics("beach dress"):
+        print(hit.label, hit.score)
+
+Subpackages:
+
+* ``repro.data`` — synthetic marketplace (Taobao-data substitute)
+* ``repro.store`` — query-log store & persistence
+* ``repro.text`` — tokenizer, word2vec, BM25
+* ``repro.graph`` — bipartite & item-entity graphs, modularity
+* ``repro.pregel`` — vertex-centric BSP engine (ODPS substitute)
+* ``repro.clustering`` — sequential HAC and Parallel HAC
+* ``repro.core`` — the SHOAL pipeline, taxonomy and serving scenarios
+* ``repro.eval`` — precision protocol, A/B CTR simulator, metrics
+* ``repro.baselines`` — ontology recommender, TaxoGen-style, k-means
+"""
+
+from repro.core.config import ShoalConfig
+from repro.core.pipeline import ShoalModel, ShoalPipeline
+from repro.core.serving import ShoalService
+from repro.core.taxonomy import Taxonomy, Topic
+from repro.data.marketplace import (
+    Marketplace,
+    MarketplaceConfig,
+    PROFILES,
+    generate_marketplace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ShoalConfig",
+    "ShoalPipeline",
+    "ShoalModel",
+    "ShoalService",
+    "Taxonomy",
+    "Topic",
+    "Marketplace",
+    "MarketplaceConfig",
+    "PROFILES",
+    "generate_marketplace",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Baselines SHOAL is compared against.
+
+* :mod:`repro.baselines.ontology_rec` — the paper's A/B control group:
+  recommendation by ontology-category matching (Fig. 4a);
+* :mod:`repro.baselines.taxogen` — a TaxoGen-style recursive
+  embedding-clustering taxonomy (the closest related work, [6]);
+* :mod:`repro.baselines.flat_kmeans` — flat spherical k-means over
+  entity embeddings (the "no hierarchy" ablation).
+"""
+
+from repro.baselines.ontology_rec import OntologyRecommender, OntologyRecommenderConfig
+from repro.baselines.taxogen import TaxoGenBaseline, TaxoGenConfig
+from repro.baselines.flat_kmeans import SphericalKMeans, SphericalKMeansConfig
+
+__all__ = [
+    "OntologyRecommender",
+    "OntologyRecommenderConfig",
+    "TaxoGenBaseline",
+    "TaxoGenConfig",
+    "SphericalKMeans",
+    "SphericalKMeansConfig",
+]

@@ -1,0 +1,113 @@
+"""Spherical k-means over entity embeddings.
+
+Building block of the TaxoGen-style baseline and a standalone "flat
+topics" comparator: cluster mean-title-vector entities on the unit
+sphere (cosine k-means). Pure numpy, seeded, with k-means++-style
+initialisation adapted to cosine distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro._util import RngLike, check_positive, ensure_rng, normalize_rows
+
+__all__ = ["SphericalKMeansConfig", "SphericalKMeans"]
+
+
+@dataclass(frozen=True)
+class SphericalKMeansConfig:
+    """Clustering parameters."""
+
+    n_clusters: int = 8
+    max_iterations: int = 50
+    tolerance: float = 1e-6
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("n_clusters", self.n_clusters)
+        check_positive("max_iterations", self.max_iterations)
+        check_positive("tolerance", self.tolerance)
+
+
+class SphericalKMeans:
+    """Cosine k-means on L2-normalised vectors."""
+
+    def __init__(self, config: SphericalKMeansConfig = SphericalKMeansConfig()):
+        self._config = config
+        self._centroids: Optional[np.ndarray] = None
+
+    @property
+    def config(self) -> SphericalKMeansConfig:
+        return self._config
+
+    @property
+    def centroids(self) -> np.ndarray:
+        if self._centroids is None:
+            raise RuntimeError("fit() has not been called")
+        return self._centroids.copy()
+
+    # -- fitting ----------------------------------------------------------
+
+    def fit_predict(self, vectors: np.ndarray) -> np.ndarray:
+        """Cluster rows of ``vectors``; returns a label array.
+
+        Degenerate inputs are handled: if there are fewer rows than
+        clusters, every row gets its own cluster.
+        """
+        cfg = self._config
+        x = normalize_rows(np.asarray(vectors, dtype=float))
+        n = x.shape[0]
+        if n == 0:
+            self._centroids = np.zeros((0, vectors.shape[1] if vectors.ndim == 2 else 0))
+            return np.empty(0, dtype=np.int64)
+        k = min(cfg.n_clusters, n)
+        rng = ensure_rng(cfg.seed)
+
+        centroids = self._init_plusplus(x, k, rng)
+        labels = np.zeros(n, dtype=np.int64)
+        prev_objective = -np.inf
+        for _ in range(cfg.max_iterations):
+            sims = x @ centroids.T                       # (n, k) cosine
+            labels = np.argmax(sims, axis=1)
+            objective = float(sims[np.arange(n), labels].sum())
+            new_centroids = np.zeros_like(centroids)
+            for c in range(k):
+                members = x[labels == c]
+                if len(members):
+                    new_centroids[c] = members.sum(axis=0)
+                else:
+                    # Re-seed an empty cluster at the worst-fit point.
+                    worst = int(np.argmin(sims[np.arange(n), labels]))
+                    new_centroids[c] = x[worst]
+            centroids = normalize_rows(new_centroids)
+            if objective - prev_objective < cfg.tolerance:
+                break
+            prev_objective = objective
+        self._centroids = centroids
+        return labels
+
+    @staticmethod
+    def _init_plusplus(
+        x: np.ndarray, k: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """k-means++ seeding with cosine distance = 1 − similarity."""
+        n = x.shape[0]
+        chosen = [int(rng.integers(n))]
+        for _ in range(1, k):
+            sims = x @ x[chosen].T                       # (n, |chosen|)
+            dist = 1.0 - sims.max(axis=1)
+            dist = np.clip(dist, 0.0, None)
+            total = dist.sum()
+            if total <= 0:
+                # All points coincide with a centroid; pick any unused one.
+                remaining = [i for i in range(n) if i not in chosen]
+                if not remaining:
+                    break
+                chosen.append(int(rng.choice(remaining)))
+                continue
+            chosen.append(int(rng.choice(n, p=dist / total)))
+        return normalize_rows(x[chosen].copy())

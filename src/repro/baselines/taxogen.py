@@ -1,0 +1,190 @@
+"""TaxoGen-style recursive clustering baseline (paper related work [6]).
+
+Zhang et al.'s TaxoGen builds a topic taxonomy by recursively applying
+spherical clustering over (locally re-weighted) term embeddings. We
+implement the structural core as a comparator for SHOAL:
+
+* embed each item entity as the mean unit vector of its title tokens
+  (the same representation SHOAL's Eq. 2 uses, so differences come
+  from the *algorithm*, not the features);
+* split the corpus into ``branch_factor`` clusters with spherical
+  k-means; recurse into each cluster until ``max_depth`` or clusters
+  drop below ``min_cluster_size``.
+
+Unlike SHOAL it ignores query co-click structure entirely — the
+comparison benches show that is exactly what it loses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro._util import check_positive
+from repro.baselines.flat_kmeans import SphericalKMeans, SphericalKMeansConfig
+from repro.text.similarity import entity_embedding
+from repro.text.tokenizer import Tokenizer
+from repro.text.word2vec import WordEmbeddings
+
+__all__ = ["TaxoGenConfig", "TaxoGenNode", "TaxoGenBaseline"]
+
+
+@dataclass(frozen=True)
+class TaxoGenConfig:
+    """Recursive clustering parameters."""
+
+    branch_factor: int = 4
+    max_depth: int = 2
+    min_cluster_size: int = 5
+    kmeans_iterations: int = 50
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("branch_factor", self.branch_factor)
+        check_positive("max_depth", self.max_depth)
+        check_positive("min_cluster_size", self.min_cluster_size)
+        check_positive("kmeans_iterations", self.kmeans_iterations)
+
+
+@dataclass
+class TaxoGenNode:
+    """One node of the recursive taxonomy."""
+
+    node_id: int
+    entity_ids: List[int]
+    depth: int
+    parent_id: Optional[int] = None
+    child_ids: List[int] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.entity_ids)
+
+
+class TaxoGenBaseline:
+    """Recursive spherical clustering over entity title embeddings."""
+
+    def __init__(self, config: TaxoGenConfig = TaxoGenConfig()):
+        self._config = config
+        self._nodes: Dict[int, TaxoGenNode] = {}
+        self._next_id = 0
+        self._tokenizer = Tokenizer()
+
+    @property
+    def config(self) -> TaxoGenConfig:
+        return self._config
+
+    # -- fitting -----------------------------------------------------------
+
+    def fit(
+        self,
+        embeddings: WordEmbeddings,
+        titles: Dict[int, str],
+    ) -> "TaxoGenBaseline":
+        """Build the recursive taxonomy over the given entities."""
+        self._nodes = {}
+        self._next_id = 0
+        entity_ids = sorted(titles)
+        vectors = np.stack(
+            [
+                entity_embedding(embeddings, self._tokenizer.tokenize(titles[e]))
+                for e in entity_ids
+            ]
+        ) if entity_ids else np.zeros((0, embeddings.dim))
+        root = self._new_node(entity_ids, depth=0, parent=None)
+        self._split(root, vectors, {e: i for i, e in enumerate(entity_ids)})
+        return self
+
+    def _new_node(
+        self, entity_ids: Sequence[int], depth: int, parent: Optional[int]
+    ) -> TaxoGenNode:
+        node = TaxoGenNode(self._next_id, sorted(entity_ids), depth, parent)
+        self._nodes[node.node_id] = node
+        self._next_id += 1
+        if parent is not None:
+            self._nodes[parent].child_ids.append(node.node_id)
+        return node
+
+    def _split(
+        self,
+        node: TaxoGenNode,
+        vectors: np.ndarray,
+        row_of: Dict[int, int],
+    ) -> None:
+        cfg = self._config
+        if node.depth >= cfg.max_depth:
+            return
+        if node.size < cfg.min_cluster_size * 2:
+            return
+        rows = [row_of[e] for e in node.entity_ids]
+        sub = vectors[rows]
+        km = SphericalKMeans(
+            SphericalKMeansConfig(
+                n_clusters=cfg.branch_factor,
+                max_iterations=cfg.kmeans_iterations,
+                seed=cfg.seed + node.node_id,
+            )
+        )
+        labels = km.fit_predict(sub)
+        groups: Dict[int, List[int]] = {}
+        for e, lab in zip(node.entity_ids, labels):
+            groups.setdefault(int(lab), []).append(e)
+        useful = [g for g in groups.values() if len(g) >= cfg.min_cluster_size]
+        if len(useful) < 2:
+            return  # no meaningful split
+        # Children must partition the parent: entities from dropped
+        # (too-small) groups fold into the largest useful group so no
+        # entity vanishes from the leaf partition.
+        useful.sort(key=lambda g: (-len(g), g[0]))
+        dropped = [
+            e for g in groups.values() if len(g) < cfg.min_cluster_size for e in g
+        ]
+        useful[0] = sorted(useful[0] + dropped)
+        for group in sorted(useful, key=lambda g: g[0]):
+            child = self._new_node(group, node.depth + 1, node.node_id)
+            self._split(child, vectors, row_of)
+
+    # -- views -------------------------------------------------------------
+
+    def root(self) -> TaxoGenNode:
+        return self._nodes[0]
+
+    def node(self, node_id: int) -> TaxoGenNode:
+        return self._nodes[node_id]
+
+    def nodes(self) -> List[TaxoGenNode]:
+        return [self._nodes[k] for k in sorted(self._nodes)]
+
+    def leaf_nodes(self) -> List[TaxoGenNode]:
+        return [n for n in self.nodes() if not n.child_ids]
+
+    def leaf_partition(self) -> Dict[int, int]:
+        """Entity → leaf-node label (comparable to SHOAL's topics)."""
+        labels: Dict[int, int] = {}
+        for n in self.leaf_nodes():
+            for e in n.entity_ids:
+                labels[e] = n.node_id
+        return labels
+
+    def top_level_partition(self) -> Dict[int, int]:
+        """Entity → first-level cluster label (comparable to root topics)."""
+        root = self.root()
+        labels: Dict[int, int] = {}
+        if not root.child_ids:
+            for e in root.entity_ids:
+                labels[e] = root.node_id
+            return labels
+        for child_id in root.child_ids:
+            stack = [child_id]
+            while stack:
+                nid = stack.pop()
+                n = self._nodes[nid]
+                if not n.child_ids:
+                    for e in n.entity_ids:
+                        labels[e] = child_id
+                stack.extend(n.child_ids)
+            for e in self._nodes[child_id].entity_ids:
+                labels[e] = child_id
+        return labels

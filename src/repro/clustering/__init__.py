@@ -1,0 +1,48 @@
+"""Clustering: HAC variants over sparse similarity graphs.
+
+* :mod:`repro.clustering.linkage` — the sqrt-normalised merge update of
+  paper Eq. 4, plus alternative linkages for the ablation bench;
+* :mod:`repro.clustering.dendrogram` — the merge forest recording every
+  merge, from which topic hierarchies are cut;
+* :mod:`repro.clustering.hac` — exact sequential HAC (the baseline the
+  paper says "does not scale", Challenge 2);
+* :mod:`repro.clustering.parallel_hac` — the paper's contribution:
+  diffusion-based local-maximal-edge discovery + parallel merge rounds,
+  with an optional BSP (Pregel) execution mode;
+* :mod:`repro.clustering.membership` — cluster membership tracking
+  (which original vertices live in which cluster node).
+"""
+
+from repro.clustering.linkage import (
+    LINKAGES,
+    arithmetic_linkage,
+    max_linkage,
+    min_linkage,
+    sqrt_linkage,
+)
+from repro.clustering.dendrogram import Dendrogram, Merge
+from repro.clustering.membership import MembershipTracker
+from repro.clustering.hac import SequentialHAC, HACConfig
+from repro.clustering.parallel_hac import (
+    ParallelHAC,
+    ParallelHACConfig,
+    ParallelHACResult,
+    RoundStats,
+)
+
+__all__ = [
+    "LINKAGES",
+    "sqrt_linkage",
+    "arithmetic_linkage",
+    "max_linkage",
+    "min_linkage",
+    "Dendrogram",
+    "Merge",
+    "MembershipTracker",
+    "SequentialHAC",
+    "HACConfig",
+    "ParallelHAC",
+    "ParallelHACConfig",
+    "ParallelHACResult",
+    "RoundStats",
+]

@@ -1,0 +1,194 @@
+"""Merge forest (dendrogram) produced by HAC.
+
+Because HAC on a sparse graph stops when no edge clears the similarity
+threshold, the result is a *forest*, not a single tree: each root is a
+top-level topic, internal nodes are sub-topics, leaves are item
+entities. The forest, plus similarity levels at each merge, is exactly
+the hierarchical taxonomy SHOAL serves (paper Fig. 1b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Merge", "Dendrogram"]
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One agglomeration: children (a, b) became ``merged_id`` at
+    ``similarity``; ``round_index`` is the parallel round (or the
+    sequential iteration) in which it happened."""
+
+    merged_id: int
+    child_a: int
+    child_b: int
+    similarity: float
+    round_index: int
+
+
+class Dendrogram:
+    """The merge forest over original vertices ``0..`` plus merges.
+
+    Node ids: original vertices keep their ids; each merge creates a
+    fresh id. A node with no parent is a *root* (top-level topic).
+    """
+
+    def __init__(self, vertex_ids: Sequence[int]):
+        self._vertex_ids = sorted(set(vertex_ids))
+        self._merges: List[Merge] = []
+        self._parent: Dict[int, int] = {}
+        self._children: Dict[int, Tuple[int, int]] = {}
+        self._similarity: Dict[int, float] = {}
+        self._known: Set[int] = set(self._vertex_ids)
+
+    # -- construction -----------------------------------------------------------
+
+    def record_merge(self, merge: Merge) -> None:
+        """Append a merge; children must exist and be unmerged."""
+        for child in (merge.child_a, merge.child_b):
+            if child not in self._known:
+                raise KeyError(f"merge references unknown node {child}")
+            if child in self._parent:
+                raise ValueError(f"node {child} was already merged")
+        if merge.merged_id in self._known:
+            raise ValueError(f"merged id {merge.merged_id} already exists")
+        self._merges.append(merge)
+        self._parent[merge.child_a] = merge.merged_id
+        self._parent[merge.child_b] = merge.merged_id
+        self._children[merge.merged_id] = (merge.child_a, merge.child_b)
+        self._similarity[merge.merged_id] = merge.similarity
+        self._known.add(merge.merged_id)
+
+    # -- structure -------------------------------------------------------------
+
+    @property
+    def merges(self) -> List[Merge]:
+        return list(self._merges)
+
+    @property
+    def n_merges(self) -> int:
+        return len(self._merges)
+
+    @property
+    def vertex_ids(self) -> List[int]:
+        """The original (leaf) vertex ids."""
+        return list(self._vertex_ids)
+
+    def is_leaf(self, node_id: int) -> bool:
+        return node_id not in self._children
+
+    def parent(self, node_id: int) -> Optional[int]:
+        return self._parent.get(node_id)
+
+    def children(self, node_id: int) -> Tuple[int, int]:
+        """The two children of an internal node."""
+        return self._children[node_id]
+
+    def similarity_of(self, node_id: int) -> float:
+        """The similarity at which an internal node was formed."""
+        return self._similarity[node_id]
+
+    def roots(self) -> List[int]:
+        """Nodes with no parent — top-level topics plus never-merged leaves."""
+        return sorted(n for n in self._known if n not in self._parent)
+
+    def internal_roots(self) -> List[int]:
+        """Roots that are merges (exclude singleton leaves)."""
+        return [r for r in self.roots() if not self.is_leaf(r)]
+
+    def leaves_under(self, node_id: int) -> List[int]:
+        """All original vertices in the subtree of ``node_id``."""
+        if node_id not in self._known:
+            raise KeyError(f"unknown node {node_id}")
+        out: List[int] = []
+        stack = [node_id]
+        while stack:
+            n = stack.pop()
+            kids = self._children.get(n)
+            if kids is None:
+                out.append(n)
+            else:
+                stack.extend(kids)
+        return sorted(out)
+
+    def subtopics(self, node_id: int) -> List[int]:
+        """Direct internal children of a node (sub-topics, skipping leaves)."""
+        kids = self._children.get(node_id)
+        if kids is None:
+            return []
+        return [k for k in kids if not self.is_leaf(k)]
+
+    def depth_of(self, node_id: int) -> int:
+        """Distance from ``node_id`` up to its root."""
+        d = 0
+        n = node_id
+        while n in self._parent:
+            n = self._parent[n]
+            d += 1
+        return d
+
+    def height(self) -> int:
+        """Maximum leaf depth over the whole forest (0 if no merges)."""
+        if not self._merges:
+            return 0
+        return max(self.depth_of(v) for v in self._vertex_ids)
+
+    # -- cuts / partitions -------------------------------------------------------
+
+    def root_partition(self) -> Dict[int, int]:
+        """Vertex → root-topic label (the partition modularity is scored on)."""
+        labels: Dict[int, int] = {}
+        for root in self.roots():
+            for v in self.leaves_under(root):
+                labels[v] = root
+        return labels
+
+    def cut_at_similarity(self, threshold: float) -> Dict[int, int]:
+        """Partition by cutting every merge formed *below* ``threshold``.
+
+        A node survives the cut if its formation similarity is
+        >= threshold; otherwise its children separate. Returns vertex →
+        cluster-label. Cutting at a high threshold yields fine-grained
+        clusters; at 0.0 it equals :meth:`root_partition`.
+        """
+        labels: Dict[int, int] = {}
+        for root in self.roots():
+            stack = [root]
+            while stack:
+                n = stack.pop()
+                if self.is_leaf(n):
+                    labels[n] = n
+                    continue
+                if self._similarity[n] >= threshold:
+                    for v in self.leaves_under(n):
+                        labels[v] = n
+                else:
+                    stack.extend(self._children[n])
+        return labels
+
+    def cut_at_level(self, max_depth: int) -> Dict[int, int]:
+        """Partition grouping leaves by their ancestor ``max_depth`` levels
+        below each root (or the leaf itself if the tree is shallower)."""
+        if max_depth < 0:
+            raise ValueError("max_depth must be >= 0")
+        labels: Dict[int, int] = {}
+        for root in self.roots():
+            stack = [(root, 0)]
+            while stack:
+                n, depth = stack.pop()
+                if self.is_leaf(n) or depth == max_depth:
+                    for v in self.leaves_under(n):
+                        labels[v] = n
+                else:
+                    for k in self._children[n]:
+                        stack.append((k, depth + 1))
+        return labels
+
+    def merge_rounds(self) -> Dict[int, int]:
+        """round_index → number of merges performed in that round."""
+        counts: Dict[int, int] = {}
+        for m in self._merges:
+            counts[m.round_index] = counts.get(m.round_index, 0) + 1
+        return counts

@@ -1,0 +1,79 @@
+"""Cluster membership tracking.
+
+HAC operates on *cluster nodes* whose ids grow past the original
+vertex ids as merges happen. :class:`MembershipTracker` is the
+union-find-like bookkeeping shared by both HAC implementations: it
+assigns fresh ids to merged clusters, remembers which original vertices
+each cluster contains, and answers "which cluster is vertex v in now?".
+
+Unlike classic union-find, merged clusters get *new* ids (never reuse
+of a child id) because the dendrogram needs distinct nodes per merge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+__all__ = ["MembershipTracker"]
+
+
+class MembershipTracker:
+    """Tracks live clusters and their original-vertex members."""
+
+    def __init__(self, vertex_ids: Iterable[int]):
+        ids = sorted(set(vertex_ids))
+        self._members: Dict[int, List[int]] = {v: [v] for v in ids}
+        self._leader: Dict[int, int] = {v: v for v in ids}  # original vertex -> live cluster
+        self._parent_of: Dict[int, int] = {}                # retired cluster -> merged cluster
+        self._next_id = (max(ids) + 1) if ids else 0
+
+    # -- queries ------------------------------------------------------------
+
+    def live_clusters(self) -> List[int]:
+        """Ids of clusters that have not been merged away, sorted."""
+        return sorted(self._members)
+
+    def n_live(self) -> int:
+        return len(self._members)
+
+    def is_live(self, cluster_id: int) -> bool:
+        return cluster_id in self._members
+
+    def size(self, cluster_id: int) -> int:
+        """Number of original vertices inside a live cluster."""
+        return len(self._members[cluster_id])
+
+    def members(self, cluster_id: int) -> List[int]:
+        """Original vertex ids inside a live cluster (sorted)."""
+        return sorted(self._members[cluster_id])
+
+    def cluster_of(self, vertex_id: int) -> int:
+        """Live cluster currently containing original vertex ``vertex_id``.
+
+        Path-compressed walk through the merge history.
+        """
+        c = self._leader[vertex_id]
+        while c in self._parent_of:
+            c = self._parent_of[c]
+        self._leader[vertex_id] = c
+        return c
+
+    def labels(self) -> Dict[int, int]:
+        """Mapping original vertex → live cluster id, for all vertices."""
+        return {v: self.cluster_of(v) for v in self._leader}
+
+    # -- merging --------------------------------------------------------------
+
+    def merge(self, a: int, b: int) -> int:
+        """Merge live clusters ``a`` and ``b`` into a fresh cluster id."""
+        if a == b:
+            raise ValueError("cannot merge a cluster with itself")
+        if a not in self._members or b not in self._members:
+            raise KeyError(f"cluster {a if a not in self._members else b} is not live")
+        new_id = self._next_id
+        self._next_id += 1
+        merged = self._members.pop(a) + self._members.pop(b)
+        self._members[new_id] = merged
+        self._parent_of[a] = new_id
+        self._parent_of[b] = new_id
+        return new_id

@@ -1,0 +1,72 @@
+"""End-to-end SHOAL configuration.
+
+One frozen dataclass aggregating every stage's parameters, so a whole
+run is reproducible from a single object. Defaults follow the paper
+where it states values (α = 0.7, diffusion k = 2, correlation
+threshold 10) and use sensible laptop-scale settings elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro._util import check_positive
+from repro.clustering.parallel_hac import ParallelHACConfig
+from repro.core.correlation import CategoryCorrelationConfig
+from repro.core.descriptions import DescriptionConfig
+from repro.graph.entity_graph import EntityGraphConfig
+from repro.text.word2vec import Word2VecConfig
+
+__all__ = ["ShoalConfig"]
+
+
+@dataclass(frozen=True)
+class ShoalConfig:
+    """Every stage of the SHOAL pipeline in one place.
+
+    ``window_days`` is the sliding window over the query log (paper:
+    seven days). ``min_topic_size`` filters trivially small root topics
+    out of the served taxonomy — singletons carry no scenario meaning.
+    """
+
+    word2vec: Word2VecConfig = Word2VecConfig()
+    entity_graph: EntityGraphConfig = EntityGraphConfig()
+    clustering: ParallelHACConfig = ParallelHACConfig()
+    descriptions: DescriptionConfig = DescriptionConfig()
+    correlation: CategoryCorrelationConfig = CategoryCorrelationConfig()
+    window_days: int = 7
+    min_clicks: int = 1
+    min_topic_size: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("window_days", self.window_days)
+        check_positive("min_clicks", self.min_clicks)
+        check_positive("min_topic_size", self.min_topic_size)
+
+    # -- convenience copies -------------------------------------------------
+
+    def with_alpha(self, alpha: float) -> "ShoalConfig":
+        """Copy with a different Eq. 3 mixing coefficient (bench E6)."""
+        return replace(self, entity_graph=replace(self.entity_graph, alpha=alpha))
+
+    def with_diffusion_rounds(self, k: int) -> "ShoalConfig":
+        """Copy with a different diffusion depth (bench E5)."""
+        return replace(self, clustering=replace(self.clustering, diffusion_rounds=k))
+
+    def with_similarity_threshold(self, threshold: float) -> "ShoalConfig":
+        return replace(
+            self, clustering=replace(self.clustering, similarity_threshold=threshold)
+        )
+
+    def with_linkage(self, linkage: str) -> "ShoalConfig":
+        """Copy with a different merge linkage (Eq. 4 ablation)."""
+        return replace(self, clustering=replace(self.clustering, linkage=linkage))
+
+    def with_seed(self, seed: int) -> "ShoalConfig":
+        return replace(
+            self,
+            seed=seed,
+            word2vec=replace(self.word2vec, seed=seed),
+        )

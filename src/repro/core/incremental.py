@@ -1,0 +1,192 @@
+"""Incremental sliding-window maintenance.
+
+Production SHOAL rebuilds from the last seven days of queries; naively
+that means retraining word2vec and refitting everything daily. This
+module implements the operational optimisation the paper's deployment
+implies: keep the expensive, slowly-changing artifacts (word
+embeddings) warm, rebuild only the window-dependent ones (bipartite
+graph → entity graph → clustering → descriptions → correlations), and
+report how much the taxonomy moved between consecutive windows.
+
+The embedding-reuse policy is safe because Eq. 2 only needs stable
+token geometry: titles change slowly relative to the click stream, so
+embeddings go stale on vocabulary shifts, not window slides. A
+configurable ``retrain_every`` forces periodic full retrains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.clustering.parallel_hac import ParallelHAC
+from repro.core.config import ShoalConfig
+from repro.core.correlation import CategoryCorrelationMiner
+from repro.core.descriptions import TopicDescriber
+from repro.core.pipeline import ShoalModel, ShoalPipeline
+from repro.core.taxonomy import Taxonomy
+from repro.data.queries import QueryLog
+from repro.eval.metrics import normalized_mutual_information
+from repro.graph.bipartite import build_query_item_graph
+from repro.graph.entity_graph import EntityGraphBuilder
+from repro.text.tokenizer import Tokenizer
+from repro.text.word2vec import Word2Vec, WordEmbeddings
+
+__all__ = ["IncrementalShoal", "WindowUpdate"]
+
+
+@dataclass
+class WindowUpdate:
+    """What changed when the window slid to ``last_day``."""
+
+    last_day: int
+    first_day: int
+    model: ShoalModel
+    embeddings_retrained: bool
+    taxonomy_stability: Optional[float] = None
+
+    def summary(self) -> str:
+        stability = (
+            f"{self.taxonomy_stability:.3f}"
+            if self.taxonomy_stability is not None
+            else "n/a"
+        )
+        return (
+            f"window {self.first_day}..{self.last_day}: "
+            f"{len(self.model.taxonomy.root_topics())} root topics, "
+            f"stability={stability}, "
+            f"retrained={self.embeddings_retrained}"
+        )
+
+
+class IncrementalShoal:
+    """Maintains a SHOAL model as the query-log window slides.
+
+    Usage::
+
+        inc = IncrementalShoal(config, titles, query_texts, categories)
+        for day in range(6, horizon):
+            update = inc.advance(log, last_day=day)
+    """
+
+    def __init__(
+        self,
+        config: ShoalConfig,
+        titles: Dict[int, str],
+        query_texts: Dict[int, str],
+        entity_categories: Optional[Dict[int, int]] = None,
+        retrain_every: int = 7,
+    ):
+        if retrain_every < 1:
+            raise ValueError("retrain_every must be >= 1")
+        self._config = config
+        self._titles = dict(titles)
+        self._query_texts = dict(query_texts)
+        self._categories = dict(entity_categories or {})
+        self._retrain_every = retrain_every
+        self._tokenizer = Tokenizer()
+        self._embeddings: Optional[WordEmbeddings] = None
+        self._fits_since_retrain = 0
+        self._last_model: Optional[ShoalModel] = None
+
+    @property
+    def model(self) -> Optional[ShoalModel]:
+        """The most recent fitted model (None before the first advance)."""
+        return self._last_model
+
+    # -- embedding lifecycle -----------------------------------------------
+
+    def _ensure_embeddings(self) -> bool:
+        """(Re)train embeddings if missing or due; returns True if
+        a retrain happened."""
+        due = (
+            self._embeddings is None
+            or self._fits_since_retrain >= self._retrain_every
+        )
+        if not due:
+            return False
+        corpus = list(self._titles.values()) + list(self._query_texts.values())
+        token_docs = self._tokenizer.tokenize_all(corpus)
+        self._embeddings = Word2Vec(self._config.word2vec).fit(token_docs)
+        self._fits_since_retrain = 0
+        return True
+
+    def invalidate_embeddings(self) -> None:
+        """Force a retrain at the next advance (e.g. catalog changed)."""
+        self._embeddings = None
+
+    def update_titles(self, titles: Dict[int, str]) -> None:
+        """Catalog update: new/changed titles invalidate embeddings."""
+        self._titles.update(titles)
+        self.invalidate_embeddings()
+
+    # -- the slide -----------------------------------------------------------
+
+    def advance(self, query_log: QueryLog, last_day: int) -> WindowUpdate:
+        """Refit over ``[last_day − window + 1, last_day]`` reusing warm
+        embeddings; returns the update record with a stability score
+        (NMI between consecutive root partitions)."""
+        cfg = self._config
+        first_day = max(0, last_day - cfg.window_days + 1)
+        retrained = self._ensure_embeddings()
+        assert self._embeddings is not None
+
+        bipartite = build_query_item_graph(
+            query_log, first_day, last_day, cfg.min_clicks
+        )
+        builder = EntityGraphBuilder(
+            self._embeddings, self._tokenizer, cfg.entity_graph
+        )
+        entity_graph = builder.build(bipartite, self._titles)
+        clustering = ParallelHAC(cfg.clustering).fit(entity_graph)
+        taxonomy = Taxonomy.from_dendrogram(
+            clustering.dendrogram,
+            self._categories,
+            min_topic_size=cfg.min_topic_size,
+        )
+        describer = TopicDescriber(self._tokenizer, cfg.descriptions)
+        descriptions = describer.describe(
+            taxonomy, bipartite, self._titles, self._query_texts
+        )
+        correlations = CategoryCorrelationMiner(cfg.correlation).mine(taxonomy)
+
+        model = ShoalModel(
+            config=cfg,
+            bipartite=bipartite,
+            embeddings=self._embeddings,
+            entity_graph=entity_graph,
+            clustering=clustering,
+            taxonomy=taxonomy,
+            descriptions=descriptions,
+            correlations=correlations,
+            titles=dict(self._titles),
+            query_texts=dict(self._query_texts),
+        )
+
+        stability = self._stability(self._last_model, model)
+        self._last_model = model
+        self._fits_since_retrain += 1
+        return WindowUpdate(
+            last_day=last_day,
+            first_day=first_day,
+            model=model,
+            embeddings_retrained=retrained,
+            taxonomy_stability=stability,
+        )
+
+    @staticmethod
+    def _stability(
+        previous: Optional[ShoalModel], current: ShoalModel
+    ) -> Optional[float]:
+        """NMI between consecutive root partitions on shared entities."""
+        if previous is None:
+            return None
+        prev_labels = previous.clustering.dendrogram.root_partition()
+        curr_labels = current.clustering.dendrogram.root_partition()
+        shared = set(prev_labels) & set(curr_labels)
+        if len(shared) < 2:
+            return None
+        return normalized_mutual_information(
+            {e: curr_labels[e] for e in shared},
+            {e: prev_labels[e] for e in shared},
+        )

@@ -1,0 +1,169 @@
+"""End-to-end SHOAL pipeline orchestration.
+
+Runs the four components of the paper's framework in order:
+
+1. build the query–item bipartite graph over the sliding window;
+2. train word2vec on the corpus, build the item entity graph (Eq. 1–3);
+3. run Parallel HAC to obtain the merge forest, cut it into the topic
+   taxonomy;
+4. tag topics with representative queries (Sec. 2.3) and mine the
+   category correlation graph (Sec. 2.4).
+
+The result is a :class:`ShoalModel` — everything the serving layer and
+the evaluation harness need, plus stage timings for the benches.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.clustering.parallel_hac import ParallelHAC, ParallelHACResult
+from repro.core.config import ShoalConfig
+from repro.core.correlation import CategoryCorrelationMiner, CorrelationGraph
+from repro.core.descriptions import QueryScore, TopicDescriber
+from repro.core.taxonomy import Taxonomy
+from repro.data.marketplace import Marketplace
+from repro.data.queries import QueryLog
+from repro.graph.bipartite import QueryItemGraph, build_query_item_graph
+from repro.graph.entity_graph import EntityGraphBuilder
+from repro.graph.sparse import SparseGraph
+from repro.text.tokenizer import Tokenizer
+from repro.text.word2vec import Word2Vec, WordEmbeddings
+
+__all__ = ["ShoalModel", "ShoalPipeline"]
+
+
+@dataclass
+class ShoalModel:
+    """All artifacts of one SHOAL run."""
+
+    config: ShoalConfig
+    bipartite: QueryItemGraph
+    embeddings: WordEmbeddings
+    entity_graph: SparseGraph
+    clustering: ParallelHACResult
+    taxonomy: Taxonomy
+    descriptions: Dict[int, List[QueryScore]]
+    correlations: CorrelationGraph
+    titles: Dict[int, str]
+    query_texts: Dict[int, str]
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"ShoalModel(entities={self.entity_graph.n_vertices}, "
+            f"edges={self.entity_graph.n_edges}, "
+            f"topics={len(self.taxonomy)}, "
+            f"roots={len(self.taxonomy.root_topics())}, "
+            f"correlated_pairs={self.correlations.n_correlations}, "
+            f"rounds={self.clustering.n_rounds})"
+        )
+
+
+class ShoalPipeline:
+    """Builds a :class:`ShoalModel` from a marketplace or raw inputs."""
+
+    def __init__(self, config: ShoalConfig = ShoalConfig()):
+        self._config = config
+        self._tokenizer = Tokenizer()
+
+    @property
+    def config(self) -> ShoalConfig:
+        return self._config
+
+    # -- entry points ----------------------------------------------------------
+
+    def fit(self, marketplace: Marketplace) -> ShoalModel:
+        """Run the full pipeline on a synthetic marketplace."""
+        titles = {e.entity_id: e.title for e in marketplace.catalog.entities}
+        query_texts = {q.query_id: q.text for q in marketplace.query_log.queries}
+        entity_categories = {
+            e.entity_id: e.category_id for e in marketplace.catalog.entities
+        }
+        days = marketplace.query_log.days()
+        last_day = days[-1] if days else 0
+        first_day = max(0, last_day - self._config.window_days + 1)
+        return self.fit_raw(
+            marketplace.query_log,
+            titles,
+            query_texts,
+            entity_categories=entity_categories,
+            corpus=marketplace.corpus(),
+            first_day=first_day,
+            last_day=last_day,
+        )
+
+    def fit_raw(
+        self,
+        query_log: QueryLog,
+        titles: Dict[int, str],
+        query_texts: Dict[int, str],
+        entity_categories: Optional[Dict[int, int]] = None,
+        corpus: Optional[List[str]] = None,
+        first_day: Optional[int] = None,
+        last_day: Optional[int] = None,
+    ) -> ShoalModel:
+        """Run the pipeline on raw inputs.
+
+        ``entity_categories`` maps entity id → ontology category; when
+        omitted, topics have no category links (the correlation graph
+        will be empty, everything else works).
+        """
+        cfg = self._config
+        timings: Dict[str, float] = {}
+
+        t0 = time.perf_counter()
+        bipartite = build_query_item_graph(
+            query_log, first_day, last_day, cfg.min_clicks
+        )
+        timings["bipartite"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        corpus_texts = corpus if corpus is not None else (
+            list(titles.values()) + list(query_texts.values())
+        )
+        token_docs = self._tokenizer.tokenize_all(corpus_texts)
+        embeddings = Word2Vec(cfg.word2vec).fit(token_docs)
+        timings["word2vec"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        builder = EntityGraphBuilder(embeddings, self._tokenizer, cfg.entity_graph)
+        entity_graph = builder.build(bipartite, titles)
+        timings["entity_graph"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        clustering = ParallelHAC(cfg.clustering).fit(entity_graph)
+        timings["clustering"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        taxonomy = Taxonomy.from_dendrogram(
+            clustering.dendrogram,
+            entity_categories or {},
+            min_topic_size=cfg.min_topic_size,
+        )
+        timings["taxonomy"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        describer = TopicDescriber(self._tokenizer, cfg.descriptions)
+        descriptions = describer.describe(taxonomy, bipartite, titles, query_texts)
+        timings["descriptions"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        correlations = CategoryCorrelationMiner(cfg.correlation).mine(taxonomy)
+        timings["correlation"] = time.perf_counter() - t0
+
+        return ShoalModel(
+            config=cfg,
+            bipartite=bipartite,
+            embeddings=embeddings,
+            entity_graph=entity_graph,
+            clustering=clustering,
+            taxonomy=taxonomy,
+            descriptions=descriptions,
+            correlations=correlations,
+            titles=titles,
+            query_texts=query_texts,
+            stage_seconds=timings,
+        )

@@ -1,0 +1,138 @@
+"""Taxonomy reporting: text rendering and summary statistics.
+
+The demo paper sells SHOAL through its GUI (Fig. 5); in a library the
+equivalent is a readable text rendering of the taxonomy tree plus the
+distributional statistics an operator watches (topic sizes, depth,
+category spread, description coverage). Used by examples and exposed
+as public API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.taxonomy import Taxonomy, Topic
+
+__all__ = ["TaxonomyStats", "compute_stats", "render_tree", "render_topic"]
+
+
+@dataclass(frozen=True)
+class TaxonomyStats:
+    """Distributional summary of a fitted taxonomy."""
+
+    n_topics: int
+    n_root_topics: int
+    n_levels: int
+    n_entities_placed: int
+    mean_root_size: float
+    median_root_size: float
+    max_root_size: int
+    mean_categories_per_root: float
+    description_coverage: float  # fraction of topics with >= 1 description
+
+    def summary(self) -> str:
+        return (
+            f"topics={self.n_topics} (roots={self.n_root_topics}, "
+            f"levels={self.n_levels}), entities={self.n_entities_placed}, "
+            f"root size mean/median/max="
+            f"{self.mean_root_size:.1f}/{self.median_root_size:.1f}/"
+            f"{self.max_root_size}, "
+            f"categories/root={self.mean_categories_per_root:.1f}, "
+            f"described={self.description_coverage:.0%}"
+        )
+
+
+def compute_stats(taxonomy: Taxonomy) -> TaxonomyStats:
+    """Compute :class:`TaxonomyStats` for a taxonomy (empty-safe)."""
+    topics = taxonomy.topics()
+    roots = taxonomy.root_topics()
+    root_sizes = np.array([t.size for t in roots]) if roots else np.zeros(0)
+    described = sum(1 for t in topics if t.descriptions)
+    return TaxonomyStats(
+        n_topics=len(topics),
+        n_root_topics=len(roots),
+        n_levels=taxonomy.n_levels(),
+        n_entities_placed=len(taxonomy.placed_entities()),
+        mean_root_size=float(root_sizes.mean()) if len(root_sizes) else 0.0,
+        median_root_size=float(np.median(root_sizes)) if len(root_sizes) else 0.0,
+        max_root_size=int(root_sizes.max()) if len(root_sizes) else 0,
+        mean_categories_per_root=(
+            float(np.mean([len(t.category_ids) for t in roots])) if roots else 0.0
+        ),
+        description_coverage=(described / len(topics)) if topics else 0.0,
+    )
+
+
+def render_topic(
+    topic: Topic,
+    category_names: Optional[Dict[int, str]] = None,
+    max_descriptions: int = 2,
+) -> str:
+    """One-line rendering of a topic: tags, size, categories."""
+    tags = "; ".join(topic.descriptions[:max_descriptions]) or topic.label()
+    if category_names:
+        cats = ", ".join(
+            category_names.get(c, str(c)) for c in topic.category_ids[:4]
+        )
+    else:
+        cats = ", ".join(str(c) for c in topic.category_ids[:4])
+    suffix = " ..." if len(topic.category_ids) > 4 else ""
+    return f"[{topic.topic_id}] \"{tags}\" ({topic.size} entities; {cats}{suffix})"
+
+
+def render_tree(
+    taxonomy: Taxonomy,
+    category_names: Optional[Dict[int, str]] = None,
+    max_roots: Optional[int] = None,
+    max_depth: Optional[int] = None,
+) -> str:
+    """ASCII tree of the taxonomy, largest root topics first.
+
+    ``max_roots`` limits how many roots render; ``max_depth`` truncates
+    deep hierarchies. Returns a single printable string.
+    """
+    lines: List[str] = []
+    roots = sorted(taxonomy.root_topics(), key=lambda t: (-t.size, t.topic_id))
+    if max_roots is not None:
+        roots = roots[:max_roots]
+    for root in roots:
+        _render_subtree(
+            taxonomy, root, "", True, 0, category_names, max_depth, lines
+        )
+    return "\n".join(lines)
+
+
+def _render_subtree(
+    taxonomy: Taxonomy,
+    topic: Topic,
+    prefix: str,
+    is_last: bool,
+    depth: int,
+    category_names: Optional[Dict[int, str]],
+    max_depth: Optional[int],
+    lines: List[str],
+) -> None:
+    connector = "" if depth == 0 else ("`-- " if is_last else "|-- ")
+    lines.append(prefix + connector + render_topic(topic, category_names))
+    if max_depth is not None and depth + 1 >= max_depth:
+        return
+    children = sorted(
+        taxonomy.subtopics(topic.topic_id), key=lambda t: (-t.size, t.topic_id)
+    )
+    child_prefix = prefix + (
+        "" if depth == 0 else ("    " if is_last else "|   ")
+    )
+    for i, child in enumerate(children):
+        _render_subtree(
+            taxonomy,
+            child,
+            child_prefix,
+            i == len(children) - 1,
+            depth + 1,
+            category_names,
+            max_depth,
+            lines,
+        )

@@ -1,0 +1,231 @@
+"""Serving layer: the four demo scenarios of paper Fig. 5.
+
+* **Query→Topic (A)** — keyword search over topic descriptions and
+  content returns the matching topics (the "visual star graph");
+* **Topic→Sub-topic (B)** — hierarchy navigation;
+* **Topic→Category→Item (C)** — categories under a topic and the items
+  of each category within it;
+* **Category→Category (D)** — related categories from the Sec. 2.4
+  correlation graph.
+
+Retrieval for (A) ranks topics by BM25 relevance of the query against
+each topic's description+pseudo-document index, matching how the demo
+"query processor finds related topics for the input query".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.correlation import CorrelationGraph
+from repro.core.pipeline import ShoalModel
+from repro.core.taxonomy import Taxonomy, Topic
+from repro.text.bm25 import BM25, BM25Config
+from repro.text.tokenizer import Tokenizer
+
+__all__ = ["TopicHit", "CategoryHit", "ShoalService"]
+
+
+@dataclass(frozen=True)
+class TopicHit:
+    """A topic returned for a keyword query, with retrieval score."""
+
+    topic_id: int
+    score: float
+    label: str
+    n_entities: int
+    n_categories: int
+
+
+@dataclass(frozen=True)
+class CategoryHit:
+    """A related category with its correlation strength."""
+
+    category_id: int
+    strength: int
+
+
+class ShoalService:
+    """Read-only query interface over a fitted :class:`ShoalModel`."""
+
+    def __init__(self, model: ShoalModel, tokenizer: Optional[Tokenizer] = None):
+        self._model = model
+        self._tokenizer = tokenizer or Tokenizer()
+        self._topics: List[Topic] = model.taxonomy.topics()
+        # Retrieval index: one document per topic = its descriptions
+        # (boosted by repetition) plus its entity titles.
+        docs: List[List[str]] = []
+        for t in self._topics:
+            tokens: List[str] = []
+            for d in t.descriptions:
+                tokens.extend(self._tokenizer.tokenize(d) * 3)
+            for e in t.entity_ids:
+                tokens.extend(self._tokenizer.tokenize(model.titles.get(e, "")))
+            docs.append(tokens)
+        self._index = BM25(docs) if docs else None
+
+    @property
+    def model(self) -> ShoalModel:
+        return self._model
+
+    @property
+    def taxonomy(self) -> Taxonomy:
+        return self._model.taxonomy
+
+    # -- scenario A: Query → Topic ------------------------------------------
+
+    def search_topics(self, query: str, k: int = 5) -> List[TopicHit]:
+        """Topics relevant to a keyword query, best first."""
+        if self._index is None:
+            return []
+        tokens = self._tokenizer.tokenize(query)
+        if not tokens:
+            return []
+        hits = []
+        for doc_idx, score in self._index.top_k(tokens, k):
+            t = self._topics[doc_idx]
+            hits.append(
+                TopicHit(
+                    topic_id=t.topic_id,
+                    score=score,
+                    label=t.label(),
+                    n_entities=t.size,
+                    n_categories=len(t.category_ids),
+                )
+            )
+        return hits
+
+    def best_topic(self, query: str) -> Optional[Topic]:
+        """The single best-matching topic (None if nothing matches)."""
+        hits = self.search_topics(query, k=1)
+        if not hits:
+            return None
+        return self.taxonomy.topic(hits[0].topic_id)
+
+    # -- scenario B: Topic → Sub-topic ------------------------------------------
+
+    def subtopics(self, topic_id: int) -> List[Topic]:
+        """Direct sub-topics of a topic (empty for leaf topics)."""
+        return self.taxonomy.subtopics(topic_id)
+
+    def topic_path(self, topic_id: int) -> List[Topic]:
+        """Ancestors from the topic up to its root (inclusive both ends)."""
+        path = [self.taxonomy.topic(topic_id)]
+        while path[-1].parent_id is not None:
+            path.append(self.taxonomy.topic(path[-1].parent_id))
+        return path
+
+    # -- scenario C: Topic → Category → Item -------------------------------------
+
+    def categories_of_topic(self, topic_id: int) -> List[int]:
+        """Ontology categories associated with a topic."""
+        return list(self.taxonomy.topic(topic_id).category_ids)
+
+    def entities_of_topic_category(
+        self, topic_id: int, category_id: int
+    ) -> List[int]:
+        """Entities of the topic falling under one of its categories.
+
+        Requires the model to know entity categories via the taxonomy's
+        category links; entities without category info never match.
+        """
+        topic = self.taxonomy.topic(topic_id)
+        cat_map = self._entity_category_map()
+        return [e for e in topic.entity_ids if cat_map.get(e) == category_id]
+
+    def _entity_category_map(self) -> Dict[int, int]:
+        """Reconstruct entity → category from leaf-most topics.
+
+        Built lazily and cached: a topic whose category set is a single
+        category pins all its entities; otherwise entities stay
+        ambiguous unless a more specific topic resolves them.
+        """
+        cached = getattr(self, "_entity_categories", None)
+        if cached is not None:
+            return cached
+        mapping: Dict[int, int] = {}
+        for t in sorted(self._topics, key=lambda t: t.level, reverse=True):
+            if len(t.category_ids) == 1:
+                c = t.category_ids[0]
+                for e in t.entity_ids:
+                    mapping.setdefault(e, c)
+        self._entity_categories = mapping
+        return mapping
+
+    def set_entity_categories(self, mapping: Dict[int, int]) -> None:
+        """Install the authoritative entity → category map (preferred).
+
+        The pipeline knows the catalog's categories; examples call this
+        so scenario C filters exactly.
+        """
+        self._entity_categories = dict(mapping)
+
+    # -- scenario D: Category → Category ---------------------------------------
+
+    def related_categories(self, category_id: int, k: int = 8) -> List[CategoryHit]:
+        """Correlated categories by descending Eq. 5 strength."""
+        graph: CorrelationGraph = self._model.correlations
+        return [
+            CategoryHit(c, s) for c, s in graph.related_categories(category_id, k)
+        ]
+
+    def related_topics(self, topic_id: int, k: int = 6) -> List[Tuple[Topic, float]]:
+        """Topics similar to ``topic_id`` — the demo's star-graph neighbours.
+
+        Similarity blends category overlap (Jaccard of category sets)
+        with description-token overlap, so topics about the same
+        merchandise *or* the same intent surface together. Excludes the
+        topic itself and its ancestors/descendants (hierarchy
+        navigation already covers those).
+        """
+        center = self.taxonomy.topic(topic_id)
+        lineage = {t.topic_id for t in self.topic_path(topic_id)}
+        stack = list(center.child_ids)
+        while stack:
+            node = stack.pop()
+            lineage.add(node)
+            stack.extend(self.taxonomy.topic(node).child_ids)
+
+        center_cats = set(center.category_ids)
+        center_tokens = set()
+        for d in center.descriptions:
+            center_tokens.update(self._tokenizer.tokenize(d))
+
+        scored: List[Tuple[Topic, float]] = []
+        for other in self._topics:
+            if other.topic_id in lineage:
+                continue
+            cats = set(other.category_ids)
+            cat_sim = (
+                len(center_cats & cats) / len(center_cats | cats)
+                if center_cats | cats
+                else 0.0
+            )
+            tokens = set()
+            for d in other.descriptions:
+                tokens.update(self._tokenizer.tokenize(d))
+            tok_sim = (
+                len(center_tokens & tokens) / len(center_tokens | tokens)
+                if center_tokens | tokens
+                else 0.0
+            )
+            score = 0.5 * cat_sim + 0.5 * tok_sim
+            if score > 0.0:
+                scored.append((other, score))
+        scored.sort(key=lambda ts: (-ts[1], ts[0].topic_id))
+        return scored[:k]
+
+    # -- recommendation (used by the A/B bench) -----------------------------------
+
+    def recommend_entities_for_query(self, query: str, k: int = 10) -> List[int]:
+        """Topic-matched entity recommendation (experiment group, Fig. 4b).
+
+        Find the best topic for the query and return its entities —
+        cross-category by construction, which is the behaviour the A/B
+        test credits for the CTR uplift.
+        """
+        topic = self.best_topic(query)
+        if topic is None:
+            return []
+        return topic.entity_ids[:k]

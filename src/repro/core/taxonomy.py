@@ -1,0 +1,231 @@
+"""Hierarchical topic taxonomy (paper Fig. 1b).
+
+Converts the Parallel HAC merge forest into the served data model:
+:class:`Topic` nodes (each a conceptual shopping scenario holding a
+cluster of item entities) arranged in a hierarchy, each linked to the
+ontology categories its entities belong to, and — after description
+matching — tagged with representative queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.clustering.dendrogram import Dendrogram
+
+__all__ = ["Topic", "Taxonomy"]
+
+
+@dataclass
+class Topic:
+    """A node of the SHOAL taxonomy.
+
+    ``topic_id`` equals its dendrogram node id. ``entity_ids`` are the
+    item entities clustered under the node; ``category_ids`` the
+    ontology categories those entities span (the paper's topic →
+    category association); ``descriptions`` is filled by the
+    :class:`~repro.core.descriptions.TopicDescriber` with the
+    top-scoring queries.
+    """
+
+    topic_id: int
+    entity_ids: List[int]
+    category_ids: List[int]
+    parent_id: Optional[int] = None
+    child_ids: List[int] = field(default_factory=list)
+    level: int = 0
+    similarity: float = 0.0
+    descriptions: List[str] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.entity_ids)
+
+    def is_root(self) -> bool:
+        return self.parent_id is None
+
+    def label(self) -> str:
+        """Best available human-readable label."""
+        if self.descriptions:
+            return self.descriptions[0]
+        return f"topic-{self.topic_id}"
+
+
+class Taxonomy:
+    """The full topic hierarchy with category links and lookups."""
+
+    def __init__(self, topics: List[Topic]):
+        self._topics: Dict[int, Topic] = {}
+        for t in topics:
+            if t.topic_id in self._topics:
+                raise ValueError(f"duplicate topic id {t.topic_id}")
+            self._topics[t.topic_id] = t
+        # Indexes: entity -> most specific topic; category -> topics.
+        self._topic_of_entity: Dict[int, int] = {}
+        self._topics_of_category: Dict[int, Set[int]] = {}
+        for t in sorted(self._topics.values(), key=lambda x: x.level, reverse=True):
+            for e in t.entity_ids:
+                self._topic_of_entity.setdefault(e, t.topic_id)
+            for c in t.category_ids:
+                self._topics_of_category.setdefault(c, set()).add(t.topic_id)
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_dendrogram(
+        cls,
+        dendrogram: Dendrogram,
+        entity_categories: Dict[int, int],
+        min_topic_size: int = 2,
+        max_levels: Optional[int] = None,
+    ) -> "Taxonomy":
+        """Build the taxonomy from a merge forest.
+
+        Every internal dendrogram node whose subtree holds at least
+        ``min_topic_size`` entities becomes a topic; leaves and tiny
+        nodes are absorbed into their closest qualifying ancestor.
+        ``max_levels`` optionally truncates the hierarchy depth (the
+        served taxonomy rarely needs the full binary merge tree: a node
+        whose only qualifying child is itself collapses).
+
+        ``entity_categories`` maps entity id → ontology category id.
+        """
+        topics: List[Topic] = []
+        for root in dendrogram.internal_roots():
+            cls._emit_subtree(
+                dendrogram,
+                root,
+                None,
+                0,
+                entity_categories,
+                min_topic_size,
+                max_levels,
+                topics,
+            )
+        return cls(topics)
+
+    @classmethod
+    def _emit_subtree(
+        cls,
+        dendrogram: Dendrogram,
+        node: int,
+        parent_topic: Optional[int],
+        level: int,
+        entity_categories: Dict[int, int],
+        min_topic_size: int,
+        max_levels: Optional[int],
+        out: List[Topic],
+    ) -> Optional[int]:
+        """Recursively emit topics for qualifying dendrogram nodes.
+
+        Children that merge *at a similar level* (binary merge chains)
+        are flattened: a child becomes a separate sub-topic only if both
+        it and its sibling meet ``min_topic_size``; otherwise the parent
+        absorbs it, keeping the hierarchy compact and interpretable.
+        """
+        entities = dendrogram.leaves_under(node)
+        if len(entities) < min_topic_size:
+            return None
+        if max_levels is not None and level + 1 >= max_levels:
+            # Depth cap reached: absorb the whole subtree here, so the
+            # taxonomy has at most ``max_levels`` levels.
+            child_candidates: List[int] = []
+        else:
+            child_candidates = [
+                k
+                for k in dendrogram.subtopics(node)
+                if len(dendrogram.leaves_under(k)) >= min_topic_size
+            ]
+        # Only split when the node genuinely partitions into 2+ sizable
+        # sub-topics; a single qualifying child is a chain link to skip.
+        split = len(child_candidates) >= 2
+
+        categories = sorted(
+            {entity_categories[e] for e in entities if e in entity_categories}
+        )
+        topic = Topic(
+            topic_id=node,
+            entity_ids=sorted(entities),
+            category_ids=categories,
+            parent_id=parent_topic,
+            level=level,
+            similarity=dendrogram.similarity_of(node),
+        )
+        out.append(topic)
+        if split:
+            for k in child_candidates:
+                child_id = cls._emit_subtree(
+                    dendrogram,
+                    k,
+                    node,
+                    level + 1,
+                    entity_categories,
+                    min_topic_size,
+                    max_levels,
+                    out,
+                )
+                if child_id is not None:
+                    topic.child_ids.append(child_id)
+            topic.child_ids.sort()
+        return node
+
+    # -- lookups -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._topics)
+
+    def __contains__(self, topic_id: int) -> bool:
+        return topic_id in self._topics
+
+    def __iter__(self):
+        return iter(sorted(self._topics.values(), key=lambda t: t.topic_id))
+
+    def topic(self, topic_id: int) -> Topic:
+        return self._topics[topic_id]
+
+    def topics(self) -> List[Topic]:
+        return list(self)
+
+    def root_topics(self) -> List[Topic]:
+        """Top-level topics — the pivots of category correlation (Sec. 2.4)."""
+        return [t for t in self if t.parent_id is None]
+
+    def subtopics(self, topic_id: int) -> List[Topic]:
+        return [self._topics[c] for c in self._topics[topic_id].child_ids]
+
+    def parent(self, topic_id: int) -> Optional[Topic]:
+        pid = self._topics[topic_id].parent_id
+        return None if pid is None else self._topics[pid]
+
+    def topic_of_entity(self, entity_id: int) -> Optional[Topic]:
+        """The most specific topic containing an entity (None if unplaced)."""
+        tid = self._topic_of_entity.get(entity_id)
+        return None if tid is None else self._topics[tid]
+
+    def root_topic_of_entity(self, entity_id: int) -> Optional[Topic]:
+        t = self.topic_of_entity(entity_id)
+        while t is not None and t.parent_id is not None:
+            t = self._topics[t.parent_id]
+        return t
+
+    def topics_of_category(self, category_id: int) -> List[Topic]:
+        """Topics associated with an ontology category."""
+        ids = self._topics_of_category.get(category_id, set())
+        return [self._topics[t] for t in sorted(ids)]
+
+    def placed_entities(self) -> List[int]:
+        return sorted(self._topic_of_entity)
+
+    def n_levels(self) -> int:
+        if not self._topics:
+            return 0
+        return 1 + max(t.level for t in self._topics.values())
+
+    def describe(self) -> str:
+        roots = self.root_topics()
+        return (
+            f"Taxonomy(topics={len(self)}, roots={len(roots)}, "
+            f"levels={self.n_levels()}, "
+            f"entities={len(self._topic_of_entity)})"
+        )

@@ -1,0 +1,60 @@
+"""Synthetic e-commerce marketplace (substitute for proprietary Taobao data).
+
+The paper builds SHOAL from hundreds of millions of Taobao items and a
+seven-day sliding window of search queries — data we cannot obtain. This
+package generates the closest synthetic equivalent:
+
+* a category **ontology** (the rigid, dictionary-driven taxonomy of
+  paper Fig. 1a),
+* a vocabulary and **item catalog** with templated titles, collapsed
+  into *item entities* as in paper Sec. 2.1,
+* latent **shopping scenarios** (ground-truth topics such as "trip to
+  the beach") that span multiple ontology categories — exactly the
+  structure SHOAL is supposed to recover (paper Fig. 1b),
+* a **query log** produced by simulated users who search either with a
+  category intent ("dress") or a scenario intent ("beach dress"),
+  with Zipfian popularity and configurable noise.
+
+Every generator takes an explicit seed, so a marketplace is a pure
+function of its :class:`MarketplaceConfig`.
+"""
+
+from repro.data.zipf import ZipfSampler, zipf_weights
+from repro.data.ontology import Category, Ontology, OntologyConfig, generate_ontology
+from repro.data.vocab import DomainVocabulary, VocabularyConfig, generate_vocabulary
+from repro.data.scenarios import Scenario, ScenarioConfig, generate_scenarios
+from repro.data.items import Item, ItemEntity, ItemCatalog, ItemConfig, generate_catalog
+from repro.data.queries import Query, QueryLog, QueryLogConfig, generate_query_log
+from repro.data.users import SimulatedUser, UserPopulation, UserConfig, generate_users
+from repro.data.marketplace import Marketplace, MarketplaceConfig, generate_marketplace
+
+__all__ = [
+    "ZipfSampler",
+    "zipf_weights",
+    "Category",
+    "Ontology",
+    "OntologyConfig",
+    "generate_ontology",
+    "DomainVocabulary",
+    "VocabularyConfig",
+    "generate_vocabulary",
+    "Scenario",
+    "ScenarioConfig",
+    "generate_scenarios",
+    "Item",
+    "ItemEntity",
+    "ItemCatalog",
+    "ItemConfig",
+    "generate_catalog",
+    "Query",
+    "QueryLog",
+    "QueryLogConfig",
+    "generate_query_log",
+    "SimulatedUser",
+    "UserPopulation",
+    "UserConfig",
+    "generate_users",
+    "Marketplace",
+    "MarketplaceConfig",
+    "generate_marketplace",
+]

@@ -1,0 +1,179 @@
+"""Top-level synthetic marketplace: one object, one seed, all substrates.
+
+``generate_marketplace`` wires together the ontology, vocabulary,
+ground-truth scenarios, item catalog, user population, and query log so
+that examples, tests and benches get a fully consistent world from a
+single config. Size *profiles* give the benches a common vocabulary for
+scaling experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro._util import ensure_rng
+from repro.data.items import ItemCatalog, ItemConfig, generate_catalog
+from repro.data.ontology import Ontology, OntologyConfig, generate_ontology
+from repro.data.queries import QueryLog, QueryLogConfig, generate_query_log
+from repro.data.scenarios import (
+    Scenario,
+    ScenarioConfig,
+    generate_scenarios,
+    scenario_by_id,
+)
+from repro.data.users import UserConfig, UserPopulation, generate_users
+from repro.data.vocab import DomainVocabulary, VocabularyConfig, generate_vocabulary
+
+__all__ = ["Marketplace", "MarketplaceConfig", "generate_marketplace", "PROFILES"]
+
+
+@dataclass(frozen=True)
+class MarketplaceConfig:
+    """All generator configs in one place, sharing a master seed.
+
+    Sub-seeds are derived from ``seed`` so two marketplaces with the
+    same config are byte-identical while distinct components remain
+    statistically independent.
+    """
+
+    ontology: OntologyConfig = OntologyConfig()
+    scenarios: ScenarioConfig = ScenarioConfig()
+    vocabulary: VocabularyConfig = VocabularyConfig()
+    items: ItemConfig = ItemConfig()
+    users: UserConfig = UserConfig()
+    query_log: QueryLogConfig = QueryLogConfig()
+    seed: int = 0
+
+    def with_seed(self, seed: int) -> "MarketplaceConfig":
+        return replace(self, seed=seed)
+
+
+#: Named size profiles used by the scaling benches (E4).
+PROFILES: Dict[str, MarketplaceConfig] = {
+    "tiny": MarketplaceConfig(
+        scenarios=ScenarioConfig(n_root_scenarios=3, children_per_root=2,
+                                 categories_per_scenario=3),
+        items=ItemConfig(n_entities=120),
+        users=UserConfig(n_users=80),
+        query_log=QueryLogConfig(events_per_day=400),
+    ),
+    "small": MarketplaceConfig(
+        scenarios=ScenarioConfig(n_root_scenarios=4, children_per_root=3,
+                                 categories_per_scenario=4),
+        items=ItemConfig(n_entities=300),
+        users=UserConfig(n_users=200),
+        query_log=QueryLogConfig(events_per_day=1000),
+    ),
+    "default": MarketplaceConfig(),
+    "large": MarketplaceConfig(
+        ontology=OntologyConfig(depth=3, branching=5),
+        scenarios=ScenarioConfig(n_root_scenarios=8, children_per_root=3,
+                                 categories_per_scenario=6),
+        items=ItemConfig(n_entities=1500),
+        users=UserConfig(n_users=1000),
+        query_log=QueryLogConfig(events_per_day=4000),
+    ),
+    "xlarge": MarketplaceConfig(
+        ontology=OntologyConfig(depth=3, branching=6),
+        scenarios=ScenarioConfig(n_root_scenarios=10, children_per_root=4,
+                                 categories_per_scenario=6),
+        items=ItemConfig(n_entities=4000),
+        users=UserConfig(n_users=2000),
+        query_log=QueryLogConfig(events_per_day=8000),
+    ),
+}
+
+
+@dataclass
+class Marketplace:
+    """A fully generated synthetic marketplace.
+
+    This object is the single input the SHOAL pipeline consumes. Its
+    ground-truth fields (``scenarios``, entity ``scenario_id``, query
+    ``intent_*``) are used exclusively by :mod:`repro.eval`.
+    """
+
+    config: MarketplaceConfig
+    ontology: Ontology
+    scenarios: List[Scenario]
+    vocabulary: DomainVocabulary
+    catalog: ItemCatalog
+    users: UserPopulation
+    query_log: QueryLog
+
+    # -- convenience ------------------------------------------------------
+
+    def scenario(self, scenario_id: int) -> Scenario:
+        return scenario_by_id(self.scenarios)[scenario_id]
+
+    def leaf_scenarios(self) -> List[Scenario]:
+        return [s for s in self.scenarios if s.parent_id is not None]
+
+    def root_scenarios(self) -> List[Scenario]:
+        return [s for s in self.scenarios if s.parent_id is None]
+
+    def n_entities(self) -> int:
+        return len(self.catalog)
+
+    def corpus(self) -> List[str]:
+        """Training corpus for word2vec: entity titles plus query texts.
+
+        The paper trains word2vec on production text; titles+queries is
+        the equivalent text available in this world.
+        """
+        docs = [e.title for e in self.catalog.entities]
+        docs.extend(q.text for q in self.query_log.queries)
+        return docs
+
+    def summary(self) -> str:
+        return (
+            f"Marketplace(entities={len(self.catalog)}, "
+            f"items={len(self.catalog.items)}, "
+            f"categories={len(self.ontology.leaves())} leaves, "
+            f"scenarios={len(self.leaf_scenarios())} leaf / "
+            f"{len(self.root_scenarios())} root, "
+            f"queries={self.query_log.n_queries()}, "
+            f"events={len(self.query_log)})"
+        )
+
+
+def generate_marketplace(
+    config: MarketplaceConfig = MarketplaceConfig(),
+) -> Marketplace:
+    """Generate every substrate of the synthetic world from one config."""
+    # Derive independent sub-seeds from the master seed.
+    seed_seq = np.random.SeedSequence(config.seed)
+    sub = seed_seq.spawn(6)
+    seeds = [int(s.generate_state(1)[0]) for s in sub]
+
+    ontology = generate_ontology(replace(config.ontology, seed=seeds[0]))
+    leaf_ids = ontology.leaf_ids()
+    scenarios = generate_scenarios(
+        leaf_ids, replace(config.scenarios, seed=seeds[1])
+    )
+    scenario_ids = [s.scenario_id for s in scenarios]
+    # Vocabulary covers every leaf category (even outside scenarios) so
+    # the ontology baseline can form queries anywhere.
+    vocabulary = generate_vocabulary(
+        leaf_ids, scenario_ids, replace(config.vocabulary, seed=seeds[2])
+    )
+    catalog = generate_catalog(
+        scenarios, vocabulary, replace(config.items, seed=seeds[3])
+    )
+    users = generate_users(scenarios, replace(config.users, seed=seeds[4]))
+    query_log = generate_query_log(
+        catalog, scenarios, vocabulary, users,
+        replace(config.query_log, seed=seeds[5]),
+    )
+    return Marketplace(
+        config=config,
+        ontology=ontology,
+        scenarios=scenarios,
+        vocabulary=vocabulary,
+        catalog=catalog,
+        users=users,
+        query_log=query_log,
+    )

@@ -1,0 +1,234 @@
+"""Category ontology generator (paper Fig. 1a).
+
+The ontology-driven taxonomy is the rigid category tree maintained by
+e-commerce platforms ("Ladies' wear" → "Dress"). SHOAL does not replace
+it — it builds topics *across* it and then mines correlations between
+its leaf categories (paper Sec. 2.4). We therefore need a realistic
+category tree as a substrate: a rooted tree of configurable depth and
+fan-out whose leaves are the categories items are assigned to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro._util import RngLike, check_positive, ensure_rng
+
+__all__ = ["Category", "Ontology", "OntologyConfig", "generate_ontology"]
+
+# Department names seed readable category labels; they cycle if the
+# configured tree is wider than the list.
+_DEPARTMENTS = [
+    "apparel",
+    "electronics",
+    "outdoor",
+    "home",
+    "beauty",
+    "sports",
+    "food",
+    "toys",
+    "office",
+    "garden",
+    "auto",
+    "pet",
+    "baby",
+    "jewelry",
+    "health",
+    "music",
+]
+
+
+@dataclass(frozen=True)
+class Category:
+    """A node of the ontology tree.
+
+    ``category_id`` is dense (0..n-1); ``parent_id`` is ``None`` only
+    for the synthetic root. Leaf categories are the ones items attach
+    to, mirroring the paper's leaf category "Dress".
+    """
+
+    category_id: int
+    name: str
+    parent_id: Optional[int]
+    depth: int
+
+    def is_root(self) -> bool:
+        return self.parent_id is None
+
+
+@dataclass(frozen=True)
+class OntologyConfig:
+    """Shape of the generated category tree."""
+
+    depth: int = 3
+    branching: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("depth", self.depth)
+        check_positive("branching", self.branching)
+
+
+class Ontology:
+    """A rooted category tree with O(1) parent/child navigation.
+
+    The tree is immutable after construction. ``leaves()`` returns the
+    categories that carry items; ``path_to_root`` supports the
+    coarse-matching baseline ("move one level up", paper Sec. 1).
+    """
+
+    def __init__(self, categories: List[Category]):
+        if not categories:
+            raise ValueError("an ontology needs at least a root category")
+        self._categories: Dict[int, Category] = {}
+        self._children: Dict[int, List[int]] = {}
+        self._root_id: Optional[int] = None
+        for cat in categories:
+            if cat.category_id in self._categories:
+                raise ValueError(f"duplicate category_id {cat.category_id}")
+            self._categories[cat.category_id] = cat
+            self._children.setdefault(cat.category_id, [])
+        for cat in categories:
+            if cat.parent_id is None:
+                if self._root_id is not None:
+                    raise ValueError("ontology must have exactly one root")
+                self._root_id = cat.category_id
+            else:
+                if cat.parent_id not in self._categories:
+                    raise ValueError(
+                        f"category {cat.category_id} references missing parent "
+                        f"{cat.parent_id}"
+                    )
+                self._children[cat.parent_id].append(cat.category_id)
+        if self._root_id is None:
+            raise ValueError("ontology must have a root (parent_id=None)")
+
+    # -- basic accessors -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._categories)
+
+    def __contains__(self, category_id: int) -> bool:
+        return category_id in self._categories
+
+    def __iter__(self) -> Iterator[Category]:
+        return iter(sorted(self._categories.values(), key=lambda c: c.category_id))
+
+    @property
+    def root(self) -> Category:
+        assert self._root_id is not None
+        return self._categories[self._root_id]
+
+    def get(self, category_id: int) -> Category:
+        """Return a category by id, raising ``KeyError`` if absent."""
+        return self._categories[category_id]
+
+    def name_of(self, category_id: int) -> str:
+        return self._categories[category_id].name
+
+    def children(self, category_id: int) -> List[Category]:
+        return [self._categories[c] for c in self._children[category_id]]
+
+    def parent(self, category_id: int) -> Optional[Category]:
+        pid = self._categories[category_id].parent_id
+        return None if pid is None else self._categories[pid]
+
+    def is_leaf(self, category_id: int) -> bool:
+        return not self._children[category_id]
+
+    def leaves(self) -> List[Category]:
+        """All leaf categories (the ones items are placed into)."""
+        return [c for c in self if self.is_leaf(c.category_id)]
+
+    def leaf_ids(self) -> List[int]:
+        return [c.category_id for c in self.leaves()]
+
+    # -- navigation ------------------------------------------------------
+
+    def path_to_root(self, category_id: int) -> List[Category]:
+        """Categories from ``category_id`` up to (and including) the root."""
+        path = [self.get(category_id)]
+        while path[-1].parent_id is not None:
+            path.append(self.get(path[-1].parent_id))
+        return path
+
+    def lowest_common_ancestor(self, a: int, b: int) -> Category:
+        """LCA of two categories; used by the ontology recommender baseline."""
+        ancestors_a = {c.category_id for c in self.path_to_root(a)}
+        for cat in self.path_to_root(b):
+            if cat.category_id in ancestors_a:
+                return cat
+        return self.root  # unreachable in a valid tree, kept defensive
+
+    def distance(self, a: int, b: int) -> int:
+        """Tree distance (number of edges) between two categories."""
+        lca = self.lowest_common_ancestor(a, b)
+        da = self.get(a).depth - lca.depth
+        db = self.get(b).depth - lca.depth
+        return da + db
+
+    def subtree_leaf_ids(self, category_id: int) -> List[int]:
+        """Leaf ids underneath ``category_id`` (inclusive if it is a leaf)."""
+        out: List[int] = []
+        stack = [category_id]
+        while stack:
+            cid = stack.pop()
+            kids = self._children[cid]
+            if not kids:
+                out.append(cid)
+            else:
+                stack.extend(kids)
+        return sorted(out)
+
+    def describe(self) -> str:
+        """A short human-readable summary used by examples."""
+        return (
+            f"Ontology(categories={len(self)}, leaves={len(self.leaves())}, "
+            f"depth={max(c.depth for c in self)})"
+        )
+
+
+def generate_ontology(config: OntologyConfig = OntologyConfig()) -> Ontology:
+    """Generate a full ``branching``-ary category tree of given depth.
+
+    Names compose the department path ("apparel/apparel-2/apparel-2-1")
+    so examples print readable labels while ids stay dense.
+    """
+    rng = ensure_rng(config.seed)
+    categories: List[Category] = [Category(0, "all", None, 0)]
+    frontier = [0]
+    next_id = 1
+    for depth in range(1, config.depth + 1):
+        new_frontier: List[int] = []
+        for parent_id in frontier:
+            parent = categories[parent_id]
+            for j in range(config.branching):
+                if depth == 1:
+                    name = _DEPARTMENTS[(next_id - 1) % len(_DEPARTMENTS)]
+                    if next_id - 1 >= len(_DEPARTMENTS):
+                        name = f"{name}{(next_id - 1) // len(_DEPARTMENTS)}"
+                else:
+                    name = f"{parent.name}-{j}"
+                categories.append(Category(next_id, name, parent_id, depth))
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    # A tiny amount of irregularity: prune a few random leaves so the
+    # tree is not perfectly balanced (real ontologies never are).
+    leaves = [c.category_id for c in categories if c.depth == config.depth]
+    n_prune = max(0, len(leaves) // 16)
+    pruned = set(rng.choice(leaves, size=n_prune, replace=False).tolist()) if n_prune else set()
+    kept = [c for c in categories if c.category_id not in pruned]
+    # Re-index densely so downstream arrays stay compact.
+    remap = {c.category_id: i for i, c in enumerate(kept)}
+    reindexed = [
+        Category(
+            remap[c.category_id],
+            c.name,
+            None if c.parent_id is None else remap[c.parent_id],
+            c.depth,
+        )
+        for c in kept
+    ]
+    return Ontology(reindexed)

@@ -1,0 +1,288 @@
+"""Query-log generator (substitute for the Taobao seven-day query log).
+
+Paper Sec. 3: SHOAL is built from "a sliding window containing search
+queries in the last seven days". We generate a timestamped query log:
+
+* a fixed set of **query strings** is derived from the vocabulary —
+  category queries ("<noun>", "<attr> <noun>") and scenario queries
+  ("<scenario-word> <noun>", "<scenario-word> <scenario-word>"),
+* simulated users issue queries over a configurable number of days,
+  choosing scenario or category intent per their profile,
+* each issued query produces clicks on matching item entities; the
+  (query, entity) click pairs are the edges of the query–item
+  bipartite graph (paper Fig. 2),
+* a small `noise_click_rate` adds clicks on unrelated entities, which
+  is what makes the raw Jaccard similarity imperfect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._util import RngLike, check_positive, check_probability, ensure_rng
+from repro.data.items import ItemCatalog
+from repro.data.scenarios import Scenario, scenario_by_id
+from repro.data.users import UserPopulation
+from repro.data.vocab import DomainVocabulary
+from repro.data.zipf import zipf_weights
+
+__all__ = ["Query", "QueryLog", "QueryLogConfig", "generate_query_log"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A distinct query string with its latent intent.
+
+    ``intent_kind`` is ``"scenario"`` or ``"category"``;
+    ``intent_id`` is the scenario id or category id respectively.
+    The intent fields are ground truth used only by evaluation.
+    """
+
+    query_id: int
+    text: str
+    intent_kind: str
+    intent_id: int
+
+    def tokens(self) -> List[str]:
+        return self.text.split()
+
+
+@dataclass(frozen=True)
+class QueryEvent:
+    """One search event in the log: a user issued a query on a day and
+    clicked a set of item entities."""
+
+    event_id: int
+    day: int
+    user_id: int
+    query_id: int
+    clicked_entity_ids: tuple
+
+
+@dataclass(frozen=True)
+class QueryLogConfig:
+    """Query-log shape.
+
+    ``n_days`` spans the sliding window (paper: 7). ``events_per_day``
+    search events are generated per day. ``clicks_per_event_mean``
+    entities are clicked per search. ``noise_click_rate`` is the
+    probability each click lands on a random entity instead of an
+    intent-matching one. ``query_zipf_exponent`` skews which query of
+    the eligible set a user issues.
+    """
+
+    n_days: int = 7
+    events_per_day: int = 2000
+    clicks_per_event_mean: float = 3.0
+    noise_click_rate: float = 0.05
+    query_zipf_exponent: float = 0.8
+    queries_per_scenario: int = 8
+    queries_per_category: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("n_days", self.n_days)
+        check_positive("events_per_day", self.events_per_day)
+        check_positive("clicks_per_event_mean", self.clicks_per_event_mean)
+        check_probability("noise_click_rate", self.noise_click_rate)
+        check_positive("query_zipf_exponent", self.query_zipf_exponent, allow_zero=True)
+        check_positive("queries_per_scenario", self.queries_per_scenario)
+        check_positive("queries_per_category", self.queries_per_category)
+
+
+class QueryLog:
+    """The generated log: distinct queries plus timestamped events.
+
+    Provides the aggregation views the pipeline needs — in particular
+    ``query_entity_pairs`` (edges of the bipartite graph, restricted to
+    a day window) and per-query/per-entity click counts.
+    """
+
+    def __init__(self, queries: List[Query], events: List[QueryEvent]):
+        self._queries = list(queries)
+        self._events = list(events)
+        self._by_id = {q.query_id: q for q in self._queries}
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def queries(self) -> List[Query]:
+        return list(self._queries)
+
+    @property
+    def events(self) -> List[QueryEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def n_queries(self) -> int:
+        return len(self._queries)
+
+    def query(self, query_id: int) -> Query:
+        return self._by_id[query_id]
+
+    def query_text(self, query_id: int) -> str:
+        return self._by_id[query_id].text
+
+    def days(self) -> List[int]:
+        return sorted({e.day for e in self._events})
+
+    # -- aggregation views -------------------------------------------------
+
+    def window(self, first_day: int, last_day: int) -> "QueryLog":
+        """Sliding-window view: events with ``first_day <= day <= last_day``."""
+        if first_day > last_day:
+            raise ValueError("first_day must be <= last_day")
+        kept = [e for e in self._events if first_day <= e.day <= last_day]
+        return QueryLog(self._queries, kept)
+
+    def query_entity_pairs(self) -> List[Tuple[int, int, int]]:
+        """Aggregated (query_id, entity_id, click_count) triples."""
+        counts: Dict[Tuple[int, int], int] = {}
+        for e in self._events:
+            for ent in e.clicked_entity_ids:
+                key = (e.query_id, ent)
+                counts[key] = counts.get(key, 0) + 1
+        return [(q, ent, c) for (q, ent), c in sorted(counts.items())]
+
+    def query_frequencies(self) -> Dict[int, int]:
+        """Total number of events per query id."""
+        freq: Dict[int, int] = {}
+        for e in self._events:
+            freq[e.query_id] = freq.get(e.query_id, 0) + 1
+        return freq
+
+    def entity_click_counts(self) -> Dict[int, int]:
+        """Total clicks received per entity id."""
+        counts: Dict[int, int] = {}
+        for e in self._events:
+            for ent in e.clicked_entity_ids:
+                counts[ent] = counts.get(ent, 0) + 1
+        return counts
+
+
+def _build_query_set(
+    scenarios: Sequence[Scenario],
+    vocab: DomainVocabulary,
+    config: QueryLogConfig,
+    rng: np.random.Generator,
+) -> List[Query]:
+    """Compose the distinct query strings with their latent intents."""
+    queries: List[Query] = []
+    seen_text = set()
+
+    def add(text: str, kind: str, intent_id: int) -> None:
+        if text in seen_text:
+            return
+        seen_text.add(text)
+        queries.append(Query(len(queries), text, kind, intent_id))
+
+    leaf = [s for s in scenarios if s.parent_id is not None]
+    for s in leaf:
+        s_words = vocab.scenario_words(s.scenario_id)
+        for _ in range(config.queries_per_scenario):
+            w = s_words[int(rng.integers(len(s_words)))]
+            style = int(rng.integers(3))
+            if style == 0:
+                # "<scenario-word> <category noun>"  e.g. "beach dress"
+                cid = int(s.category_ids[int(rng.integers(len(s.category_ids)))])
+                nouns = vocab.nouns(cid)
+                text = f"{w} {nouns[int(rng.integers(len(nouns)))]}"
+            elif style == 1 and len(s_words) > 1:
+                # "<scenario-word> <scenario-word>"  e.g. "beach trip"
+                w2 = w
+                while w2 == w:
+                    w2 = s_words[int(rng.integers(len(s_words)))]
+                text = f"{w} {w2}"
+            else:
+                text = w
+            add(text, "scenario", s.scenario_id)
+    all_cats = sorted({c for s in leaf for c in s.category_ids})
+    for cid in all_cats:
+        nouns = vocab.nouns(cid)
+        attrs = vocab.attributes(cid)
+        for _ in range(config.queries_per_category):
+            noun = nouns[int(rng.integers(len(nouns)))]
+            if rng.random() < 0.5:
+                text = noun
+            else:
+                text = f"{attrs[int(rng.integers(len(attrs)))]} {noun}"
+            add(text, "category", cid)
+    return queries
+
+
+def generate_query_log(
+    catalog: ItemCatalog,
+    scenarios: Sequence[Scenario],
+    vocab: DomainVocabulary,
+    users: UserPopulation,
+    config: QueryLogConfig = QueryLogConfig(),
+) -> QueryLog:
+    """Simulate the sliding-window query log over the catalog.
+
+    For each event: pick a user, pick intent kind by the user's rate,
+    pick a query matching that intent (Zipf-skewed), then click
+    entities drawn from the intent's matching inventory (scenario
+    members for scenario intent, category members for category intent)
+    with occasional noise clicks.
+    """
+    rng = ensure_rng(config.seed)
+    queries = _build_query_set(scenarios, vocab, config, rng)
+
+    by_scenario: Dict[int, List[Query]] = {}
+    by_category: Dict[int, List[Query]] = {}
+    for q in queries:
+        if q.intent_kind == "scenario":
+            by_scenario.setdefault(q.intent_id, []).append(q)
+        else:
+            by_category.setdefault(q.intent_id, []).append(q)
+
+    n_entities = len(catalog)
+    events: List[QueryEvent] = []
+    event_id = 0
+    for day in range(config.n_days):
+        for _ in range(config.events_per_day):
+            user = users[int(rng.integers(len(users)))]
+            use_scenario = rng.random() < user.scenario_intent_rate
+            if use_scenario:
+                sid = int(
+                    user.scenario_ids[int(rng.integers(len(user.scenario_ids)))]
+                )
+                pool = by_scenario.get(sid)
+                candidates = catalog.entities_in_scenario(sid)
+            else:
+                sid = int(
+                    user.scenario_ids[int(rng.integers(len(user.scenario_ids)))]
+                )
+                members = catalog.entities_in_scenario(sid)
+                if members:
+                    probe = catalog.entity(
+                        members[int(rng.integers(len(members)))]
+                    )
+                    cid = probe.category_id
+                else:  # degenerate scenario with no inventory
+                    cid = catalog.category_ids()[0]
+                pool = by_category.get(cid)
+                candidates = catalog.entities_in_category(cid)
+            if not pool or not candidates:
+                continue
+            zw = zipf_weights(len(pool), config.query_zipf_exponent)
+            q = pool[int(rng.choice(len(pool), p=zw))]
+            n_clicks = 1 + int(rng.poisson(max(0.0, config.clicks_per_event_mean - 1.0)))
+            clicked: List[int] = []
+            for _ in range(n_clicks):
+                if rng.random() < config.noise_click_rate:
+                    clicked.append(int(rng.integers(n_entities)))
+                else:
+                    clicked.append(
+                        int(candidates[int(rng.integers(len(candidates)))])
+                    )
+            events.append(
+                QueryEvent(event_id, day, user.user_id, q.query_id, tuple(sorted(set(clicked))))
+            )
+            event_id += 1
+    return QueryLog(queries, events)

@@ -1,0 +1,169 @@
+"""Ground-truth shopping scenarios (what SHOAL is supposed to discover).
+
+The paper's motivating example (Fig. 1b) is the topic "Trip to the
+beach" spanning categories "Beach pants", "Swimwear", "Sunblock" — a
+*shopping scenario* that the ontology cannot express. In production
+these scenarios exist implicitly in user behaviour; our synthetic
+marketplace makes them explicit latent variables:
+
+* each scenario is attached to a set of leaf categories it draws from,
+* scenarios may be *nested* (a parent scenario "outdoor activities"
+  with children "trip to the beach", "mountaineering"), giving the
+  hierarchy SHOAL's Parallel HAC should recover,
+* item entities and queries are generated conditioned on a scenario,
+  which later serves as ground truth for precision/NMI evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro._util import RngLike, check_positive, check_probability, ensure_rng
+
+__all__ = ["Scenario", "ScenarioConfig", "generate_scenarios"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A latent shopping scenario.
+
+    ``category_ids`` are the leaf categories whose items participate.
+    ``parent_id`` builds the two-level ground-truth hierarchy; root
+    scenarios have ``parent_id is None``.
+    """
+
+    scenario_id: int
+    name: str
+    category_ids: tuple
+    parent_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.category_ids:
+            raise ValueError("a scenario must cover at least one category")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Shape of the ground-truth scenario structure.
+
+    ``n_root_scenarios`` parent scenarios each split into
+    ``children_per_root`` sub-scenarios. Each sub-scenario covers
+    ``categories_per_scenario`` leaf categories sampled from its
+    parent's pool; ``category_overlap`` is the probability that a
+    category of one sibling also appears in another (scenarios in real
+    life overlap: sunblock sells for beach trips *and* hiking).
+    """
+
+    n_root_scenarios: int = 6
+    children_per_root: int = 3
+    categories_per_scenario: int = 5
+    category_overlap: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("n_root_scenarios", self.n_root_scenarios)
+        check_positive("children_per_root", self.children_per_root)
+        check_positive("categories_per_scenario", self.categories_per_scenario)
+        check_probability("category_overlap", self.category_overlap)
+
+    @property
+    def n_leaf_scenarios(self) -> int:
+        return self.n_root_scenarios * self.children_per_root
+
+
+_ROOT_THEMES = [
+    "beach-holiday",
+    "mountaineering",
+    "home-office",
+    "fitness",
+    "baby-care",
+    "winter-sports",
+    "camping",
+    "wedding",
+    "gaming-setup",
+    "gardening",
+    "road-trip",
+    "breakfast",
+]
+
+
+def generate_scenarios(
+    leaf_category_ids: Sequence[int],
+    config: ScenarioConfig = ScenarioConfig(),
+) -> List[Scenario]:
+    """Generate nested ground-truth scenarios over the given leaf categories.
+
+    Root scenarios partition (softly) the leaf-category space; children
+    sample from the parent pool with sibling overlap. Returns roots
+    followed by children; ids are dense in that order.
+    """
+    rng = ensure_rng(config.seed)
+    leaf_ids = list(leaf_category_ids)
+    if len(leaf_ids) < config.n_root_scenarios:
+        raise ValueError(
+            f"need at least {config.n_root_scenarios} leaf categories, "
+            f"got {len(leaf_ids)}"
+        )
+    # Partition leaves round-robin into root pools after a shuffle so each
+    # root scenario has a distinct-but-arbitrary slice of the ontology.
+    shuffled = list(leaf_ids)
+    rng.shuffle(shuffled)
+    pools: List[List[int]] = [[] for _ in range(config.n_root_scenarios)]
+    for i, cid in enumerate(shuffled):
+        pools[i % config.n_root_scenarios].append(cid)
+
+    scenarios: List[Scenario] = []
+    for r in range(config.n_root_scenarios):
+        theme = _ROOT_THEMES[r % len(_ROOT_THEMES)]
+        if r >= len(_ROOT_THEMES):
+            theme = f"{theme}-{r // len(_ROOT_THEMES)}"
+        root_pool = tuple(sorted(pools[r]))
+        scenarios.append(Scenario(r, theme, root_pool, None))
+
+    next_id = config.n_root_scenarios
+    for r in range(config.n_root_scenarios):
+        root = scenarios[r]
+        pool = list(root.category_ids)
+        per_child = min(config.categories_per_scenario, len(pool))
+        for c in range(config.children_per_root):
+            chosen = set(
+                rng.choice(pool, size=per_child, replace=False).tolist()
+            )
+            # Sibling overlap: borrow categories from the whole root pool.
+            for cid in pool:
+                if cid not in chosen and rng.random() < config.category_overlap / max(
+                    1, len(pool)
+                ) * per_child:
+                    chosen.add(cid)
+            scenarios.append(
+                Scenario(
+                    next_id,
+                    f"{root.name}/{_child_theme(root.name, c)}",
+                    tuple(sorted(chosen)),
+                    parent_id=r,
+                )
+            )
+            next_id += 1
+    return scenarios
+
+
+def _child_theme(root_name: str, index: int) -> str:
+    flavors = ["essentials", "family", "budget", "premium", "weekend", "pro"]
+    return flavors[index % len(flavors)]
+
+
+def leaf_scenarios(scenarios: Sequence[Scenario]) -> List[Scenario]:
+    """Scenarios that have a parent (the fine-grained ground truth)."""
+    return [s for s in scenarios if s.parent_id is not None]
+
+
+def root_scenarios(scenarios: Sequence[Scenario]) -> List[Scenario]:
+    """Top-level scenarios (coarse ground truth)."""
+    return [s for s in scenarios if s.parent_id is None]
+
+
+def scenario_by_id(scenarios: Sequence[Scenario]) -> Dict[int, Scenario]:
+    return {s.scenario_id: s for s in scenarios}

@@ -1,0 +1,51 @@
+"""Evaluation harness.
+
+* :mod:`repro.eval.metrics` — clustering/retrieval metrics (purity,
+  NMI, ARI, precision/recall of pair relations);
+* :mod:`repro.eval.precision` — the paper's expert sampling protocol
+  (Sec. 3: 1000 topics × 100 items, ≥ 98 % precision), replayed
+  against synthetic ground truth with an optional noisy-judge model;
+* :mod:`repro.eval.abtest` — the online A/B test (Sec. 3: +5 % CTR over
+  3M users) as a simulated experiment with a scenario-conditioned
+  click model.
+"""
+
+from repro.eval.metrics import (
+    adjusted_rand_index,
+    cluster_purity,
+    dcg_at_k,
+    ndcg_at_k,
+    normalized_mutual_information,
+    pair_precision_recall,
+    precision_at_k,
+)
+from repro.eval.precision import (
+    ExpertJudge,
+    PrecisionConfig,
+    PrecisionReport,
+    SamplingPrecisionEvaluator,
+)
+from repro.eval.abtest import (
+    ABTestConfig,
+    ABTestReport,
+    ABTestSimulator,
+    ClickModel,
+)
+
+__all__ = [
+    "cluster_purity",
+    "normalized_mutual_information",
+    "adjusted_rand_index",
+    "pair_precision_recall",
+    "dcg_at_k",
+    "ndcg_at_k",
+    "precision_at_k",
+    "ExpertJudge",
+    "PrecisionConfig",
+    "PrecisionReport",
+    "SamplingPrecisionEvaluator",
+    "ABTestConfig",
+    "ABTestReport",
+    "ABTestSimulator",
+    "ClickModel",
+]

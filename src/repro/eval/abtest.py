@@ -1,0 +1,184 @@
+"""Simulated online A/B test (paper Sec. 3: +5 % CTR over 3M users).
+
+The paper's experiment: the control group sees recommendations from
+*ontology-category matching* (Fig. 4a), the experiment group from
+*SHOAL topic matching* (Fig. 4b); the treatment lifted CTR by ~5 %.
+
+We reproduce the mechanism, not the traffic: simulated users (the same
+objects that generated the query log) issue searches; a recommender
+produces ``slate_size`` entities; the click model gives each shown
+entity a click probability depending on how well it matches the user's
+*current intent*:
+
+* ``p_click_scenario`` — the entity's ground-truth scenario equals the
+  user's active scenario intent (the strongest match);
+* ``p_click_category`` — not scenario-matched, but the entity's
+  category belongs to the active scenario (categorically plausible);
+* ``p_click_random`` — unrelated inventory (baseline curiosity).
+
+The uplift arises — as in the paper — because scenario intents span
+multiple categories: a category recommender can only cover one
+category per matched query, while the topic recommender surfaces the
+whole scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._util import RngLike, check_positive, check_probability, ensure_rng
+from repro.data.marketplace import Marketplace
+from repro.data.scenarios import scenario_by_id
+
+__all__ = ["ABTestConfig", "ClickModel", "ABTestReport", "ABTestSimulator"]
+
+#: A recommender maps (user_id, query_text) -> list of entity ids.
+Recommender = Callable[[int, str], List[int]]
+
+
+@dataclass(frozen=True)
+class ABTestConfig:
+    """Experiment parameters."""
+
+    n_impressions: int = 20_000
+    slate_size: int = 8
+    p_click_scenario: float = 0.12
+    p_click_category: float = 0.06
+    p_click_random: float = 0.01
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("n_impressions", self.n_impressions)
+        check_positive("slate_size", self.slate_size)
+        for name in ("p_click_scenario", "p_click_category", "p_click_random"):
+            check_probability(name, getattr(self, name))
+
+
+class ClickModel:
+    """Scenario-conditioned click probabilities (see module docstring)."""
+
+    def __init__(self, marketplace: Marketplace, config: ABTestConfig):
+        self._config = config
+        self._entity_scenario = {
+            e.entity_id: e.scenario_id for e in marketplace.catalog.entities
+        }
+        self._entity_category = {
+            e.entity_id: e.category_id for e in marketplace.catalog.entities
+        }
+        self._scenario_categories = {
+            s.scenario_id: set(s.category_ids) for s in marketplace.scenarios
+        }
+
+    def click_probability(self, entity_id: int, intent_scenario: int) -> float:
+        """P(click | shown entity, user's active scenario intent)."""
+        cfg = self._config
+        if self._entity_scenario.get(entity_id) == intent_scenario:
+            return cfg.p_click_scenario
+        category = self._entity_category.get(entity_id)
+        if category is not None and category in self._scenario_categories.get(
+            intent_scenario, ()
+        ):
+            return cfg.p_click_category
+        return cfg.p_click_random
+
+
+@dataclass
+class ABTestReport:
+    """CTR outcome of one arm-pair run."""
+
+    control_impressions: int
+    control_clicks: int
+    treatment_impressions: int
+    treatment_clicks: int
+
+    @property
+    def control_ctr(self) -> float:
+        if self.control_impressions == 0:
+            return 0.0
+        return self.control_clicks / self.control_impressions
+
+    @property
+    def treatment_ctr(self) -> float:
+        if self.treatment_impressions == 0:
+            return 0.0
+        return self.treatment_clicks / self.treatment_impressions
+
+    @property
+    def relative_uplift(self) -> float:
+        """(treatment − control) / control; the paper reports ~+5 %."""
+        if self.control_ctr == 0.0:
+            return 0.0
+        return (self.treatment_ctr - self.control_ctr) / self.control_ctr
+
+    def summary(self) -> str:
+        return (
+            f"control CTR={self.control_ctr:.4f}, "
+            f"treatment CTR={self.treatment_ctr:.4f}, "
+            f"uplift={self.relative_uplift * 100:+.1f}%"
+        )
+
+
+class ABTestSimulator:
+    """Runs control vs. treatment recommenders over simulated traffic.
+
+    Both arms see *the same* impression stream (user, intent, query):
+  a paired design that removes traffic variance from the comparison,
+    like the bucketised split of a production A/B system.
+    """
+
+    def __init__(self, marketplace: Marketplace, config: ABTestConfig = ABTestConfig()):
+        self._marketplace = marketplace
+        self._config = config
+        self._click_model = ClickModel(marketplace, config)
+        self._scenario_queries = self._index_scenario_queries()
+
+    def _index_scenario_queries(self) -> Dict[int, List[str]]:
+        """Scenario id → query texts expressing that scenario intent."""
+        out: Dict[int, List[str]] = {}
+        for q in self._marketplace.query_log.queries:
+            if q.intent_kind == "scenario":
+                out.setdefault(q.intent_id, []).append(q.text)
+        return out
+
+    @property
+    def click_model(self) -> ClickModel:
+        return self._click_model
+
+    def run(
+        self,
+        control: Recommender,
+        treatment: Recommender,
+    ) -> ABTestReport:
+        """Simulate ``n_impressions`` paired impressions."""
+        cfg = self._config
+        rng = ensure_rng(cfg.seed)
+        users = self._marketplace.users
+        report = ABTestReport(0, 0, 0, 0)
+
+        for _ in range(cfg.n_impressions):
+            user = users[int(rng.integers(len(users)))]
+            intent = int(
+                user.scenario_ids[int(rng.integers(len(user.scenario_ids)))]
+            )
+            queries = self._scenario_queries.get(intent)
+            if not queries:
+                continue
+            query = queries[int(rng.integers(len(queries)))]
+
+            for arm, recommender in (("control", control), ("treatment", treatment)):
+                slate = recommender(user.user_id, query)[: cfg.slate_size]
+                clicks = 0
+                for entity_id in slate:
+                    p = self._click_model.click_probability(entity_id, intent)
+                    if rng.random() < p:
+                        clicks += 1
+                if arm == "control":
+                    report.control_impressions += len(slate)
+                    report.control_clicks += clicks
+                else:
+                    report.treatment_impressions += len(slate)
+                    report.treatment_clicks += clicks
+        return report

@@ -1,0 +1,171 @@
+"""Clustering and retrieval metrics.
+
+Standard external clustering metrics used to score SHOAL's topics
+against the ground-truth scenarios — purity, normalised mutual
+information (NMI), adjusted Rand index (ARI), pairwise
+precision/recall — plus ranking metrics (DCG/NDCG, precision@k) for
+scoring topic retrieval (demo scenario A). All clustering metrics take
+two label mappings over the same item set; implementations are
+self-contained numpy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "contingency_table",
+    "cluster_purity",
+    "normalized_mutual_information",
+    "adjusted_rand_index",
+    "pair_precision_recall",
+    "dcg_at_k",
+    "ndcg_at_k",
+    "precision_at_k",
+]
+
+
+def _to_arrays(
+    predicted: Mapping[int, int], truth: Mapping[int, int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Align two label mappings on their common keys."""
+    keys = sorted(set(predicted) & set(truth))
+    if not keys:
+        raise ValueError("predicted and truth share no items")
+    pred = np.array([predicted[k] for k in keys])
+    true = np.array([truth[k] for k in keys])
+    return pred, true
+
+
+def contingency_table(pred: np.ndarray, true: np.ndarray) -> np.ndarray:
+    """Counts matrix: rows = predicted clusters, cols = true classes."""
+    if len(pred) != len(true):
+        raise ValueError("label arrays must align")
+    p_ids = {c: i for i, c in enumerate(np.unique(pred))}
+    t_ids = {c: i for i, c in enumerate(np.unique(true))}
+    table = np.zeros((len(p_ids), len(t_ids)), dtype=np.int64)
+    for p, t in zip(pred, true):
+        table[p_ids[p], t_ids[t]] += 1
+    return table
+
+
+def cluster_purity(
+    predicted: Mapping[int, int], truth: Mapping[int, int]
+) -> float:
+    """Fraction of items whose cluster's majority class matches them.
+
+    Equivalent to the paper's expert precision when the "expert" is the
+    majority ground-truth scenario of each topic.
+    """
+    pred, true = _to_arrays(predicted, truth)
+    table = contingency_table(pred, true)
+    return float(table.max(axis=1).sum() / table.sum())
+
+
+def normalized_mutual_information(
+    predicted: Mapping[int, int], truth: Mapping[int, int]
+) -> float:
+    """NMI with arithmetic-mean normalisation, in [0, 1]."""
+    pred, true = _to_arrays(predicted, truth)
+    table = contingency_table(pred, true).astype(float)
+    n = table.sum()
+    pi = table.sum(axis=1) / n
+    pj = table.sum(axis=0) / n
+    pij = table / n
+    mi = 0.0
+    for i in range(table.shape[0]):
+        for j in range(table.shape[1]):
+            if pij[i, j] > 0:
+                mi += pij[i, j] * math.log(pij[i, j] / (pi[i] * pj[j]))
+    h_pred = -float(np.sum(pi * np.log(pi, where=pi > 0, out=np.zeros_like(pi))))
+    h_true = -float(np.sum(pj * np.log(pj, where=pj > 0, out=np.zeros_like(pj))))
+    denom = 0.5 * (h_pred + h_true)
+    if denom == 0.0:
+        # Both partitions are single clusters: identical by convention.
+        return 1.0
+    return float(mi / denom)
+
+
+def adjusted_rand_index(
+    predicted: Mapping[int, int], truth: Mapping[int, int]
+) -> float:
+    """ARI: chance-corrected pair-counting agreement, in [-1, 1]."""
+    pred, true = _to_arrays(predicted, truth)
+    table = contingency_table(pred, true)
+    n = table.sum()
+
+    def comb2(x: np.ndarray) -> np.ndarray:
+        return x * (x - 1) / 2.0
+
+    sum_ij = comb2(table.astype(float)).sum()
+    a = comb2(table.sum(axis=1).astype(float)).sum()
+    b = comb2(table.sum(axis=0).astype(float)).sum()
+    total = comb2(np.array(float(n)))
+    expected = a * b / total if total > 0 else 0.0
+    max_index = 0.5 * (a + b)
+    if max_index == expected:
+        return 1.0
+    return float((sum_ij - expected) / (max_index - expected))
+
+
+def dcg_at_k(relevances: Sequence[float], k: int) -> float:
+    """Discounted cumulative gain of a ranked relevance list.
+
+    ``DCG@k = Σ_{i<k} rel_i / log2(i + 2)`` — the standard log-position
+    discount, graded relevance supported.
+    """
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    total = 0.0
+    for i, rel in enumerate(relevances[:k]):
+        total += float(rel) / math.log2(i + 2)
+    return total
+
+
+def ndcg_at_k(relevances: Sequence[float], k: int) -> float:
+    """Normalised DCG in [0, 1]: DCG@k over the ideal (sorted) DCG@k.
+
+    Returns 0.0 when nothing in the list is relevant (ideal DCG is 0).
+    """
+    ideal = dcg_at_k(sorted(relevances, reverse=True), k)
+    if ideal == 0.0:
+        return 0.0
+    return dcg_at_k(relevances, k) / ideal
+
+
+def precision_at_k(relevances: Sequence[float], k: int) -> float:
+    """Fraction of the top-``k`` results with positive relevance.
+
+    Divides by ``k`` even when fewer results were returned (missing
+    results are misses), matching the IR convention.
+    """
+    if k <= 0:
+        raise ValueError("k must be > 0")
+    hits = sum(1 for rel in relevances[:k] if rel > 0)
+    return hits / k
+
+
+def pair_precision_recall(
+    predicted_pairs: Sequence[Tuple[int, int]],
+    truth_pairs: Sequence[Tuple[int, int]],
+) -> Tuple[float, float]:
+    """Precision/recall of a predicted pair relation vs. ground truth.
+
+    Pairs are canonicalised (order-insensitive). Used by the category-
+    correlation bench (E7): predicted = correlated category pairs,
+    truth = pairs co-occurring in a ground-truth scenario.
+    """
+    def canon(pairs):
+        return {(a, b) if a <= b else (b, a) for a, b in pairs}
+
+    p = canon(predicted_pairs)
+    t = canon(truth_pairs)
+    if not p:
+        return (0.0, 0.0 if t else 1.0)
+    tp = len(p & t)
+    precision = tp / len(p)
+    recall = tp / len(t) if t else 1.0
+    return (precision, recall)

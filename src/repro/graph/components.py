@@ -1,0 +1,48 @@
+"""Connected components over :class:`SparseGraph`.
+
+Used to bound topic sizes (each HAC merge forest lives inside one
+component) and by tests asserting structural invariants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.graph.sparse import SparseGraph
+
+__all__ = ["connected_components", "component_labels"]
+
+
+def connected_components(graph: SparseGraph) -> List[List[int]]:
+    """All connected components, each a sorted vertex list.
+
+    Components are ordered by their smallest vertex id, so output is
+    deterministic. Iterative DFS keeps deep graphs from hitting the
+    recursion limit.
+    """
+    seen = set()
+    components: List[List[int]] = []
+    for start in graph.vertices():
+        if start in seen:
+            continue
+        comp = []
+        stack = [start]
+        seen.add(start)
+        while stack:
+            v = stack.pop()
+            comp.append(v)
+            for u in graph.neighbor_ids(v):
+                if u not in seen:
+                    seen.add(u)
+                    stack.append(u)
+        components.append(sorted(comp))
+    return components
+
+
+def component_labels(graph: SparseGraph) -> Dict[int, int]:
+    """Vertex → component index (component order as above)."""
+    labels: Dict[int, int] = {}
+    for i, comp in enumerate(connected_components(graph)):
+        for v in comp:
+            labels[v] = i
+    return labels

@@ -1,0 +1,100 @@
+"""Local-maximal-edge discovery via graph diffusion (paper Sec. 2.2).
+
+Plain HAC merges one globally-maximal edge per iteration; the paper's
+distributed variant instead finds *local maximal edges* — edges that
+remain the maximum after k rounds of neighbours exchanging the best
+edge they know — and merges all of them in the same parallel round:
+
+    "For each iteration of the graph diffusion process, every node
+    receives the maximal that its neighbors discover from its
+    neighbors and 'diffuses' the maximal edge to its neighbors."
+
+With k = 1 an edge only has to beat the edges incident to its two
+endpoints; as k grows, information travels farther, fewer edges
+survive, and the parallel merge round shrinks toward the sequential
+behaviour. The paper fixes k = 2. This module implements the diffusion
+in pure-graph form; :mod:`repro.pregel` hosts the vertex-program
+version used by the distributed engine, and both must agree (tested).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.graph.sparse import SparseGraph
+
+__all__ = ["local_maximal_edges", "best_incident_edge"]
+
+#: An edge record ordered so max() picks higher weight, tie-broken by
+#: the canonical vertex pair (deterministic across runs).
+EdgeRecord = Tuple[float, int, int]
+
+
+def _record(u: int, v: int, w: float) -> EdgeRecord:
+    a, b = (u, v) if u < v else (v, u)
+    # Negate vertex ids so that, at equal weight, the lexicographically
+    # *smallest* canonical pair wins under max().
+    return (w, -a, -b)
+
+
+def _unrecord(rec: EdgeRecord) -> Tuple[int, int, float]:
+    w, na, nb = rec
+    return (-na, -nb, w)
+
+
+def best_incident_edge(graph: SparseGraph, v: int) -> Optional[EdgeRecord]:
+    """The strongest edge incident to ``v`` (deterministic ties)."""
+    best: Optional[EdgeRecord] = None
+    for u, w in graph.neighbors(v).items():
+        rec = _record(v, u, w)
+        if best is None or rec > best:
+            best = rec
+    return best
+
+
+def local_maximal_edges(
+    graph: SparseGraph, diffusion_rounds: int = 2
+) -> List[Tuple[int, int, float]]:
+    """Edges that survive ``diffusion_rounds`` rounds of max-diffusion.
+
+    Protocol (matching the paper's description):
+
+    1. every vertex computes the best edge incident to it;
+    2. for each round, every vertex adopts the best edge among its own
+       current belief and its neighbours' beliefs;
+    3. after the rounds, an edge (u, v) is *locally maximal* iff both
+       endpoints still believe in it.
+
+    Each vertex ends up in at most one returned edge, so all returned
+    edges can merge concurrently without conflicts. Returns canonical
+    (u, v, weight) triples sorted by vertex pair.
+    """
+    if diffusion_rounds < 1:
+        raise ValueError("diffusion_rounds must be >= 1")
+
+    belief: Dict[int, Optional[EdgeRecord]] = {
+        v: best_incident_edge(graph, v) for v in graph.vertices()
+    }
+    for _ in range(diffusion_rounds):
+        updated: Dict[int, Optional[EdgeRecord]] = {}
+        for v in graph.vertices():
+            best = belief[v]
+            for u in graph.neighbor_ids(v):
+                cand = belief[u]
+                if cand is not None and (best is None or cand > best):
+                    best = cand
+            updated[v] = best
+        belief = updated
+
+    result: Set[Tuple[int, int, float]] = set()
+    for v in graph.vertices():
+        rec = belief[v]
+        if rec is None:
+            continue
+        u, w_, weight = _unrecord(rec)
+        # v's belief names edge (u, w_). The edge is locally maximal iff
+        # both of its endpoints believe in it.
+        a, b = u, w_
+        if belief.get(a) == rec and belief.get(b) == rec:
+            result.add((a, b, weight))
+    return sorted(result)

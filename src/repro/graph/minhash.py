@@ -1,0 +1,177 @@
+"""MinHash + LSH candidate generation for query-set similarity.
+
+The entity-graph builder enumerates co-clicked pairs per query, which
+is exact but O(Σ d_q²) over query degrees — a hub query clicked with
+100k entities alone generates 5×10⁹ pairs. At the paper's scale
+(2×10⁸ entities) production systems bound this with locality-sensitive
+hashing: entities whose query sets are similar collide in at least one
+LSH band with high probability, and only colliding pairs are scored
+exactly.
+
+This module implements the standard MinHash signature + banded LSH
+scheme over the per-entity query sets (the ``Q_u`` of Eq. 1):
+
+* ``MinHasher`` — k independent universal-hash permutations;
+  ``P[minhash_i(A) == minhash_i(B)] = Jaccard(A, B)``;
+* ``estimate_jaccard`` — signature agreement rate;
+* ``LSHIndex`` — bands of r rows; collision probability
+  ``1 − (1 − s^r)^b`` (the classic S-curve in s = Jaccard).
+
+The bench compares exact vs LSH candidate generation on recall of true
+edges and candidate-count reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro._util import RngLike, check_positive, ensure_rng
+
+__all__ = ["MinHasher", "estimate_jaccard", "LSHIndex", "LSHConfig"]
+
+_MERSENNE_PRIME = (1 << 31) - 1  # fits a*x + b in int64 without overflow
+
+
+class MinHasher:
+    """k-permutation MinHash over integer item sets.
+
+    Uses the universal hash family ``h(x) = (a·x + b) mod p`` with
+    ``p = 2^31 − 1``; products stay below 2^62 so int64 arithmetic is
+    exact (overflow would silently bias the estimator). Deterministic
+    under ``seed``.
+    """
+
+    def __init__(self, n_hashes: int = 64, seed: RngLike = 0):
+        check_positive("n_hashes", n_hashes)
+        rng = ensure_rng(seed)
+        self._n = int(n_hashes)
+        self._a = rng.integers(1, _MERSENNE_PRIME, size=self._n, dtype=np.int64)
+        self._b = rng.integers(0, _MERSENNE_PRIME, size=self._n, dtype=np.int64)
+
+    @property
+    def n_hashes(self) -> int:
+        return self._n
+
+    def signature(self, items: Iterable[int]) -> np.ndarray:
+        """MinHash signature of an integer set (length ``n_hashes``).
+
+        Empty sets get an all-max signature that never collides with a
+        non-empty one.
+        """
+        xs = np.fromiter(
+            (int(x) % _MERSENNE_PRIME for x in items), dtype=np.int64
+        )
+        if xs.size == 0:
+            return np.full(self._n, np.iinfo(np.int64).max, dtype=np.int64)
+        # (n_hashes, |set|) hash table, min over the set axis.
+        hashed = (
+            self._a[:, None] * xs[None, :] + self._b[:, None]
+        ) % _MERSENNE_PRIME
+        return hashed.min(axis=1)
+
+
+def estimate_jaccard(sig_a: np.ndarray, sig_b: np.ndarray) -> float:
+    """Estimated Jaccard = fraction of agreeing signature positions."""
+    if sig_a.shape != sig_b.shape:
+        raise ValueError("signatures must have the same length")
+    if sig_a.size == 0:
+        return 0.0
+    return float(np.mean(sig_a == sig_b))
+
+
+@dataclass(frozen=True)
+class LSHConfig:
+    """Banding parameters: ``bands × rows_per_band`` hash functions.
+
+    The collision S-curve is ``1 − (1 − s^rows)^bands``; defaults put
+    the 50 %-collision threshold near Jaccard ≈ 0.3, matching the
+    entity-graph pruning threshold.
+    """
+
+    bands: int = 16
+    rows_per_band: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("bands", self.bands)
+        check_positive("rows_per_band", self.rows_per_band)
+
+    @property
+    def n_hashes(self) -> int:
+        return self.bands * self.rows_per_band
+
+    def collision_probability(self, jaccard: float) -> float:
+        """Theoretical P[candidate] at a given true Jaccard."""
+        return 1.0 - (1.0 - jaccard ** self.rows_per_band) ** self.bands
+
+
+class LSHIndex:
+    """Banded MinHash LSH over entity query sets."""
+
+    def __init__(self, config: LSHConfig = LSHConfig()):
+        self._config = config
+        self._hasher = MinHasher(config.n_hashes, seed=config.seed)
+        self._signatures: Dict[int, np.ndarray] = {}
+        self._buckets: List[Dict[bytes, List[int]]] = [
+            {} for _ in range(config.bands)
+        ]
+
+    @property
+    def config(self) -> LSHConfig:
+        return self._config
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    # -- building ------------------------------------------------------------
+
+    def add(self, entity_id: int, query_ids: Iterable[int]) -> None:
+        """Index one entity's query set."""
+        if entity_id in self._signatures:
+            raise ValueError(f"entity {entity_id} already indexed")
+        sig = self._hasher.signature(query_ids)
+        self._signatures[entity_id] = sig
+        r = self._config.rows_per_band
+        for band in range(self._config.bands):
+            key = sig[band * r : (band + 1) * r].tobytes()
+            self._buckets[band].setdefault(key, []).append(entity_id)
+
+    def add_all(self, query_sets: Dict[int, FrozenSet[int]]) -> None:
+        for entity_id in sorted(query_sets):
+            self.add(entity_id, query_sets[entity_id])
+
+    # -- querying ------------------------------------------------------------
+
+    def signature_of(self, entity_id: int) -> np.ndarray:
+        return self._signatures[entity_id].copy()
+
+    def estimate(self, a: int, b: int) -> float:
+        """Estimated Jaccard between two indexed entities."""
+        return estimate_jaccard(self._signatures[a], self._signatures[b])
+
+    def candidates_of(self, entity_id: int) -> Set[int]:
+        """Entities sharing at least one LSH bucket with ``entity_id``."""
+        sig = self._signatures[entity_id]
+        r = self._config.rows_per_band
+        out: Set[int] = set()
+        for band in range(self._config.bands):
+            key = sig[band * r : (band + 1) * r].tobytes()
+            out.update(self._buckets[band].get(key, ()))
+        out.discard(entity_id)
+        return out
+
+    def candidate_pairs(self) -> Set[Tuple[int, int]]:
+        """All candidate pairs (a < b) across every bucket."""
+        pairs: Set[Tuple[int, int]] = set()
+        for band in self._buckets:
+            for members in band.values():
+                if len(members) < 2:
+                    continue
+                ms = sorted(members)
+                for i in range(len(ms)):
+                    for j in range(i + 1, len(ms)):
+                        pairs.add((ms[i], ms[j]))
+        return pairs

@@ -1,0 +1,47 @@
+"""Vertex-centric BSP engine (stand-in for Alibaba's ODPS graph platform).
+
+The paper deploys Parallel HAC "on the Alibaba distributed graph
+platform (ODPS)". We cannot use ODPS; instead we implement a small
+Pregel-style Bulk Synchronous Parallel engine with the same programming
+model: vertex programs run in supersteps, exchange messages routed by a
+hash partitioner across simulated workers, and halt by mutual vote.
+Aggregators provide global reductions (e.g. "any merge happened this
+round?"), and per-worker statistics expose the communication volume the
+scalability bench (E4) reports.
+
+Running the engine in-process keeps benches deterministic; the worker
+abstraction still measures the quantities that matter for the paper's
+scalability story: supersteps, messages per superstep, and the maximum
+per-worker load (the critical path of a real distributed round).
+"""
+
+from repro.pregel.vertex import Vertex, VertexContext
+from repro.pregel.messages import MessageRouter, combine_max, combine_sum
+from repro.pregel.partition import HashPartitioner
+from repro.pregel.aggregators import Aggregator, MaxAggregator, SumAggregator, OrAggregator
+from repro.pregel.engine import PregelEngine, PregelConfig, SuperstepStats, PregelRunResult
+from repro.pregel.algorithms import (
+    pregel_connected_components,
+    pregel_degrees,
+    pregel_pagerank,
+)
+
+__all__ = [
+    "Vertex",
+    "VertexContext",
+    "MessageRouter",
+    "combine_max",
+    "combine_sum",
+    "HashPartitioner",
+    "Aggregator",
+    "MaxAggregator",
+    "SumAggregator",
+    "OrAggregator",
+    "PregelEngine",
+    "PregelConfig",
+    "SuperstepStats",
+    "PregelRunResult",
+    "pregel_connected_components",
+    "pregel_pagerank",
+    "pregel_degrees",
+]

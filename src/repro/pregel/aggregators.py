@@ -1,0 +1,78 @@
+"""Global aggregators for the BSP engine.
+
+Aggregators give vertex programs a global reduction channel: values
+contributed during superstep *s* are reduced and visible to every
+vertex at superstep *s+1*. Parallel HAC uses an :class:`OrAggregator`
+("did any merge happen this round?") to decide termination, and the
+benches use :class:`SumAggregator` to count merges per round.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Aggregator", "MaxAggregator", "SumAggregator", "OrAggregator"]
+
+
+class Aggregator(Generic[T]):
+    """Base aggregator: accumulate values, expose the reduction.
+
+    Subclasses define the identity element and the binary reduce.
+    The engine calls ``reset`` at each superstep boundary after
+    snapshotting the reduced value.
+    """
+
+    def __init__(self):
+        self._value: T = self.identity()
+
+    def identity(self) -> T:
+        raise NotImplementedError
+
+    def reduce(self, a: T, b: T) -> T:
+        raise NotImplementedError
+
+    def accumulate(self, value: T) -> None:
+        self._value = self.reduce(self._value, value)
+
+    @property
+    def value(self) -> T:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = self.identity()
+
+
+class MaxAggregator(Aggregator):
+    """Global maximum; identity is ``None`` (no contribution yet)."""
+
+    def identity(self):
+        return None
+
+    def reduce(self, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return max(a, b)
+
+
+class SumAggregator(Aggregator):
+    """Global sum of numeric contributions."""
+
+    def identity(self):
+        return 0
+
+    def reduce(self, a, b):
+        return a + b
+
+
+class OrAggregator(Aggregator):
+    """Global boolean OR; used as a 'work happened' flag."""
+
+    def identity(self):
+        return False
+
+    def reduce(self, a, b):
+        return bool(a) or bool(b)

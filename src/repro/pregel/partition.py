@@ -1,0 +1,58 @@
+"""Worker partitioning for the BSP engine.
+
+Vertices are assigned to simulated workers by a hash partitioner, as on
+real distributed graph platforms. Partitioning determines which
+messages are "remote" (cross-worker) — the quantity the scalability
+bench uses to model network cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from repro._util import check_positive
+
+__all__ = ["HashPartitioner"]
+
+
+def _stable_hash(key: Hashable) -> int:
+    """Deterministic hash across processes (``hash()`` for str is salted)."""
+    if isinstance(key, int):
+        # Avalanche the bits so consecutive ids spread across workers.
+        x = key & 0xFFFFFFFFFFFFFFFF
+        x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+        x = (x ^ (x >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+        return x ^ (x >> 31)
+    if isinstance(key, str):
+        h = 2166136261
+        for ch in key.encode("utf-8"):
+            h = ((h ^ ch) * 16777619) & 0xFFFFFFFF
+        return h
+    return hash(key) & 0xFFFFFFFFFFFFFFFF
+
+
+class HashPartitioner:
+    """Deterministic hash assignment of vertex ids to ``n_workers``."""
+
+    def __init__(self, n_workers: int):
+        check_positive("n_workers", n_workers)
+        self._n_workers = int(n_workers)
+
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    def worker_of(self, vertex_id: Hashable) -> int:
+        """Worker index in ``[0, n_workers)`` owning ``vertex_id``."""
+        return _stable_hash(vertex_id) % self._n_workers
+
+    def partition(self, vertex_ids: List[Hashable]) -> Dict[int, List[Hashable]]:
+        """Group ids by owning worker (all workers present in output)."""
+        groups: Dict[int, List[Hashable]] = {w: [] for w in range(self._n_workers)}
+        for vid in vertex_ids:
+            groups[self.worker_of(vid)].append(vid)
+        return groups
+
+    def is_remote(self, source_id: Hashable, target_id: Hashable) -> bool:
+        """True if a message between the two ids crosses workers."""
+        return self.worker_of(source_id) != self.worker_of(target_id)

@@ -1,0 +1,123 @@
+"""Vertex programming model for the BSP engine.
+
+A *vertex program* subclasses :class:`Vertex` and implements
+``compute(context, messages)``. During a superstep the engine calls
+``compute`` on every active vertex; through the :class:`VertexContext`
+the program can send messages, mutate its value, vote to halt, and read
+aggregator values from the previous superstep. The engine delivers
+messages at the start of the next superstep — classic Pregel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, List, Optional
+
+__all__ = ["Vertex", "VertexContext"]
+
+
+class Vertex:
+    """A stateful vertex owned by the engine.
+
+    ``vertex_id`` is any hashable id, ``value`` arbitrary mutable
+    state, ``edges`` a dict neighbour-id → edge value (weight).
+    """
+
+    __slots__ = ("vertex_id", "value", "edges", "active")
+
+    def __init__(
+        self,
+        vertex_id: Hashable,
+        value: Any = None,
+        edges: Optional[Dict[Hashable, Any]] = None,
+    ):
+        self.vertex_id = vertex_id
+        self.value = value
+        self.edges: Dict[Hashable, Any] = dict(edges or {})
+        self.active = True
+
+    def compute(self, ctx: "VertexContext", messages: List[Any]) -> None:
+        """Override in subclasses: one superstep of this vertex."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(id={self.vertex_id!r}, "
+            f"value={self.value!r}, degree={len(self.edges)}, "
+            f"active={self.active})"
+        )
+
+
+class VertexContext:
+    """Engine services exposed to a vertex during ``compute``.
+
+    The context is recreated per (vertex, superstep); sends and
+    aggregations are collected by the engine after ``compute`` returns.
+    """
+
+    __slots__ = (
+        "superstep",
+        "_vertex",
+        "_outbox",
+        "_aggregators_in",
+        "_aggregators_out",
+        "_removed_edges",
+    )
+
+    def __init__(
+        self,
+        superstep: int,
+        vertex: Vertex,
+        aggregators_in: Dict[str, Any],
+    ):
+        self.superstep = superstep
+        self._vertex = vertex
+        self._outbox: List[tuple] = []
+        self._aggregators_in = aggregators_in
+        self._aggregators_out: List[tuple] = []
+        self._removed_edges: List[Hashable] = []
+
+    # -- messaging ---------------------------------------------------------
+
+    def send(self, target_id: Hashable, message: Any) -> None:
+        """Queue ``message`` for delivery to ``target_id`` next superstep."""
+        self._outbox.append((target_id, message))
+
+    def send_to_neighbors(self, message: Any) -> None:
+        """Broadcast ``message`` along every outgoing edge."""
+        for nbr in self._vertex.edges:
+            self._outbox.append((nbr, message))
+
+    # -- state -------------------------------------------------------------
+
+    def vote_to_halt(self) -> None:
+        """Deactivate this vertex until a message re-activates it."""
+        self._vertex.active = False
+
+    def remove_edge(self, neighbor_id: Hashable) -> None:
+        """Schedule removal of the edge to ``neighbor_id`` (applied after
+        the superstep so iteration order never matters)."""
+        self._removed_edges.append(neighbor_id)
+
+    # -- aggregators ---------------------------------------------------------
+
+    def aggregate(self, name: str, value: Any) -> None:
+        """Contribute ``value`` to global aggregator ``name``."""
+        self._aggregators_out.append((name, value))
+
+    def aggregated(self, name: str, default: Any = None) -> Any:
+        """Read aggregator ``name`` as of the *previous* superstep."""
+        return self._aggregators_in.get(name, default)
+
+    # -- engine-side accessors (not for vertex programs) ----------------------
+
+    def drain_outbox(self) -> List[tuple]:
+        out, self._outbox = self._outbox, []
+        return out
+
+    def drain_aggregations(self) -> List[tuple]:
+        out, self._aggregators_out = self._aggregators_out, []
+        return out
+
+    def drain_removed_edges(self) -> List[Hashable]:
+        out, self._removed_edges = self._removed_edges, []
+        return out

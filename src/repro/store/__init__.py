@@ -1,0 +1,37 @@
+"""Lightweight storage layer.
+
+Production SHOAL reads a seven-day query-log window from distributed
+tables; this package provides the single-node equivalents:
+
+* :mod:`repro.store.tables` — typed, append-only columnar tables with
+  schema validation and simple filtering;
+* :mod:`repro.store.querylog` — a query-log store with per-day
+  segments and sliding-window retention (paper: last seven days);
+* :mod:`repro.store.persistence` — JSON serialisation of a fitted
+  taxonomy/model so a serving process can load without refitting.
+"""
+
+from repro.store.tables import Column, ColumnarTable, Schema
+from repro.store.querylog import QueryLogStore, QueryLogStoreConfig
+from repro.store.persistence import (
+    load_embeddings,
+    load_taxonomy,
+    save_embeddings,
+    save_taxonomy,
+    taxonomy_to_dict,
+    taxonomy_from_dict,
+)
+
+__all__ = [
+    "Column",
+    "Schema",
+    "ColumnarTable",
+    "QueryLogStore",
+    "QueryLogStoreConfig",
+    "save_taxonomy",
+    "load_taxonomy",
+    "save_embeddings",
+    "load_embeddings",
+    "taxonomy_to_dict",
+    "taxonomy_from_dict",
+]

@@ -1,0 +1,122 @@
+"""Model artifact persistence.
+
+A fitted taxonomy (and the word embeddings behind it) are the
+artifacts a serving fleet loads; refitting per process would be absurd
+at production scale. Taxonomies serialise to JSON (inspectable,
+dependency-free); embeddings to NPZ (binary, compact).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.core.taxonomy import Taxonomy, Topic
+from repro.text.vocab import Vocabulary, VocabularyBuildConfig
+from repro.text.word2vec import WordEmbeddings
+
+__all__ = [
+    "taxonomy_to_dict",
+    "taxonomy_from_dict",
+    "save_taxonomy",
+    "load_taxonomy",
+    "save_embeddings",
+    "load_embeddings",
+]
+
+_FORMAT_VERSION = 1
+
+
+def taxonomy_to_dict(taxonomy: Taxonomy) -> Dict:
+    """Serialise a taxonomy to plain dicts/lists."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "topics": [
+            {
+                "topic_id": t.topic_id,
+                "entity_ids": t.entity_ids,
+                "category_ids": t.category_ids,
+                "parent_id": t.parent_id,
+                "child_ids": t.child_ids,
+                "level": t.level,
+                "similarity": t.similarity,
+                "descriptions": t.descriptions,
+            }
+            for t in taxonomy
+        ],
+    }
+
+
+def taxonomy_from_dict(payload: Dict) -> Taxonomy:
+    """Inverse of :func:`taxonomy_to_dict`, with format validation."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported taxonomy format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    topics = [
+        Topic(
+            topic_id=t["topic_id"],
+            entity_ids=list(t["entity_ids"]),
+            category_ids=list(t["category_ids"]),
+            parent_id=t["parent_id"],
+            child_ids=list(t["child_ids"]),
+            level=t["level"],
+            similarity=t["similarity"],
+            descriptions=list(t["descriptions"]),
+        )
+        for t in payload.get("topics", [])
+    ]
+    return Taxonomy(topics)
+
+
+def save_taxonomy(taxonomy: Taxonomy, path: Union[str, Path]) -> None:
+    """Write a taxonomy to a JSON file."""
+    p = Path(path)
+    with p.open("w", encoding="utf-8") as f:
+        json.dump(taxonomy_to_dict(taxonomy), f, indent=1, sort_keys=True)
+
+
+def load_taxonomy(path: Union[str, Path]) -> Taxonomy:
+    """Load a taxonomy previously written by :func:`save_taxonomy`."""
+    p = Path(path)
+    with p.open("r", encoding="utf-8") as f:
+        payload = json.load(f)
+    return taxonomy_from_dict(payload)
+
+
+def save_embeddings(embeddings: WordEmbeddings, path: Union[str, Path]) -> None:
+    """Write trained word embeddings to a compressed NPZ file.
+
+    Stores the embedding matrix, the vocabulary's words/counts, and the
+    vocabulary-build parameters needed to rebuild its sampling tables.
+    """
+    vocab = embeddings.vocabulary
+    cfg = vocab.config
+    np.savez_compressed(
+        Path(path),
+        matrix=embeddings.matrix,
+        words=np.array(vocab.words, dtype=object),
+        counts=vocab.counts,
+        min_count=np.int64(cfg.min_count),
+        subsample_threshold=np.float64(cfg.subsample_threshold),
+        negative_sampling_power=np.float64(cfg.negative_sampling_power),
+    )
+
+
+def load_embeddings(path: Union[str, Path]) -> WordEmbeddings:
+    """Inverse of :func:`save_embeddings`."""
+    with np.load(Path(path), allow_pickle=True) as payload:
+        config = VocabularyBuildConfig(
+            min_count=int(payload["min_count"]),
+            subsample_threshold=float(payload["subsample_threshold"]),
+            negative_sampling_power=float(payload["negative_sampling_power"]),
+        )
+        vocab = Vocabulary(
+            [str(w) for w in payload["words"]], payload["counts"], config
+        )
+        return WordEmbeddings(vocab, payload["matrix"])

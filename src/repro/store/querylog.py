@@ -1,0 +1,161 @@
+"""Query-log store with per-day segments and sliding-window retention.
+
+Paper Sec. 3: SHOAL is built from "a sliding window containing search
+queries in the last seven days". This store models that operational
+reality: events append into per-day segments; a retention policy
+drops segments older than the window; reads produce a
+:class:`~repro.data.queries.QueryLog` over any day range so the
+pipeline can be re-run as the window slides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._util import check_positive
+from repro.data.queries import Query, QueryEvent, QueryLog
+from repro.store.tables import Column, ColumnarTable, Schema
+
+__all__ = ["QueryLogStoreConfig", "QueryLogStore"]
+
+_EVENT_SCHEMA = Schema(
+    [
+        Column("event_id", int),
+        Column("day", int),
+        Column("user_id", int),
+        Column("query_id", int),
+        Column("clicked", str),  # comma-joined entity ids
+    ]
+)
+
+
+@dataclass(frozen=True)
+class QueryLogStoreConfig:
+    """Retention policy: keep the last ``window_days`` day segments."""
+
+    window_days: int = 7
+
+    def __post_init__(self) -> None:
+        check_positive("window_days", self.window_days)
+
+
+class QueryLogStore:
+    """Day-segmented event store feeding the SHOAL pipeline."""
+
+    def __init__(self, config: QueryLogStoreConfig = QueryLogStoreConfig()):
+        self._config = config
+        self._segments: Dict[int, ColumnarTable] = {}
+        self._queries: Dict[int, Query] = {}
+        self._next_event_id = 0
+
+    @property
+    def config(self) -> QueryLogStoreConfig:
+        return self._config
+
+    # -- writes ----------------------------------------------------------------
+
+    def register_query(self, query: Query) -> None:
+        """Register a distinct query string (idempotent by id)."""
+        existing = self._queries.get(query.query_id)
+        if existing is not None and existing != query:
+            raise ValueError(f"conflicting redefinition of query {query.query_id}")
+        self._queries[query.query_id] = query
+
+    def append_event(
+        self,
+        day: int,
+        user_id: int,
+        query_id: int,
+        clicked_entity_ids: Sequence[int],
+    ) -> int:
+        """Append one search event; returns its event id.
+
+        Appending automatically applies retention: segments older than
+        ``day − window_days + 1`` are dropped, like a TTL'd table.
+        """
+        if day < 0:
+            raise ValueError("day must be >= 0")
+        if query_id not in self._queries:
+            raise KeyError(f"query {query_id} is not registered")
+        event_id = self._next_event_id
+        self._next_event_id += 1
+        segment = self._segments.setdefault(day, ColumnarTable(_EVENT_SCHEMA))
+        segment.append(
+            event_id=event_id,
+            day=day,
+            user_id=user_id,
+            query_id=query_id,
+            clicked=",".join(str(e) for e in clicked_entity_ids),
+        )
+        self._apply_retention(day)
+        return event_id
+
+    def ingest(self, log: QueryLog) -> int:
+        """Bulk-load a generated :class:`QueryLog`; returns event count."""
+        for q in log.queries:
+            self.register_query(q)
+        n = 0
+        for e in log.events:
+            self.append_event(e.day, e.user_id, e.query_id, e.clicked_entity_ids)
+            n += 1
+        return n
+
+    def _apply_retention(self, latest_day: int) -> None:
+        cutoff = latest_day - self._config.window_days + 1
+        for day in [d for d in self._segments if d < cutoff]:
+            del self._segments[day]
+
+    # -- reads -----------------------------------------------------------------
+
+    def days(self) -> List[int]:
+        """Days that still have a live segment."""
+        return sorted(self._segments)
+
+    def n_events(self) -> int:
+        return sum(len(seg) for seg in self._segments.values())
+
+    def n_queries(self) -> int:
+        return len(self._queries)
+
+    def segment_sizes(self) -> Dict[int, int]:
+        return {d: len(seg) for d, seg in sorted(self._segments.items())}
+
+    def snapshot(
+        self,
+        first_day: Optional[int] = None,
+        last_day: Optional[int] = None,
+    ) -> QueryLog:
+        """Materialise a :class:`QueryLog` over retained segments.
+
+        Defaults to the full retained window. Events keep their
+        original ids; days outside retention are silently absent (they
+        were dropped, as in production).
+        """
+        days = self.days()
+        if not days:
+            return QueryLog(list(self._queries.values()), [])
+        lo = first_day if first_day is not None else days[0]
+        hi = last_day if last_day is not None else days[-1]
+        events: List[QueryEvent] = []
+        for day in days:
+            if not lo <= day <= hi:
+                continue
+            seg = self._segments[day]
+            for i in range(len(seg)):
+                row = seg.row(i)
+                clicked = tuple(
+                    int(x) for x in row["clicked"].split(",") if x
+                )
+                events.append(
+                    QueryEvent(
+                        event_id=row["event_id"],
+                        day=row["day"],
+                        user_id=row["user_id"],
+                        query_id=row["query_id"],
+                        clicked_entity_ids=clicked,
+                    )
+                )
+        events.sort(key=lambda e: e.event_id)
+        queries = sorted(self._queries.values(), key=lambda q: q.query_id)
+        return QueryLog(queries, events)

@@ -1,0 +1,164 @@
+"""Typed columnar tables.
+
+A minimal column store used by the query-log store: append-only rows
+validated against a schema, columns materialised as Python lists (numpy
+arrays on demand), with filter/select helpers. Deliberately simple —
+the point is a clean storage abstraction under the log store, not a
+database engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+__all__ = ["Column", "Schema", "ColumnarTable"]
+
+_TYPE_NAMES = {int: "int", float: "float", str: "str", bool: "bool"}
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: a name and a Python type (int, float, str, bool)."""
+
+    name: str
+    dtype: Type
+
+    def __post_init__(self) -> None:
+        if self.dtype not in _TYPE_NAMES:
+            raise ValueError(
+                f"unsupported dtype {self.dtype!r}; use one of {list(_TYPE_NAMES)}"
+            )
+        if not self.name or not self.name.isidentifier():
+            raise ValueError(f"column name must be an identifier, got {self.name!r}")
+
+
+class Schema:
+    """Ordered, named, typed columns."""
+
+    def __init__(self, columns: Sequence[Column]):
+        if not columns:
+            raise ValueError("a schema needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate column names")
+        self._columns = list(columns)
+        self._by_name = {c.name: c for c in columns}
+
+    @property
+    def columns(self) -> List[Column]:
+        return list(self._columns)
+
+    @property
+    def names(self) -> List[str]:
+        return [c.name for c in self._columns]
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def column(self, name: str) -> Column:
+        return self._by_name[name]
+
+    def validate_row(self, row: Dict[str, Any]) -> Tuple:
+        """Check types/completeness; return the row as a tuple in
+        schema order. bool is not accepted where int is declared."""
+        if set(row) != set(self._by_name):
+            missing = set(self._by_name) - set(row)
+            extra = set(row) - set(self._by_name)
+            raise ValueError(f"row mismatch: missing={sorted(missing)}, extra={sorted(extra)}")
+        values = []
+        for col in self._columns:
+            v = row[col.name]
+            if col.dtype is int and isinstance(v, bool):
+                raise TypeError(f"column {col.name!r}: bool is not int")
+            if col.dtype is float and isinstance(v, int) and not isinstance(v, bool):
+                v = float(v)  # int upcasts into float columns
+            if not isinstance(v, col.dtype):
+                raise TypeError(
+                    f"column {col.name!r} expects {_TYPE_NAMES[col.dtype]}, "
+                    f"got {type(v).__name__}"
+                )
+            values.append(v)
+        return tuple(values)
+
+
+class ColumnarTable:
+    """Append-only table storing one list per column."""
+
+    def __init__(self, schema: Schema):
+        self._schema = schema
+        self._columns: Dict[str, List[Any]] = {name: [] for name in schema.names}
+        self._n_rows = 0
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    # -- writes ------------------------------------------------------------
+
+    def append(self, **row: Any) -> None:
+        """Append one validated row."""
+        values = self._schema.validate_row(row)
+        for name, v in zip(self._schema.names, values):
+            self._columns[name].append(v)
+        self._n_rows += 1
+
+    def extend(self, rows: Iterable[Dict[str, Any]]) -> int:
+        """Append many rows; returns how many were added."""
+        n = 0
+        for row in rows:
+            self.append(**row)
+            n += 1
+        return n
+
+    # -- reads ---------------------------------------------------------------
+
+    def column(self, name: str) -> List[Any]:
+        """A copy of one column's values."""
+        return list(self._columns[name])
+
+    def column_array(self, name: str) -> np.ndarray:
+        """A column as a numpy array (object dtype for str)."""
+        col = self._schema.column(name)
+        dtype = {int: np.int64, float: np.float64, bool: np.bool_, str: object}[col.dtype]
+        return np.array(self._columns[name], dtype=dtype)
+
+    def row(self, index: int) -> Dict[str, Any]:
+        if not 0 <= index < self._n_rows:
+            raise IndexError(f"row {index} out of range")
+        return {name: self._columns[name][index] for name in self._schema.names}
+
+    def rows(self) -> List[Dict[str, Any]]:
+        return [self.row(i) for i in range(self._n_rows)]
+
+    def filter(self, predicate: Callable[[Dict[str, Any]], bool]) -> "ColumnarTable":
+        """A new table with rows satisfying ``predicate``."""
+        out = ColumnarTable(self._schema)
+        for i in range(self._n_rows):
+            row = self.row(i)
+            if predicate(row):
+                out.append(**row)
+        return out
+
+    def select(self, names: Sequence[str]) -> "ColumnarTable":
+        """A new table with only the named columns (in given order)."""
+        schema = Schema([self._schema.column(n) for n in names])
+        out = ColumnarTable(schema)
+        for i in range(self._n_rows):
+            out.append(**{n: self._columns[n][i] for n in names})
+        return out
+
+    def group_count(self, name: str) -> Dict[Any, int]:
+        """Value → row count for one column."""
+        counts: Dict[Any, int] = {}
+        for v in self._columns[name]:
+            counts[v] = counts.get(v, 0) + 1
+        return counts

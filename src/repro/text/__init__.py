@@ -1,0 +1,35 @@
+"""Text/NLP substrate.
+
+Implements from scratch the pieces of NLP machinery the paper relies
+on: title segmentation (tokenisation), a corpus vocabulary with
+min-count filtering and frequency downsampling, skip-gram word2vec with
+negative sampling (pure numpy — no gensim in this environment), a BM25
+scorer for the concentration score of paper Sec. 2.3, and embedding
+similarity helpers implementing the shifted-cosine kernel of Eq. 2.
+"""
+
+from repro.text.tokenizer import Tokenizer, TokenizerConfig
+from repro.text.vocab import Vocabulary, VocabularyBuildConfig, build_vocabulary
+from repro.text.word2vec import Word2Vec, Word2VecConfig, WordEmbeddings
+from repro.text.bm25 import BM25, BM25Config
+from repro.text.similarity import (
+    mean_pairwise_shifted_cosine,
+    shifted_cosine,
+    entity_embedding,
+)
+
+__all__ = [
+    "Tokenizer",
+    "TokenizerConfig",
+    "Vocabulary",
+    "VocabularyBuildConfig",
+    "build_vocabulary",
+    "Word2Vec",
+    "Word2VecConfig",
+    "WordEmbeddings",
+    "BM25",
+    "BM25Config",
+    "shifted_cosine",
+    "mean_pairwise_shifted_cosine",
+    "entity_embedding",
+]

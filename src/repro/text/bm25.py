@@ -1,0 +1,112 @@
+"""BM25 (Okapi) relevance scorer.
+
+Paper Sec. 2.3 defines the concentration of a query for a topic via
+``rel(q, D_k)``, "the BM25 relevance of query q to D_k", where ``D_k``
+is the pseudo-document made by concatenating every item title in topic
+``t_k``. This module provides a standard, from-scratch Okapi BM25 over
+tokenised documents.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro._util import check_positive
+
+__all__ = ["BM25Config", "BM25"]
+
+
+@dataclass(frozen=True)
+class BM25Config:
+    """Okapi BM25 parameters (classic defaults)."""
+
+    k1: float = 1.5
+    b: float = 0.75
+
+    def __post_init__(self) -> None:
+        check_positive("k1", self.k1)
+        if not 0.0 <= self.b <= 1.0:
+            raise ValueError(f"b must be in [0, 1], got {self.b!r}")
+
+
+class BM25:
+    """Okapi BM25 index over a fixed collection of tokenised documents.
+
+    IDF uses the standard smoothed formulation
+    ``log(1 + (N - df + 0.5) / (df + 0.5))`` which is always positive,
+    avoiding the negative-IDF pathology for very common terms.
+    """
+
+    def __init__(
+        self,
+        documents: Sequence[Sequence[str]],
+        config: BM25Config = BM25Config(),
+    ):
+        self._config = config
+        self._doc_freqs: List[Dict[str, int]] = []
+        self._doc_lengths: List[int] = []
+        df: Dict[str, int] = {}
+        for doc in documents:
+            tf: Dict[str, int] = {}
+            for tok in doc:
+                tf[tok] = tf.get(tok, 0) + 1
+            self._doc_freqs.append(tf)
+            self._doc_lengths.append(len(doc))
+            for tok in tf:
+                df[tok] = df.get(tok, 0) + 1
+        n = len(self._doc_freqs)
+        self._n_docs = n
+        self._avg_len = (sum(self._doc_lengths) / n) if n else 0.0
+        self._idf: Dict[str, float] = {
+            tok: math.log(1.0 + (n - d + 0.5) / (d + 0.5)) for tok, d in df.items()
+        }
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def n_documents(self) -> int:
+        return self._n_docs
+
+    @property
+    def average_document_length(self) -> float:
+        return self._avg_len
+
+    def idf(self, token: str) -> float:
+        """Smoothed IDF of a token (0.0 for unseen tokens)."""
+        return self._idf.get(token, 0.0)
+
+    # -- scoring --------------------------------------------------------------
+
+    def score(self, query_tokens: Sequence[str], doc_index: int) -> float:
+        """BM25 relevance of the query to document ``doc_index``."""
+        if not 0 <= doc_index < self._n_docs:
+            raise IndexError(f"doc_index {doc_index} out of range")
+        if self._avg_len == 0:
+            return 0.0
+        cfg = self._config
+        tf = self._doc_freqs[doc_index]
+        dl = self._doc_lengths[doc_index]
+        norm = cfg.k1 * (1.0 - cfg.b + cfg.b * dl / self._avg_len)
+        total = 0.0
+        for tok in query_tokens:
+            f = tf.get(tok, 0)
+            if f == 0:
+                continue
+            total += self._idf.get(tok, 0.0) * (f * (cfg.k1 + 1.0)) / (f + norm)
+        return total
+
+    def scores(self, query_tokens: Sequence[str]) -> np.ndarray:
+        """BM25 relevance of the query to every document."""
+        return np.array(
+            [self.score(query_tokens, i) for i in range(self._n_docs)], dtype=float
+        )
+
+    def top_k(self, query_tokens: Sequence[str], k: int = 10) -> List[tuple]:
+        """Top-``k`` (doc_index, score) pairs by descending relevance."""
+        s = self.scores(query_tokens)
+        order = np.argsort(s)[::-1][: max(0, k)]
+        return [(int(i), float(s[i])) for i in order if s[i] > 0.0]

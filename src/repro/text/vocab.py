@@ -1,0 +1,141 @@
+"""Corpus vocabulary with min-count filtering and subsampling tables.
+
+Shared by the word2vec trainer and BM25 scorer: maps tokens to dense
+ids, tracks frequencies, and precomputes the unigram^0.75 negative-
+sampling distribution and frequency-downsampling keep-probabilities
+from the original word2vec paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro._util import check_positive
+
+__all__ = ["VocabularyBuildConfig", "Vocabulary", "build_vocabulary"]
+
+
+@dataclass(frozen=True)
+class VocabularyBuildConfig:
+    """Vocabulary construction parameters."""
+
+    min_count: int = 1
+    subsample_threshold: float = 1e-3
+    negative_sampling_power: float = 0.75
+
+    def __post_init__(self) -> None:
+        check_positive("min_count", self.min_count)
+        check_positive("subsample_threshold", self.subsample_threshold)
+        check_positive("negative_sampling_power", self.negative_sampling_power, allow_zero=True)
+
+
+class Vocabulary:
+    """Token ↔ dense-id mapping with frequency statistics."""
+
+    def __init__(
+        self,
+        words: List[str],
+        counts: np.ndarray,
+        config: VocabularyBuildConfig,
+    ):
+        if len(words) != len(counts):
+            raise ValueError("words and counts must align")
+        self._words = list(words)
+        self._counts = np.asarray(counts, dtype=np.int64)
+        self._index: Dict[str, int] = {w: i for i, w in enumerate(self._words)}
+        if len(self._index) != len(self._words):
+            raise ValueError("duplicate words in vocabulary")
+        self._config = config
+        total = float(self._counts.sum())
+        freq = self._counts / total if total > 0 else np.zeros_like(self._counts, dtype=float)
+        # Mikolov et al. subsampling: keep probability per word.
+        t = config.subsample_threshold
+        with np.errstate(divide="ignore", invalid="ignore"):
+            keep = np.sqrt(t / np.maximum(freq, 1e-12)) + t / np.maximum(freq, 1e-12)
+        self._keep_prob = np.minimum(keep, 1.0)
+        # Unigram^power negative sampling distribution.
+        ns = self._counts.astype(float) ** config.negative_sampling_power
+        ns_sum = ns.sum()
+        self._neg_dist = ns / ns_sum if ns_sum > 0 else ns
+
+    # -- basic mapping -----------------------------------------------------
+
+    @property
+    def config(self) -> VocabularyBuildConfig:
+        """The build parameters (needed to persist/rebuild the tables)."""
+        return self._config
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._index
+
+    def id_of(self, word: str) -> int:
+        """Dense id of ``word`` (KeyError if out of vocabulary)."""
+        return self._index[word]
+
+    def get(self, word: str, default: int = -1) -> int:
+        return self._index.get(word, default)
+
+    def word_of(self, word_id: int) -> str:
+        return self._words[word_id]
+
+    @property
+    def words(self) -> List[str]:
+        return list(self._words)
+
+    def count_of(self, word: str) -> int:
+        return int(self._counts[self._index[word]])
+
+    @property
+    def counts(self) -> np.ndarray:
+        return self._counts.copy()
+
+    @property
+    def total_tokens(self) -> int:
+        return int(self._counts.sum())
+
+    # -- training tables -----------------------------------------------------
+
+    @property
+    def keep_probabilities(self) -> np.ndarray:
+        """Per-word subsampling keep probability (1.0 = always keep)."""
+        return self._keep_prob.copy()
+
+    @property
+    def negative_sampling_distribution(self) -> np.ndarray:
+        """Unigram^0.75 distribution for drawing negative samples."""
+        return self._neg_dist.copy()
+
+    def encode(self, tokens: Sequence[str]) -> List[int]:
+        """Map tokens to ids, silently dropping out-of-vocabulary ones."""
+        idx = self._index
+        return [idx[t] for t in tokens if t in idx]
+
+    def encode_corpus(self, token_docs: Iterable[Sequence[str]]) -> List[List[int]]:
+        return [self.encode(doc) for doc in token_docs]
+
+
+def build_vocabulary(
+    token_docs: Iterable[Sequence[str]],
+    config: VocabularyBuildConfig = VocabularyBuildConfig(),
+) -> Vocabulary:
+    """Count tokens over a tokenised corpus and build the vocabulary.
+
+    Words with frequency below ``min_count`` are dropped. Word ids are
+    assigned by descending frequency (ties broken alphabetically) so
+    id 0 is always the most frequent token — convenient for debugging.
+    """
+    raw: Dict[str, int] = {}
+    for doc in token_docs:
+        for tok in doc:
+            raw[tok] = raw.get(tok, 0) + 1
+    kept = [(w, c) for w, c in raw.items() if c >= config.min_count]
+    kept.sort(key=lambda wc: (-wc[1], wc[0]))
+    words = [w for w, _ in kept]
+    counts = np.array([c for _, c in kept], dtype=np.int64)
+    return Vocabulary(words, counts, config)

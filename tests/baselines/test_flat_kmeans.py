@@ -1,0 +1,77 @@
+"""Tests for repro.baselines.flat_kmeans (spherical k-means)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.flat_kmeans import SphericalKMeans, SphericalKMeansConfig
+
+
+def blobs(k=3, per=30, dim=8, seed=0):
+    """k well-separated direction clusters on the sphere."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(k, dim))
+    centers /= np.linalg.norm(centers, axis=1, keepdims=True)
+    x, labels = [], []
+    for c in range(k):
+        pts = centers[c] + 0.1 * rng.normal(size=(per, dim))
+        x.append(pts)
+        labels.extend([c] * per)
+    return np.vstack(x), np.array(labels)
+
+
+class TestClustering:
+    def test_recovers_blobs(self):
+        x, truth = blobs()
+        labels = SphericalKMeans(SphericalKMeansConfig(n_clusters=3, seed=0)).fit_predict(x)
+        # Every predicted cluster should be pure in one truth label.
+        for c in np.unique(labels):
+            members = truth[labels == c]
+            counts = np.bincount(members, minlength=3)
+            assert counts.max() / counts.sum() > 0.95
+
+    def test_label_range(self):
+        x, _ = blobs()
+        labels = SphericalKMeans(SphericalKMeansConfig(n_clusters=4, seed=1)).fit_predict(x)
+        assert labels.min() >= 0
+        assert labels.max() < 4
+
+    def test_deterministic(self):
+        x, _ = blobs()
+        cfg = SphericalKMeansConfig(n_clusters=3, seed=5)
+        a = SphericalKMeans(cfg).fit_predict(x)
+        b = SphericalKMeans(cfg).fit_predict(x)
+        assert (a == b).all()
+
+    def test_fewer_points_than_clusters(self):
+        x = np.eye(3)
+        labels = SphericalKMeans(SphericalKMeansConfig(n_clusters=10, seed=0)).fit_predict(x)
+        assert len(set(labels.tolist())) == 3
+
+    def test_empty_input(self):
+        labels = SphericalKMeans().fit_predict(np.zeros((0, 4)))
+        assert len(labels) == 0
+
+    def test_centroids_unit_norm(self):
+        x, _ = blobs()
+        km = SphericalKMeans(SphericalKMeansConfig(n_clusters=3, seed=0))
+        km.fit_predict(x)
+        norms = np.linalg.norm(km.centroids, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_centroids_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            SphericalKMeans().centroids
+
+    def test_identical_points(self):
+        """All-same input must not crash on empty-cluster reseeding."""
+        x = np.tile(np.array([1.0, 0.0]), (20, 1))
+        labels = SphericalKMeans(SphericalKMeansConfig(n_clusters=3, seed=0)).fit_predict(x)
+        assert len(labels) == 20
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SphericalKMeansConfig(n_clusters=0)
+        with pytest.raises(ValueError):
+            SphericalKMeansConfig(max_iterations=0)

@@ -1,0 +1,93 @@
+"""Tests for repro.baselines.ontology_rec (the A/B control arm)."""
+
+import pytest
+
+from repro.baselines.ontology_rec import OntologyRecommender, OntologyRecommenderConfig
+
+
+@pytest.fixture(scope="module")
+def recommender(tiny_marketplace):
+    return OntologyRecommender(
+        tiny_marketplace.ontology,
+        tiny_marketplace.catalog,
+        OntologyRecommenderConfig(slate_size=8),
+    )
+
+
+class TestBestCategory:
+    def test_category_query_finds_its_category(self, recommender, tiny_marketplace):
+        """A category-intent query that matches any stocked inventory
+        must match its own category (vocabulary is category-unique).
+        Queries using nouns no stocked entity carries return None —
+        out-of-stock searches, a realistic miss, excluded here."""
+        hits = 0
+        total = 0
+        for q in tiny_marketplace.query_log.queries:
+            if q.intent_kind != "category":
+                continue
+            best = recommender.best_category(q.text)
+            if best is None:
+                continue
+            total += 1
+            if best == q.intent_id:
+                hits += 1
+        assert total > 10
+        assert hits / total > 0.95
+
+    def test_empty_query(self, recommender):
+        assert recommender.best_category("") is None
+
+    def test_unknown_tokens(self, recommender):
+        assert recommender.best_category("zzzz qqqq") is None
+
+
+class TestRecommend:
+    def test_slate_from_matched_category_first(self, recommender, tiny_marketplace):
+        q = next(
+            q for q in tiny_marketplace.query_log.queries
+            if q.intent_kind == "category"
+            and recommender.best_category(q.text) is not None
+        )
+        slate = recommender.recommend(0, q.text)
+        assert slate
+        assert len(slate) <= 8
+        cid = recommender.best_category(q.text)
+        in_cat = set(tiny_marketplace.catalog.entities_in_category(cid))
+        # The head of the slate comes from the matched category.
+        head = [e for e in slate if e in in_cat]
+        assert head == slate[: len(head)]
+
+    def test_padding_from_siblings(self, tiny_marketplace):
+        """If the matched category is small, siblings pad the slate."""
+        rec = OntologyRecommender(
+            tiny_marketplace.ontology,
+            tiny_marketplace.catalog,
+            OntologyRecommenderConfig(slate_size=50),
+        )
+        q = next(
+            q for q in tiny_marketplace.query_log.queries
+            if q.intent_kind == "category"
+        )
+        cid = rec.best_category(q.text)
+        own = tiny_marketplace.catalog.entities_in_category(cid)
+        slate = rec.recommend(0, q.text)
+        if len(own) < 50:
+            assert len(slate) > len(own) or len(slate) == len(own)
+
+    def test_no_duplicates(self, recommender, tiny_marketplace):
+        for q in tiny_marketplace.query_log.queries[:20]:
+            slate = recommender.recommend(0, q.text)
+            assert len(slate) == len(set(slate))
+
+    def test_garbage_query_empty(self, recommender):
+        assert recommender.recommend(0, "zzzz") == []
+
+    def test_user_id_ignored(self, recommender, tiny_marketplace):
+        q = tiny_marketplace.query_log.queries[0]
+        assert recommender.recommend(0, q.text) == recommender.recommend(99, q.text)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OntologyRecommenderConfig(slate_size=0)

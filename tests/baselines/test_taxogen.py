@@ -1,0 +1,93 @@
+"""Tests for repro.baselines.taxogen (recursive clustering baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.taxogen import TaxoGenBaseline, TaxoGenConfig
+from repro.text.word2vec import Word2Vec, Word2VecConfig
+
+
+@pytest.fixture(scope="module")
+def world():
+    """Embeddings + titles with two clear content clusters."""
+    rng = np.random.default_rng(0)
+    beach_words = [f"bw{i}" for i in range(8)]
+    snow_words = [f"sw{i}" for i in range(8)]
+    docs = []
+    for _ in range(300):
+        pool = beach_words if rng.random() < 0.5 else snow_words
+        docs.append([pool[int(i)] for i in rng.integers(0, 8, size=5)])
+    emb = Word2Vec(Word2VecConfig(dim=12, epochs=15, seed=0)).fit(docs)
+    titles = {}
+    truth = {}
+    for e in range(40):
+        pool = beach_words if e < 20 else snow_words
+        idx = rng.integers(0, 8, size=3)
+        titles[e] = " ".join(pool[int(i)] for i in idx)
+        truth[e] = 0 if e < 20 else 1
+    return emb, titles, truth
+
+
+class TestFit:
+    def test_root_holds_everything(self, world):
+        emb, titles, _ = world
+        tg = TaxoGenBaseline(TaxoGenConfig(branch_factor=2, max_depth=1, seed=0))
+        tg.fit(emb, titles)
+        assert tg.root().size == len(titles)
+
+    def test_children_partition_parent(self, world):
+        emb, titles, _ = world
+        tg = TaxoGenBaseline(TaxoGenConfig(branch_factor=2, max_depth=2, seed=0))
+        tg.fit(emb, titles)
+        for node in tg.nodes():
+            if node.child_ids:
+                child_entities = []
+                for c in node.child_ids:
+                    child_entities.extend(tg.node(c).entity_ids)
+                assert sorted(child_entities) != []
+                assert set(child_entities) <= set(node.entity_ids)
+
+    def test_recovers_content_clusters(self, world):
+        emb, titles, truth = world
+        tg = TaxoGenBaseline(
+            TaxoGenConfig(branch_factor=2, max_depth=1, min_cluster_size=5, seed=0)
+        )
+        tg.fit(emb, titles)
+        labels = tg.top_level_partition()
+        from repro.eval.metrics import normalized_mutual_information
+
+        assert normalized_mutual_information(labels, truth) > 0.8
+
+    def test_max_depth_respected(self, world):
+        emb, titles, _ = world
+        tg = TaxoGenBaseline(TaxoGenConfig(max_depth=1, seed=0)).fit(emb, titles)
+        assert all(n.depth <= 1 for n in tg.nodes())
+
+    def test_min_cluster_size_stops_splitting(self, world):
+        emb, titles, _ = world
+        tg = TaxoGenBaseline(
+            TaxoGenConfig(min_cluster_size=100, max_depth=3, seed=0)
+        ).fit(emb, titles)
+        assert tg.root().child_ids == []  # 40 < 2*100: no split
+
+    def test_leaf_partition_covers_all(self, world):
+        emb, titles, _ = world
+        tg = TaxoGenBaseline(TaxoGenConfig(seed=0)).fit(emb, titles)
+        labels = tg.leaf_partition()
+        assert set(labels) == set(titles)
+
+    def test_refit_resets_state(self, world):
+        emb, titles, _ = world
+        tg = TaxoGenBaseline(TaxoGenConfig(seed=0))
+        tg.fit(emb, titles)
+        first = len(tg.nodes())
+        tg.fit(emb, titles)
+        assert len(tg.nodes()) == first
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaxoGenConfig(branch_factor=0)
+        with pytest.raises(ValueError):
+            TaxoGenConfig(min_cluster_size=0)

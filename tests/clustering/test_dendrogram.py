@@ -1,0 +1,113 @@
+"""Tests for repro.clustering.dendrogram (merge forest)."""
+
+import pytest
+
+from repro.clustering.dendrogram import Dendrogram, Merge
+
+
+@pytest.fixture
+def forest() -> Dendrogram:
+    """Vertices 0..4; merges: (0,1)->5 @0.9, (5,2)->6 @0.5; 3,4 stay."""
+    d = Dendrogram([0, 1, 2, 3, 4])
+    d.record_merge(Merge(5, 0, 1, 0.9, 0))
+    d.record_merge(Merge(6, 5, 2, 0.5, 1))
+    return d
+
+
+class TestStructure:
+    def test_roots(self, forest):
+        assert forest.roots() == [3, 4, 6]
+
+    def test_internal_roots_exclude_leaves(self, forest):
+        assert forest.internal_roots() == [6]
+
+    def test_parent_child(self, forest):
+        assert forest.parent(0) == 5
+        assert forest.parent(5) == 6
+        assert forest.parent(6) is None
+        assert forest.children(6) == (5, 2)
+
+    def test_is_leaf(self, forest):
+        assert forest.is_leaf(3)
+        assert not forest.is_leaf(5)
+
+    def test_similarity_of(self, forest):
+        assert forest.similarity_of(5) == 0.9
+        assert forest.similarity_of(6) == 0.5
+
+    def test_leaves_under(self, forest):
+        assert forest.leaves_under(6) == [0, 1, 2]
+        assert forest.leaves_under(5) == [0, 1]
+        assert forest.leaves_under(3) == [3]
+
+    def test_subtopics_skips_leaves(self, forest):
+        assert forest.subtopics(6) == [5]
+        assert forest.subtopics(5) == []
+
+    def test_depth_and_height(self, forest):
+        assert forest.depth_of(0) == 2
+        assert forest.depth_of(2) == 1
+        assert forest.depth_of(3) == 0
+        assert forest.height() == 2
+
+    def test_empty_dendrogram_height(self):
+        assert Dendrogram([0, 1]).height() == 0
+
+    def test_unknown_node_raises(self, forest):
+        with pytest.raises(KeyError):
+            forest.leaves_under(99)
+
+
+class TestValidation:
+    def test_remerge_rejected(self, forest):
+        with pytest.raises(ValueError, match="already merged"):
+            forest.record_merge(Merge(7, 0, 3, 0.4, 2))
+
+    def test_unknown_child_rejected(self, forest):
+        with pytest.raises(KeyError):
+            forest.record_merge(Merge(7, 99, 3, 0.4, 2))
+
+    def test_duplicate_merged_id_rejected(self, forest):
+        with pytest.raises(ValueError, match="already exists"):
+            forest.record_merge(Merge(5, 3, 4, 0.4, 2))
+
+
+class TestPartitions:
+    def test_root_partition(self, forest):
+        labels = forest.root_partition()
+        assert labels[0] == labels[1] == labels[2] == 6
+        assert labels[3] == 3
+        assert labels[4] == 4
+
+    def test_cut_at_zero_equals_root_partition(self, forest):
+        assert forest.cut_at_similarity(0.0) == forest.root_partition()
+
+    def test_cut_splits_weak_merges(self, forest):
+        labels = forest.cut_at_similarity(0.7)
+        # The 0.5 merge is cut: {0,1} stay together (0.9), 2 separates.
+        assert labels[0] == labels[1] == 5
+        assert labels[2] == 2
+
+    def test_cut_at_very_high_threshold_all_singletons(self, forest):
+        labels = forest.cut_at_similarity(0.95)
+        assert labels[0] == 0
+        assert labels[1] == 1
+
+    def test_cut_at_level(self, forest):
+        top = forest.cut_at_level(0)
+        assert top[0] == top[2] == 6
+        deeper = forest.cut_at_level(1)
+        assert deeper[0] == deeper[1] == 5
+        assert deeper[2] == 2
+
+    def test_cut_at_level_validates(self, forest):
+        with pytest.raises(ValueError):
+            forest.cut_at_level(-1)
+
+    def test_merge_rounds(self, forest):
+        assert forest.merge_rounds() == {0: 1, 1: 1}
+
+    def test_partition_covers_all_vertices(self, forest):
+        for cut in (0.0, 0.6, 2.0):
+            labels = forest.cut_at_similarity(cut)
+            assert set(labels) == {0, 1, 2, 3, 4}

@@ -1,0 +1,107 @@
+"""Tests for repro.clustering.hac (sequential exact HAC)."""
+
+import pytest
+
+from repro.clustering.hac import HACConfig, SequentialHAC
+from repro.graph.sparse import SparseGraph
+
+
+def chain_graph() -> SparseGraph:
+    """0-1 (0.9), 1-2 (0.6), 2-3 (0.8)."""
+    g = SparseGraph(4)
+    g.set_edge(0, 1, 0.9)
+    g.set_edge(1, 2, 0.6)
+    g.set_edge(2, 3, 0.8)
+    return g
+
+
+class TestGreedySequence:
+    def test_merges_in_descending_similarity(self):
+        d = SequentialHAC(HACConfig(similarity_threshold=0.0)).fit(chain_graph())
+        sims = [m.similarity for m in d.merges]
+        # First two merges take the original heaviest edges in order.
+        assert sims[0] == 0.9
+        assert sims[1] == 0.8
+
+    def test_threshold_stops(self):
+        d = SequentialHAC(HACConfig(similarity_threshold=0.7)).fit(chain_graph())
+        # Only the 0.9 and 0.8 edges merge; the relinked middle edge
+        # falls below 0.7 under Eq. 4 (0.6-edge halves with one side 0).
+        assert d.n_merges == 2
+        assert len(d.roots()) == 2
+
+    def test_input_graph_not_modified(self):
+        g = chain_graph()
+        SequentialHAC().fit(g)
+        assert g.n_edges == 3
+        assert g.weight(0, 1) == 0.9
+
+    def test_all_merge_when_threshold_zero(self):
+        """On a connected graph with threshold 0, a single root remains
+        (every relink keeps positive weight on a chain)."""
+        g = SparseGraph(3)
+        g.set_edge(0, 1, 0.9)
+        g.set_edge(1, 2, 0.9)
+        g.set_edge(0, 2, 0.9)
+        d = SequentialHAC(HACConfig(similarity_threshold=0.0)).fit(g)
+        assert len(d.roots()) == 1
+
+    def test_empty_graph(self):
+        d = SequentialHAC().fit(SparseGraph(3))
+        assert d.n_merges == 0
+        assert d.roots() == [0, 1, 2]
+
+    def test_eq4_applied_on_relink(self):
+        """After merging (0,1), S(01, 2) must follow Eq. 4 with the
+        0-side contributing 0."""
+        g = SparseGraph(3)
+        g.set_edge(0, 1, 0.9)
+        g.set_edge(1, 2, 0.8)
+        d = SequentialHAC(HACConfig(similarity_threshold=0.0)).fit(g)
+        second = d.merges[1]
+        # S(01, 2) = (√1·0 + √1·0.8)/2 = 0.4
+        assert second.similarity == pytest.approx(0.4)
+
+    def test_max_cluster_size_blocks(self):
+        g = SparseGraph(4)
+        g.set_edge(0, 1, 0.9)
+        g.set_edge(2, 3, 0.8)
+        g.set_edge(1, 2, 0.7)
+        d = SequentialHAC(
+            HACConfig(similarity_threshold=0.0, max_cluster_size=2)
+        ).fit(g)
+        # Two pair merges happen; the 4-way merge is blocked.
+        assert d.n_merges == 2
+        sizes = sorted(len(d.leaves_under(r)) for r in d.roots())
+        assert sizes == [2, 2]
+
+    def test_deterministic(self):
+        a = SequentialHAC().fit(chain_graph())
+        b = SequentialHAC().fit(chain_graph())
+        assert [(m.child_a, m.child_b) for m in a.merges] == [
+            (m.child_a, m.child_b) for m in b.merges
+        ]
+
+    def test_linkage_choice_respected(self):
+        g = SparseGraph(3)
+        g.set_edge(0, 1, 0.9)
+        g.set_edge(1, 2, 0.8)
+        d = SequentialHAC(
+            HACConfig(similarity_threshold=0.0, linkage="max")
+        ).fit(g)
+        # max linkage: S(01, 2) = max(0, 0.8) = 0.8
+        assert d.merges[1].similarity == pytest.approx(0.8)
+
+
+class TestConfig:
+    def test_linkage_validated(self):
+        with pytest.raises(ValueError, match="unknown linkage"):
+            HACConfig(linkage="bogus")
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            HACConfig(similarity_threshold=1.5)
+
+    def test_max_cluster_size_validated(self):
+        with pytest.raises(ValueError):
+            HACConfig(max_cluster_size=0)

@@ -1,0 +1,67 @@
+"""Tests for repro.clustering.linkage (Eq. 4 and ablation variants)."""
+
+import math
+
+import pytest
+
+from repro.clustering.linkage import (
+    LINKAGES,
+    arithmetic_linkage,
+    max_linkage,
+    min_linkage,
+    sqrt_linkage,
+)
+
+
+class TestSqrtLinkage:
+    def test_equal_sizes_is_mean(self):
+        assert sqrt_linkage(0.8, 0.4, 5, 5) == pytest.approx(0.6)
+
+    def test_paper_formula_exact(self):
+        """Eq. 4: (√nA·S(A,C) + √nB·S(B,C)) / (√nA + √nB)."""
+        s = sqrt_linkage(0.9, 0.3, 4, 9)
+        expected = (2 * 0.9 + 3 * 0.3) / (2 + 3)
+        assert s == pytest.approx(expected)
+
+    def test_missing_edge_as_zero(self):
+        """Paper convention: absent edge contributes S = 0."""
+        s = sqrt_linkage(0.8, 0.0, 1, 1)
+        assert s == pytest.approx(0.4)
+
+    def test_between_min_and_max(self):
+        for na, nb in [(1, 1), (2, 7), (100, 3)]:
+            s = sqrt_linkage(0.2, 0.9, na, nb)
+            assert 0.2 <= s <= 0.9
+
+    def test_weights_sizes_sublinearly(self):
+        """sqrt weighting pulls less toward the big cluster than
+        arithmetic weighting does."""
+        s_sqrt = sqrt_linkage(0.9, 0.1, 100, 1)
+        s_arith = arithmetic_linkage(0.9, 0.1, 100, 1)
+        # Big cluster has the 0.9 edge: arithmetic stays closer to 0.9.
+        assert s_arith > s_sqrt
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            sqrt_linkage(0.5, 0.5, 0, 1)
+
+
+class TestOtherLinkages:
+    def test_arithmetic_weighted_mean(self):
+        assert arithmetic_linkage(0.6, 0.3, 2, 1) == pytest.approx((2 * 0.6 + 0.3) / 3)
+
+    def test_max(self):
+        assert max_linkage(0.2, 0.7, 3, 4) == 0.7
+
+    def test_min_zero_on_missing(self):
+        assert min_linkage(0.9, 0.0, 1, 1) == 0.0
+
+    def test_registry_complete(self):
+        assert set(LINKAGES) == {"sqrt", "arithmetic", "max", "min"}
+        for fn in LINKAGES.values():
+            assert 0.0 <= fn(0.5, 0.5, 2, 3) <= 1.0
+
+    def test_all_validate_sizes(self):
+        for fn in LINKAGES.values():
+            with pytest.raises(ValueError):
+                fn(0.5, 0.5, -1, 1)

@@ -1,0 +1,65 @@
+"""Tests for repro.clustering.membership (MembershipTracker)."""
+
+import pytest
+
+from repro.clustering.membership import MembershipTracker
+
+
+class TestTracker:
+    def test_initial_state(self):
+        t = MembershipTracker([0, 1, 2])
+        assert t.live_clusters() == [0, 1, 2]
+        assert t.n_live() == 3
+        assert t.size(1) == 1
+        assert t.members(2) == [2]
+
+    def test_merge_creates_fresh_id(self):
+        t = MembershipTracker([0, 1, 2])
+        new = t.merge(0, 1)
+        assert new == 3
+        assert t.live_clusters() == [2, 3]
+        assert t.members(3) == [0, 1]
+        assert t.size(3) == 2
+
+    def test_cluster_of_follows_merges(self):
+        t = MembershipTracker([0, 1, 2, 3])
+        a = t.merge(0, 1)       # 4
+        b = t.merge(a, 2)       # 5
+        assert t.cluster_of(0) == b
+        assert t.cluster_of(1) == b
+        assert t.cluster_of(2) == b
+        assert t.cluster_of(3) == 3
+
+    def test_labels_complete(self):
+        t = MembershipTracker([0, 1, 2])
+        t.merge(0, 2)
+        labels = t.labels()
+        assert set(labels) == {0, 1, 2}
+        assert labels[0] == labels[2] != labels[1]
+
+    def test_merge_dead_cluster_rejected(self):
+        t = MembershipTracker([0, 1, 2])
+        t.merge(0, 1)
+        with pytest.raises(KeyError):
+            t.merge(0, 2)
+
+    def test_self_merge_rejected(self):
+        t = MembershipTracker([0, 1])
+        with pytest.raises(ValueError):
+            t.merge(0, 0)
+
+    def test_is_live(self):
+        t = MembershipTracker([0, 1])
+        m = t.merge(0, 1)
+        assert t.is_live(m)
+        assert not t.is_live(0)
+
+    def test_sparse_vertex_ids(self):
+        t = MembershipTracker([5, 9, 20])
+        m = t.merge(5, 20)
+        assert m == 21  # next id after the max
+        assert t.members(m) == [5, 20]
+
+    def test_empty(self):
+        t = MembershipTracker([])
+        assert t.n_live() == 0

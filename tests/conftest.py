@@ -1,0 +1,46 @@
+"""Shared fixtures.
+
+Heavy artifacts (a generated marketplace, a fitted SHOAL model) are
+session-scoped: they are deterministic pure functions of their configs,
+so sharing them across tests is safe and keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ShoalConfig
+from repro.core.pipeline import ShoalModel, ShoalPipeline
+from repro.data.marketplace import PROFILES, Marketplace, generate_marketplace
+
+
+@pytest.fixture(scope="session")
+def tiny_marketplace() -> Marketplace:
+    """The smallest full marketplace (120 entities)."""
+    return generate_marketplace(PROFILES["tiny"])
+
+
+@pytest.fixture(scope="session")
+def small_marketplace() -> Marketplace:
+    """A mid-size marketplace (300 entities) for integration tests."""
+    return generate_marketplace(PROFILES["small"])
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_marketplace) -> ShoalModel:
+    """A SHOAL model fitted on the tiny marketplace."""
+    return ShoalPipeline(ShoalConfig()).fit(tiny_marketplace)
+
+
+@pytest.fixture(scope="session")
+def small_model(small_marketplace) -> ShoalModel:
+    """A SHOAL model fitted on the small marketplace."""
+    return ShoalPipeline(ShoalConfig()).fit(small_marketplace)
+
+
+@pytest.fixture(scope="session")
+def entity_scenarios_tiny(tiny_marketplace):
+    """Ground-truth entity → scenario labels for the tiny marketplace."""
+    return {
+        e.entity_id: e.scenario_id for e in tiny_marketplace.catalog.entities
+    }

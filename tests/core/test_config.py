@@ -1,0 +1,48 @@
+"""Tests for repro.core.config (ShoalConfig)."""
+
+import pytest
+
+from repro.core.config import ShoalConfig
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        cfg = ShoalConfig()
+        assert cfg.entity_graph.alpha == 0.7          # paper Sec. 2.1
+        assert cfg.clustering.diffusion_rounds == 2   # paper Sec. 2.2
+        assert cfg.window_days == 7                   # paper Sec. 3
+        assert cfg.clustering.linkage == "sqrt"       # paper Eq. 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShoalConfig(window_days=0)
+        with pytest.raises(ValueError):
+            ShoalConfig(min_topic_size=0)
+
+
+class TestCopies:
+    def test_with_alpha(self):
+        cfg = ShoalConfig().with_alpha(0.2)
+        assert cfg.entity_graph.alpha == 0.2
+        assert ShoalConfig().entity_graph.alpha == 0.7  # original untouched
+
+    def test_with_diffusion_rounds(self):
+        assert ShoalConfig().with_diffusion_rounds(4).clustering.diffusion_rounds == 4
+
+    def test_with_similarity_threshold(self):
+        cfg = ShoalConfig().with_similarity_threshold(0.5)
+        assert cfg.clustering.similarity_threshold == 0.5
+
+    def test_with_linkage(self):
+        assert ShoalConfig().with_linkage("max").clustering.linkage == "max"
+
+    def test_with_seed_propagates_to_word2vec(self):
+        cfg = ShoalConfig().with_seed(9)
+        assert cfg.seed == 9
+        assert cfg.word2vec.seed == 9
+
+    def test_invalid_copy_rejected(self):
+        with pytest.raises(ValueError):
+            ShoalConfig().with_alpha(2.0)
+        with pytest.raises(ValueError):
+            ShoalConfig().with_linkage("nope")

@@ -1,0 +1,95 @@
+"""Tests for repro.core.correlation (Sec. 2.4, Eq. 5)."""
+
+import pytest
+
+from repro.core.correlation import (
+    CategoryCorrelationConfig,
+    CategoryCorrelationMiner,
+    CorrelationGraph,
+)
+from repro.core.taxonomy import Taxonomy, Topic
+
+
+def make_taxonomy():
+    """Three root topics; categories 1,2 co-occur twice, 1,3 once.
+
+    Topic 102 has a child topic (103) that must NOT count toward the
+    root-pivot correlation.
+    """
+    topics = [
+        Topic(100, entity_ids=[0], category_ids=[1, 2]),
+        Topic(101, entity_ids=[1], category_ids=[1, 2, 3]),
+        Topic(102, entity_ids=[2, 3], category_ids=[4, 5]),
+        Topic(103, entity_ids=[2], category_ids=[4, 5], parent_id=102, level=1),
+    ]
+    topics[2].child_ids = [103]
+    return Taxonomy(topics)
+
+
+class TestMiner:
+    def test_raw_strengths_eq5(self):
+        miner = CategoryCorrelationMiner()
+        raw = miner.raw_strengths(make_taxonomy())
+        assert raw[(1, 2)] == 2
+        assert raw[(1, 3)] == 1
+        assert raw[(2, 3)] == 1
+        assert raw[(4, 5)] == 1  # root topic 102 only; child excluded
+
+    def test_threshold_filters(self):
+        graph = CategoryCorrelationMiner(
+            CategoryCorrelationConfig(min_strength=2)
+        ).mine(make_taxonomy())
+        assert graph.correlated(1, 2)
+        assert not graph.correlated(1, 3)
+        assert not graph.correlated(4, 5)
+
+    def test_threshold_one_keeps_all(self):
+        graph = CategoryCorrelationMiner(
+            CategoryCorrelationConfig(min_strength=1)
+        ).mine(make_taxonomy())
+        assert graph.n_correlations == 4
+
+
+class TestCorrelationGraph:
+    @pytest.fixture
+    def graph(self):
+        return CategoryCorrelationMiner(
+            CategoryCorrelationConfig(min_strength=1)
+        ).mine(make_taxonomy())
+
+    def test_symmetric(self, graph):
+        assert graph.strength(1, 2) == graph.strength(2, 1) == 2
+
+    def test_absent_pair_zero(self, graph):
+        assert graph.strength(1, 99) == 0
+        assert not graph.correlated(1, 99)
+
+    def test_related_categories_sorted(self, graph):
+        related = graph.related_categories(1)
+        assert related[0] == (2, 2)  # strongest first
+        assert set(c for c, _ in related) == {2, 3}
+
+    def test_related_categories_top_k(self, graph):
+        assert len(graph.related_categories(1, k=1)) == 1
+
+    def test_related_unknown_category(self, graph):
+        assert graph.related_categories(999) == []
+
+    def test_pairs_canonical(self, graph):
+        pairs = graph.pairs()
+        assert all(a < b for a, b, _ in pairs)
+        assert (1, 2, 2) in pairs
+
+    def test_counts(self, graph):
+        assert graph.n_categories == 5
+        assert graph.n_correlations == 4
+
+    def test_self_pairs_ignored(self):
+        g = CorrelationGraph({(1, 1): 5}, min_strength=1)
+        assert g.n_correlations == 0
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CategoryCorrelationConfig(min_strength=0)

@@ -1,0 +1,76 @@
+"""Tests for repro.core.pipeline (end-to-end orchestration)."""
+
+import pytest
+
+from repro.core.config import ShoalConfig
+from repro.core.pipeline import ShoalPipeline
+
+
+class TestFit:
+    def test_model_artifacts_consistent(self, tiny_model, tiny_marketplace):
+        m = tiny_model
+        # Every clustered vertex is a catalog entity.
+        assert m.entity_graph.n_vertices <= len(tiny_marketplace.catalog)
+        # Topics reference only entities that exist.
+        entity_ids = {e.entity_id for e in tiny_marketplace.catalog.entities}
+        for topic in m.taxonomy:
+            assert set(topic.entity_ids) <= entity_ids
+        # Every topic's categories come from the ontology.
+        leaf_ids = set(tiny_marketplace.ontology.leaf_ids())
+        for topic in m.taxonomy:
+            assert set(topic.category_ids) <= leaf_ids
+
+    def test_descriptions_attached(self, tiny_model):
+        described = [t for t in tiny_model.taxonomy if t.descriptions]
+        assert described, "no topic received a description"
+        for t in described:
+            assert len(t.descriptions) <= tiny_model.config.descriptions.top_k
+
+    def test_descriptions_are_real_queries(self, tiny_model):
+        query_texts = set(tiny_model.query_texts.values())
+        for t in tiny_model.taxonomy:
+            for d in t.descriptions:
+                assert d in query_texts
+
+    def test_stage_timings_recorded(self, tiny_model):
+        expected = {
+            "bipartite", "word2vec", "entity_graph",
+            "clustering", "taxonomy", "descriptions", "correlation",
+        }
+        assert set(tiny_model.stage_seconds) == expected
+        assert all(v >= 0 for v in tiny_model.stage_seconds.values())
+
+    def test_window_respected(self, tiny_marketplace):
+        """A 1-day window sees at most one day of events."""
+        cfg = ShoalConfig(window_days=1)
+        model = ShoalPipeline(cfg).fit(tiny_marketplace)
+        one_day_clicks = model.bipartite.total_clicks
+        full = ShoalPipeline(ShoalConfig(window_days=7)).fit(tiny_marketplace)
+        assert one_day_clicks < full.bipartite.total_clicks
+
+    def test_summary(self, tiny_model):
+        assert "ShoalModel(" in tiny_model.summary()
+
+    def test_deterministic(self, tiny_marketplace):
+        a = ShoalPipeline(ShoalConfig()).fit(tiny_marketplace)
+        b = ShoalPipeline(ShoalConfig()).fit(tiny_marketplace)
+        assert [t.topic_id for t in a.taxonomy] == [t.topic_id for t in b.taxonomy]
+        assert a.entity_graph.edge_list() == b.entity_graph.edge_list()
+
+
+class TestFitRaw:
+    def test_without_categories(self, tiny_marketplace):
+        titles = {e.entity_id: e.title for e in tiny_marketplace.catalog.entities}
+        query_texts = {
+            q.query_id: q.text for q in tiny_marketplace.query_log.queries
+        }
+        model = ShoalPipeline().fit_raw(
+            tiny_marketplace.query_log, titles, query_texts
+        )
+        # Works, but no category links → empty correlation graph.
+        assert all(t.category_ids == [] for t in model.taxonomy)
+        assert model.correlations.n_correlations == 0
+
+    def test_topics_nonempty(self, tiny_model):
+        assert len(tiny_model.taxonomy) > 0
+        assert len(tiny_model.taxonomy.root_topics()) > 0

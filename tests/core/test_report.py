@@ -1,0 +1,93 @@
+"""Tests for repro.core.report (rendering and statistics)."""
+
+import pytest
+
+from repro.core.report import compute_stats, render_topic, render_tree
+from repro.core.taxonomy import Taxonomy, Topic
+
+
+def sample_taxonomy() -> Taxonomy:
+    root = Topic(
+        10, entity_ids=[0, 1, 2, 3], category_ids=[100, 101],
+        level=0, similarity=0.5, descriptions=["beach trip"],
+    )
+    child = Topic(
+        8, entity_ids=[0, 1], category_ids=[100],
+        parent_id=10, level=1, similarity=0.9, descriptions=["beach dress"],
+    )
+    other = Topic(11, entity_ids=[4, 5], category_ids=[102], level=0)
+    root.child_ids = [8]
+    return Taxonomy([root, child, other])
+
+
+class TestStats:
+    def test_counts(self):
+        stats = compute_stats(sample_taxonomy())
+        assert stats.n_topics == 3
+        assert stats.n_root_topics == 2
+        assert stats.n_levels == 2
+        assert stats.n_entities_placed == 6
+
+    def test_size_distribution(self):
+        stats = compute_stats(sample_taxonomy())
+        assert stats.mean_root_size == pytest.approx(3.0)  # (4+2)/2
+        assert stats.max_root_size == 4
+
+    def test_description_coverage(self):
+        stats = compute_stats(sample_taxonomy())
+        assert stats.description_coverage == pytest.approx(2 / 3)
+
+    def test_empty_taxonomy(self):
+        stats = compute_stats(Taxonomy([]))
+        assert stats.n_topics == 0
+        assert stats.mean_root_size == 0.0
+        assert stats.description_coverage == 0.0
+
+    def test_summary_renders(self):
+        assert "topics=3" in compute_stats(sample_taxonomy()).summary()
+
+    def test_fitted_model_stats(self, tiny_model):
+        stats = compute_stats(tiny_model.taxonomy)
+        assert stats.n_topics == len(tiny_model.taxonomy)
+        assert 0.0 < stats.description_coverage <= 1.0
+
+
+class TestRenderTopic:
+    def test_with_descriptions(self):
+        t = sample_taxonomy().topic(10)
+        line = render_topic(t)
+        assert "beach trip" in line
+        assert "4 entities" in line
+
+    def test_with_category_names(self):
+        t = sample_taxonomy().topic(10)
+        line = render_topic(t, {100: "dresses", 101: "sunblock"})
+        assert "dresses" in line
+
+    def test_without_descriptions_uses_label(self):
+        t = sample_taxonomy().topic(11)
+        assert "topic-11" in render_topic(t)
+
+
+class TestRenderTree:
+    def test_structure(self):
+        out = render_tree(sample_taxonomy())
+        lines = out.split("\n")
+        assert len(lines) == 3
+        # Largest root first, child indented under it.
+        assert "beach trip" in lines[0]
+        assert lines[1].startswith("`-- ")
+        assert "beach dress" in lines[1]
+
+    def test_max_roots(self):
+        out = render_tree(sample_taxonomy(), max_roots=1)
+        assert "topic-11" not in out
+
+    def test_max_depth(self):
+        out = render_tree(sample_taxonomy(), max_depth=1)
+        assert "beach dress" not in out
+
+    def test_fitted_model_renders(self, tiny_model):
+        out = render_tree(tiny_model.taxonomy, max_roots=5)
+        assert out
+        assert out.count("\n") >= 4

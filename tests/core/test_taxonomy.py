@@ -1,0 +1,131 @@
+"""Tests for repro.core.taxonomy."""
+
+import pytest
+
+from repro.clustering.dendrogram import Dendrogram, Merge
+from repro.core.taxonomy import Taxonomy, Topic
+
+
+def build_dendrogram() -> Dendrogram:
+    """Vertices 0..7. Two subtrees merge into one root:
+    (0,1)->8@.9  (2,3)->9@.85  (8,9)->10@.6 ; (4,5)->11@.8 ; 6,7 loose."""
+    d = Dendrogram(range(8))
+    d.record_merge(Merge(8, 0, 1, 0.9, 0))
+    d.record_merge(Merge(9, 2, 3, 0.85, 0))
+    d.record_merge(Merge(10, 8, 9, 0.6, 1))
+    d.record_merge(Merge(11, 4, 5, 0.8, 0))
+    return d
+
+
+CATEGORIES = {0: 100, 1: 100, 2: 101, 3: 101, 4: 102, 5: 103, 6: 104, 7: 104}
+
+
+@pytest.fixture
+def taxonomy() -> Taxonomy:
+    return Taxonomy.from_dendrogram(build_dendrogram(), CATEGORIES, min_topic_size=2)
+
+
+class TestConstruction:
+    def test_root_topics(self, taxonomy):
+        roots = {t.topic_id for t in taxonomy.root_topics()}
+        assert roots == {10, 11}
+
+    def test_hierarchy_levels(self, taxonomy):
+        assert taxonomy.topic(10).level == 0
+        assert taxonomy.topic(8).level == 1
+        assert taxonomy.topic(8).parent_id == 10
+        assert sorted(taxonomy.topic(10).child_ids) == [8, 9]
+
+    def test_topic_entities(self, taxonomy):
+        assert taxonomy.topic(10).entity_ids == [0, 1, 2, 3]
+        assert taxonomy.topic(8).entity_ids == [0, 1]
+
+    def test_category_links(self, taxonomy):
+        assert taxonomy.topic(10).category_ids == [100, 101]
+        assert taxonomy.topic(8).category_ids == [100]
+        assert taxonomy.topic(11).category_ids == [102, 103]
+
+    def test_min_topic_size_filters_singletons(self, taxonomy):
+        # Loose leaves 6,7 never merged; no topic contains them.
+        assert taxonomy.topic_of_entity(6) is None
+        assert taxonomy.topic_of_entity(7) is None
+
+    def test_similarity_recorded(self, taxonomy):
+        assert taxonomy.topic(10).similarity == 0.6
+        assert taxonomy.topic(8).similarity == 0.9
+
+    def test_min_topic_size_large_collapses_children(self):
+        t = Taxonomy.from_dendrogram(build_dendrogram(), CATEGORIES, min_topic_size=3)
+        # Children of size 2 don't qualify; root 10 absorbs everything.
+        assert 10 in t
+        assert t.topic(10).child_ids == []
+        assert 8 not in t
+
+    def test_max_levels_caps_depth(self):
+        t = Taxonomy.from_dendrogram(
+            build_dendrogram(), CATEGORIES, min_topic_size=2, max_levels=1
+        )
+        assert all(topic.level == 0 for topic in t)
+
+    def test_missing_categories_tolerated(self):
+        t = Taxonomy.from_dendrogram(build_dendrogram(), {}, min_topic_size=2)
+        assert t.topic(10).category_ids == []
+
+
+class TestLookups:
+    def test_topic_of_entity_most_specific(self, taxonomy):
+        assert taxonomy.topic_of_entity(0).topic_id == 8
+        assert taxonomy.topic_of_entity(4).topic_id == 11
+
+    def test_root_topic_of_entity(self, taxonomy):
+        assert taxonomy.root_topic_of_entity(0).topic_id == 10
+        assert taxonomy.root_topic_of_entity(4).topic_id == 11
+
+    def test_topics_of_category(self, taxonomy):
+        ids = {t.topic_id for t in taxonomy.topics_of_category(100)}
+        assert ids == {8, 10}
+
+    def test_topics_of_unknown_category(self, taxonomy):
+        assert taxonomy.topics_of_category(999) == []
+
+    def test_subtopics(self, taxonomy):
+        subs = {t.topic_id for t in taxonomy.subtopics(10)}
+        assert subs == {8, 9}
+        assert taxonomy.subtopics(11) == []
+
+    def test_parent(self, taxonomy):
+        assert taxonomy.parent(8).topic_id == 10
+        assert taxonomy.parent(10) is None
+
+    def test_placed_entities(self, taxonomy):
+        assert taxonomy.placed_entities() == [0, 1, 2, 3, 4, 5]
+
+    def test_n_levels(self, taxonomy):
+        assert taxonomy.n_levels() == 2
+
+    def test_iteration_sorted(self, taxonomy):
+        ids = [t.topic_id for t in taxonomy]
+        assert ids == sorted(ids)
+
+    def test_describe(self, taxonomy):
+        assert "Taxonomy(" in taxonomy.describe()
+
+
+class TestTopic:
+    def test_label_prefers_description(self):
+        t = Topic(5, [0], [1], descriptions=["beach trip"])
+        assert t.label() == "beach trip"
+
+    def test_label_fallback(self):
+        assert Topic(5, [0], [1]).label() == "topic-5"
+
+    def test_size(self):
+        assert Topic(5, [0, 1, 2], []).size == 3
+
+    def test_is_root(self):
+        assert Topic(5, [0], []).is_root()
+        assert not Topic(5, [0], [], parent_id=1).is_root()
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Taxonomy([Topic(1, [0], []), Topic(1, [1], [])])

@@ -1,0 +1,134 @@
+"""Tests for repro.data.items (item catalog generator)."""
+
+import numpy as np
+import pytest
+
+from repro.data.items import ItemConfig, generate_catalog
+from repro.data.scenarios import ScenarioConfig, generate_scenarios
+from repro.data.vocab import VocabularyConfig, generate_vocabulary
+
+
+@pytest.fixture(scope="module")
+def world():
+    scenarios = generate_scenarios(
+        list(range(200, 230)),
+        ScenarioConfig(n_root_scenarios=3, children_per_root=2,
+                       categories_per_scenario=4, seed=1),
+    )
+    category_ids = sorted({c for s in scenarios for c in s.category_ids})
+    vocab = generate_vocabulary(
+        category_ids, [s.scenario_id for s in scenarios],
+        VocabularyConfig(seed=1),
+    )
+    return scenarios, vocab
+
+
+class TestCatalogGeneration:
+    def test_entity_count(self, world):
+        scenarios, vocab = world
+        cat = generate_catalog(scenarios, vocab, ItemConfig(n_entities=150, seed=0))
+        assert len(cat) == 150
+
+    def test_items_expand_entities(self, world):
+        scenarios, vocab = world
+        cat = generate_catalog(scenarios, vocab, ItemConfig(n_entities=50, seed=0))
+        assert len(cat.items) >= len(cat.entities)
+        by_entity = {}
+        for item in cat.items:
+            by_entity.setdefault(item.entity_id, 0)
+            by_entity[item.entity_id] += 1
+        for e in cat.entities:
+            assert by_entity[e.entity_id] == e.n_items
+
+    def test_entities_only_in_leaf_scenarios(self, world):
+        scenarios, vocab = world
+        leaf_ids = {s.scenario_id for s in scenarios if s.parent_id is not None}
+        cat = generate_catalog(scenarios, vocab, ItemConfig(n_entities=100, seed=0))
+        for e in cat.entities:
+            assert e.scenario_id in leaf_ids
+
+    def test_category_mostly_consistent_with_scenario(self, world):
+        scenarios, vocab = world
+        by_id = {s.scenario_id: s for s in scenarios}
+        cat = generate_catalog(
+            scenarios, vocab, ItemConfig(n_entities=300, off_scenario_noise=0.0, seed=0)
+        )
+        for e in cat.entities:
+            assert e.category_id in by_id[e.scenario_id].category_ids
+
+    def test_noise_can_place_off_scenario(self, world):
+        scenarios, vocab = world
+        by_id = {s.scenario_id: s for s in scenarios}
+        cat = generate_catalog(
+            scenarios, vocab, ItemConfig(n_entities=400, off_scenario_noise=0.5, seed=0)
+        )
+        off = sum(
+            1
+            for e in cat.entities
+            if e.category_id not in by_id[e.scenario_id].category_ids
+        )
+        assert off > 0
+
+    def test_title_contains_scenario_words(self, world):
+        scenarios, vocab = world
+        cat = generate_catalog(
+            scenarios, vocab,
+            ItemConfig(n_entities=60, off_scenario_noise=0.0, seed=0),
+        )
+        for e in cat.entities[:20]:
+            s_words = set(vocab.scenario_words(e.scenario_id))
+            assert s_words & set(e.title_tokens())
+
+    def test_prices_positive(self, world):
+        scenarios, vocab = world
+        cat = generate_catalog(scenarios, vocab, ItemConfig(n_entities=80, seed=0))
+        assert all(e.price > 0 for e in cat.entities)
+
+    def test_deterministic(self, world):
+        scenarios, vocab = world
+        a = generate_catalog(scenarios, vocab, ItemConfig(n_entities=40, seed=11))
+        b = generate_catalog(scenarios, vocab, ItemConfig(n_entities=40, seed=11))
+        assert [e.title for e in a.entities] == [e.title for e in b.entities]
+
+
+class TestCatalogIndexes:
+    @pytest.fixture(scope="class")
+    def catalog(self, world):
+        scenarios, vocab = world
+        return generate_catalog(scenarios, vocab, ItemConfig(n_entities=120, seed=4))
+
+    def test_by_category_index(self, catalog):
+        for cid in catalog.category_ids():
+            for e in catalog.entities_in_category(cid):
+                assert catalog.entity(e).category_id == cid
+
+    def test_by_scenario_index(self, catalog):
+        for sid in catalog.scenario_ids():
+            for e in catalog.entities_in_scenario(sid):
+                assert catalog.entity(e).scenario_id == sid
+
+    def test_label_arrays(self, catalog):
+        s = catalog.scenario_labels()
+        c = catalog.category_labels()
+        assert len(s) == len(catalog) == len(c)
+        assert s.dtype == np.int64
+
+    def test_titles_align(self, catalog):
+        titles = catalog.titles()
+        assert titles[5] == catalog.entity(5).title
+
+
+class TestValidation:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ItemConfig(n_entities=0)
+        with pytest.raises(ValueError):
+            ItemConfig(off_scenario_noise=1.5)
+
+    def test_requires_leaf_scenarios(self, world):
+        _, vocab = world
+        from repro.data.scenarios import Scenario
+
+        roots_only = [Scenario(0, "r", (200, 201), None)]
+        with pytest.raises(ValueError, match="leaf"):
+            generate_catalog(roots_only, vocab, ItemConfig(n_entities=10))

@@ -1,0 +1,88 @@
+"""Tests for repro.data.marketplace (top-level generator)."""
+
+import pytest
+
+from repro.data.marketplace import (
+    PROFILES,
+    MarketplaceConfig,
+    generate_marketplace,
+)
+
+
+class TestGeneration:
+    def test_tiny_profile_consistent(self, tiny_marketplace):
+        m = tiny_marketplace
+        assert len(m.catalog) == m.config.items.n_entities
+        assert len(m.users) == m.config.users.n_users
+        # Every catalog entity's category is an ontology leaf.
+        leaf_ids = set(m.ontology.leaf_ids())
+        for e in m.catalog.entities:
+            assert e.category_id in leaf_ids
+
+    def test_scenarios_cover_ontology_leaves_only(self, tiny_marketplace):
+        m = tiny_marketplace
+        leaf_ids = set(m.ontology.leaf_ids())
+        for s in m.scenarios:
+            assert set(s.category_ids) <= leaf_ids
+
+    def test_deterministic(self):
+        a = generate_marketplace(PROFILES["tiny"])
+        b = generate_marketplace(PROFILES["tiny"])
+        assert [e.title for e in a.catalog.entities] == [
+            e.title for e in b.catalog.entities
+        ]
+        assert [e.clicked_entity_ids for e in a.query_log.events] == [
+            e.clicked_entity_ids for e in b.query_log.events
+        ]
+
+    def test_different_seed_differs(self):
+        a = generate_marketplace(PROFILES["tiny"])
+        b = generate_marketplace(PROFILES["tiny"].with_seed(99))
+        assert [e.title for e in a.catalog.entities] != [
+            e.title for e in b.catalog.entities
+        ]
+
+    def test_corpus_contains_titles_and_queries(self, tiny_marketplace):
+        m = tiny_marketplace
+        corpus = m.corpus()
+        assert len(corpus) == len(m.catalog) + m.query_log.n_queries()
+
+    def test_summary(self, tiny_marketplace):
+        s = tiny_marketplace.summary()
+        assert "entities=" in s and "queries=" in s
+
+
+class TestAccessors:
+    def test_scenario_lookup(self, tiny_marketplace):
+        m = tiny_marketplace
+        s0 = m.scenarios[0]
+        assert m.scenario(s0.scenario_id) == s0
+
+    def test_leaf_and_root_split(self, tiny_marketplace):
+        m = tiny_marketplace
+        leafs = m.leaf_scenarios()
+        roots = m.root_scenarios()
+        assert len(leafs) + len(roots) == len(m.scenarios)
+        assert all(s.parent_id is not None for s in leafs)
+        assert all(s.parent_id is None for s in roots)
+
+    def test_n_entities(self, tiny_marketplace):
+        assert tiny_marketplace.n_entities() == len(tiny_marketplace.catalog)
+
+
+class TestProfiles:
+    def test_profiles_present(self):
+        assert {"tiny", "small", "default", "large", "xlarge"} <= set(PROFILES)
+
+    def test_profiles_monotone_size(self):
+        sizes = [
+            PROFILES[p].items.n_entities
+            for p in ("tiny", "small", "default", "large", "xlarge")
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_with_seed_returns_copy(self):
+        cfg = MarketplaceConfig()
+        cfg2 = cfg.with_seed(5)
+        assert cfg2.seed == 5
+        assert cfg.seed == 0

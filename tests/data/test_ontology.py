@@ -1,0 +1,131 @@
+"""Tests for repro.data.ontology."""
+
+import pytest
+
+from repro.data.ontology import Category, Ontology, OntologyConfig, generate_ontology
+
+
+def small_tree() -> Ontology:
+    """root -> (1, 2); 1 -> (3, 4)."""
+    return Ontology(
+        [
+            Category(0, "all", None, 0),
+            Category(1, "apparel", 0, 1),
+            Category(2, "food", 0, 1),
+            Category(3, "dress", 1, 2),
+            Category(4, "jeans", 1, 2),
+        ]
+    )
+
+
+class TestOntologyStructure:
+    def test_root(self):
+        t = small_tree()
+        assert t.root.category_id == 0
+        assert t.root.is_root()
+
+    def test_len_contains_get(self):
+        t = small_tree()
+        assert len(t) == 5
+        assert 3 in t
+        assert 99 not in t
+        assert t.get(3).name == "dress"
+
+    def test_children_and_parent(self):
+        t = small_tree()
+        assert [c.category_id for c in t.children(1)] == [3, 4]
+        assert t.parent(3).category_id == 1
+        assert t.parent(0) is None
+
+    def test_leaves(self):
+        t = small_tree()
+        assert sorted(c.category_id for c in t.leaves()) == [2, 3, 4]
+
+    def test_is_leaf(self):
+        t = small_tree()
+        assert t.is_leaf(3)
+        assert not t.is_leaf(1)
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Ontology([Category(0, "a", None, 0), Category(0, "b", None, 0)])
+
+    def test_two_roots_rejected(self):
+        with pytest.raises(ValueError, match="root"):
+            Ontology([Category(0, "a", None, 0), Category(1, "b", None, 0)])
+
+    def test_missing_parent_rejected(self):
+        with pytest.raises(ValueError, match="missing parent"):
+            Ontology([Category(0, "a", None, 0), Category(1, "b", 7, 1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Ontology([])
+
+
+class TestNavigation:
+    def test_path_to_root(self):
+        t = small_tree()
+        path = [c.category_id for c in t.path_to_root(3)]
+        assert path == [3, 1, 0]
+
+    def test_lca_siblings(self):
+        t = small_tree()
+        assert t.lowest_common_ancestor(3, 4).category_id == 1
+
+    def test_lca_cross_branch(self):
+        t = small_tree()
+        assert t.lowest_common_ancestor(3, 2).category_id == 0
+
+    def test_lca_with_self(self):
+        t = small_tree()
+        assert t.lowest_common_ancestor(3, 3).category_id == 3
+
+    def test_distance(self):
+        t = small_tree()
+        assert t.distance(3, 4) == 2
+        assert t.distance(3, 2) == 3
+        assert t.distance(3, 3) == 0
+
+    def test_subtree_leaf_ids(self):
+        t = small_tree()
+        assert t.subtree_leaf_ids(1) == [3, 4]
+        assert t.subtree_leaf_ids(0) == [2, 3, 4]
+        assert t.subtree_leaf_ids(3) == [3]
+
+
+class TestGeneratedOntology:
+    def test_default_shape(self):
+        t = generate_ontology(OntologyConfig(depth=3, branching=4, seed=0))
+        # Full 4-ary tree of depth 3 has 1+4+16+64 = 85; some leaves pruned.
+        assert 70 <= len(t) <= 85
+        assert all(c.depth <= 3 for c in t)
+
+    def test_dense_ids(self):
+        t = generate_ontology(OntologyConfig(depth=2, branching=3, seed=1))
+        ids = [c.category_id for c in t]
+        assert ids == list(range(len(t)))
+
+    def test_deterministic(self):
+        a = generate_ontology(OntologyConfig(depth=2, branching=3, seed=9))
+        b = generate_ontology(OntologyConfig(depth=2, branching=3, seed=9))
+        assert [c.name for c in a] == [c.name for c in b]
+
+    def test_leaves_nonempty(self):
+        t = generate_ontology(OntologyConfig(depth=2, branching=2, seed=0))
+        assert len(t.leaves()) >= 2
+
+    def test_names_readable(self):
+        t = generate_ontology(OntologyConfig(depth=2, branching=2, seed=0))
+        level1 = [c for c in t if c.depth == 1]
+        assert any(c.name == "apparel" for c in level1)
+
+    def test_describe(self):
+        t = generate_ontology()
+        assert "Ontology(" in t.describe()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            OntologyConfig(depth=0)
+        with pytest.raises(ValueError):
+            OntologyConfig(branching=0)

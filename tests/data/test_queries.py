@@ -1,0 +1,127 @@
+"""Tests for repro.data.queries (query-log generator)."""
+
+import pytest
+
+from repro.data.items import ItemConfig, generate_catalog
+from repro.data.queries import QueryLog, QueryLogConfig, generate_query_log
+from repro.data.scenarios import ScenarioConfig, generate_scenarios
+from repro.data.users import UserConfig, generate_users
+from repro.data.vocab import VocabularyConfig, generate_vocabulary
+
+
+@pytest.fixture(scope="module")
+def world():
+    scenarios = generate_scenarios(
+        list(range(300, 330)),
+        ScenarioConfig(n_root_scenarios=3, children_per_root=2,
+                       categories_per_scenario=4, seed=5),
+    )
+    category_ids = sorted({c for s in scenarios for c in s.category_ids})
+    vocab = generate_vocabulary(
+        category_ids, [s.scenario_id for s in scenarios], VocabularyConfig(seed=5)
+    )
+    catalog = generate_catalog(scenarios, vocab, ItemConfig(n_entities=100, seed=5))
+    users = generate_users(scenarios, UserConfig(n_users=60, seed=5))
+    return scenarios, vocab, catalog, users
+
+
+@pytest.fixture(scope="module")
+def log(world):
+    scenarios, vocab, catalog, users = world
+    return generate_query_log(
+        catalog, scenarios, vocab, users,
+        QueryLogConfig(n_days=5, events_per_day=300, seed=5),
+    )
+
+
+class TestQuerySet:
+    def test_queries_have_intents(self, log):
+        kinds = {q.intent_kind for q in log.queries}
+        assert kinds == {"scenario", "category"}
+
+    def test_query_texts_unique(self, log):
+        texts = [q.text for q in log.queries]
+        assert len(texts) == len(set(texts))
+
+    def test_tokens(self, log):
+        q = log.queries[0]
+        assert q.tokens() == q.text.split()
+
+
+class TestEvents:
+    def test_days_in_range(self, log):
+        assert set(log.days()) <= set(range(5))
+
+    def test_events_reference_known_queries(self, log):
+        known = {q.query_id for q in log.queries}
+        for e in log.events:
+            assert e.query_id in known
+
+    def test_clicks_nonempty_and_sorted(self, log):
+        for e in log.events[:200]:
+            assert len(e.clicked_entity_ids) >= 1
+            assert list(e.clicked_entity_ids) == sorted(set(e.clicked_entity_ids))
+
+    def test_scenario_queries_hit_scenario_inventory(self, world):
+        """Without noise, scenario-intent clicks stay in the scenario."""
+        scenarios, vocab, catalog, users = world
+        log = generate_query_log(
+            catalog, scenarios, vocab, users,
+            QueryLogConfig(n_days=2, events_per_day=300,
+                           noise_click_rate=0.0, seed=6),
+        )
+        by_qid = {q.query_id: q for q in log.queries}
+        for e in log.events:
+            q = by_qid[e.query_id]
+            if q.intent_kind != "scenario":
+                continue
+            members = set(catalog.entities_in_scenario(q.intent_id))
+            assert set(e.clicked_entity_ids) <= members
+
+    def test_deterministic(self, world):
+        scenarios, vocab, catalog, users = world
+        cfg = QueryLogConfig(n_days=2, events_per_day=100, seed=42)
+        a = generate_query_log(catalog, scenarios, vocab, users, cfg)
+        b = generate_query_log(catalog, scenarios, vocab, users, cfg)
+        assert [e.clicked_entity_ids for e in a.events] == [
+            e.clicked_entity_ids for e in b.events
+        ]
+
+
+class TestAggregations:
+    def test_window_filters_days(self, log):
+        w = log.window(1, 2)
+        assert set(e.day for e in w.events) <= {1, 2}
+        assert w.n_queries() == log.n_queries()  # queries carried over
+
+    def test_window_validates(self, log):
+        with pytest.raises(ValueError):
+            log.window(3, 1)
+
+    def test_query_entity_pairs_counts(self, log):
+        pairs = log.query_entity_pairs()
+        total = sum(c for _, _, c in pairs)
+        raw = sum(len(e.clicked_entity_ids) for e in log.events)
+        assert total == raw
+
+    def test_query_frequencies(self, log):
+        freq = log.query_frequencies()
+        assert sum(freq.values()) == len(log)
+
+    def test_entity_click_counts(self, log):
+        counts = log.entity_click_counts()
+        assert sum(counts.values()) == sum(
+            len(e.clicked_entity_ids) for e in log.events
+        )
+
+    def test_query_text_lookup(self, log):
+        q = log.queries[3]
+        assert log.query_text(q.query_id) == q.text
+
+
+class TestValidation:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            QueryLogConfig(n_days=0)
+        with pytest.raises(ValueError):
+            QueryLogConfig(noise_click_rate=1.2)

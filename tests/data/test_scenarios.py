@@ -1,0 +1,86 @@
+"""Tests for repro.data.scenarios (ground-truth shopping scenarios)."""
+
+import pytest
+
+from repro.data.scenarios import (
+    Scenario,
+    ScenarioConfig,
+    generate_scenarios,
+    leaf_scenarios,
+    root_scenarios,
+    scenario_by_id,
+)
+
+
+@pytest.fixture
+def scenarios():
+    return generate_scenarios(
+        leaf_category_ids=list(range(100, 140)),
+        config=ScenarioConfig(
+            n_root_scenarios=4, children_per_root=3, categories_per_scenario=5, seed=2
+        ),
+    )
+
+
+class TestStructure:
+    def test_counts(self, scenarios):
+        assert len(root_scenarios(scenarios)) == 4
+        assert len(leaf_scenarios(scenarios)) == 12
+
+    def test_dense_ids(self, scenarios):
+        ids = [s.scenario_id for s in scenarios]
+        assert ids == list(range(len(scenarios)))
+
+    def test_children_reference_valid_roots(self, scenarios):
+        root_ids = {s.scenario_id for s in root_scenarios(scenarios)}
+        for s in leaf_scenarios(scenarios):
+            assert s.parent_id in root_ids
+
+    def test_child_categories_subset_of_parent(self, scenarios):
+        by_id = scenario_by_id(scenarios)
+        for s in leaf_scenarios(scenarios):
+            parent = by_id[s.parent_id]
+            assert set(s.category_ids) <= set(parent.category_ids)
+
+    def test_roots_cover_all_categories(self, scenarios):
+        covered = set()
+        for s in root_scenarios(scenarios):
+            covered |= set(s.category_ids)
+        assert covered == set(range(100, 140))
+
+    def test_child_size_bounded(self, scenarios):
+        for s in leaf_scenarios(scenarios):
+            # overlap can add a few extra beyond categories_per_scenario
+            assert 1 <= len(s.category_ids) <= 10
+
+    def test_names_nested(self, scenarios):
+        for s in leaf_scenarios(scenarios):
+            assert "/" in s.name
+
+    def test_deterministic(self):
+        cfg = ScenarioConfig(seed=7)
+        a = generate_scenarios(range(50), cfg)
+        b = generate_scenarios(range(50), cfg)
+        assert [(s.scenario_id, s.category_ids) for s in a] == [
+            (s.scenario_id, s.category_ids) for s in b
+        ]
+
+
+class TestValidation:
+    def test_scenario_requires_categories(self):
+        with pytest.raises(ValueError):
+            Scenario(0, "x", ())
+
+    def test_too_few_categories_rejected(self):
+        with pytest.raises(ValueError, match="leaf categories"):
+            generate_scenarios([1, 2], ScenarioConfig(n_root_scenarios=6))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(n_root_scenarios=0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(category_overlap=2.0)
+
+    def test_n_leaf_scenarios_property(self):
+        cfg = ScenarioConfig(n_root_scenarios=3, children_per_root=4)
+        assert cfg.n_leaf_scenarios == 12

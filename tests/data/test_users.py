@@ -1,0 +1,77 @@
+"""Tests for repro.data.users (simulated user population)."""
+
+import numpy as np
+import pytest
+
+from repro.data.scenarios import ScenarioConfig, generate_scenarios
+from repro.data.users import SimulatedUser, UserConfig, UserPopulation, generate_users
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return generate_scenarios(
+        list(range(50)), ScenarioConfig(n_root_scenarios=3, children_per_root=2, seed=0)
+    )
+
+
+class TestGeneration:
+    def test_population_size(self, scenarios):
+        pop = generate_users(scenarios, UserConfig(n_users=40, seed=0))
+        assert len(pop) == 40
+
+    def test_preferences_are_leaf_scenarios(self, scenarios):
+        leaf_ids = {s.scenario_id for s in scenarios if s.parent_id is not None}
+        pop = generate_users(scenarios, UserConfig(n_users=30, seed=1))
+        for u in pop:
+            assert set(u.scenario_ids) <= leaf_ids
+
+    def test_scenarios_per_user(self, scenarios):
+        pop = generate_users(
+            scenarios, UserConfig(n_users=20, scenarios_per_user=3, seed=2)
+        )
+        for u in pop:
+            assert len(u.scenario_ids) == 3
+
+    def test_intent_rates_in_unit_interval(self, scenarios):
+        pop = generate_users(scenarios, UserConfig(n_users=50, seed=3))
+        for u in pop:
+            assert 0.0 <= u.scenario_intent_rate <= 1.0
+
+    def test_deterministic(self, scenarios):
+        cfg = UserConfig(n_users=15, seed=9)
+        a = generate_users(scenarios, cfg)
+        b = generate_users(scenarios, cfg)
+        assert [u.scenario_ids for u in a] == [u.scenario_ids for u in b]
+
+
+class TestPopulation:
+    def test_getitem(self, scenarios):
+        pop = generate_users(scenarios, UserConfig(n_users=10, seed=0))
+        assert pop[3].user_id == 3
+
+    def test_sample(self, scenarios):
+        pop = generate_users(scenarios, UserConfig(n_users=10, seed=0))
+        rng = np.random.default_rng(0)
+        sampled = pop.sample(rng, 25)
+        assert len(sampled) == 25
+        assert all(isinstance(u, SimulatedUser) for u in sampled)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            UserPopulation([])
+
+
+class TestValidation:
+    def test_user_needs_scenarios(self):
+        with pytest.raises(ValueError):
+            SimulatedUser(0, (), 0.5)
+
+    def test_user_rate_bounds(self):
+        with pytest.raises(ValueError):
+            SimulatedUser(0, (1,), 1.5)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            UserConfig(n_users=0)
+        with pytest.raises(ValueError):
+            UserConfig(scenario_intent_rate=-0.1)

@@ -1,0 +1,64 @@
+"""Tests for repro.data.vocab (domain vocabulary generator)."""
+
+import pytest
+
+from repro.data.vocab import DomainVocabulary, VocabularyConfig, generate_vocabulary
+
+
+@pytest.fixture
+def vocab() -> DomainVocabulary:
+    return generate_vocabulary(
+        category_ids=[10, 11, 12],
+        scenario_ids=[0, 1],
+        config=VocabularyConfig(seed=3),
+    )
+
+
+class TestGeneration:
+    def test_sizes(self, vocab):
+        cfg = VocabularyConfig()
+        assert len(vocab.nouns(10)) == cfg.nouns_per_category
+        assert len(vocab.attributes(11)) == cfg.attributes_per_category
+        assert len(vocab.scenario_words(0)) == cfg.words_per_scenario
+        assert len(vocab.generic_words()) == cfg.generic_words
+
+    def test_global_uniqueness(self, vocab):
+        words = vocab.all_words()
+        assert len(words) == len(set(words))
+
+    def test_deterministic(self):
+        a = generate_vocabulary([1], [0], VocabularyConfig(seed=5))
+        b = generate_vocabulary([1], [0], VocabularyConfig(seed=5))
+        assert a.all_words() == b.all_words()
+
+    def test_ids_lists(self, vocab):
+        assert vocab.category_ids() == [10, 11, 12]
+        assert vocab.scenario_ids() == [0, 1]
+
+    def test_word_origin(self, vocab):
+        noun = vocab.nouns(10)[0]
+        assert vocab.word_origin(noun) == "nouns[10]"
+        sw = vocab.scenario_words(1)[0]
+        assert vocab.word_origin(sw) == "scenario[1]"
+        with pytest.raises(KeyError):
+            vocab.word_origin("not-a-word")
+
+    def test_len(self, vocab):
+        assert len(vocab) == len(vocab.all_words())
+
+
+class TestValidation:
+    def test_duplicate_word_rejected(self):
+        with pytest.raises(ValueError, match="appears in both"):
+            DomainVocabulary(
+                category_nouns={0: ["dup"]},
+                category_attributes={0: ["dup"]},
+                scenario_words={},
+                generic=[],
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            VocabularyConfig(nouns_per_category=0)
+        with pytest.raises(ValueError):
+            VocabularyConfig(generic_words=0)

@@ -1,0 +1,66 @@
+"""Tests for repro.data.zipf."""
+
+import numpy as np
+import pytest
+
+from repro.data.zipf import ZipfSampler, zipf_weights
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        w = zipf_weights(100, 1.0)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        w = zipf_weights(50, 1.2)
+        assert (np.diff(w) <= 0).all()
+
+    def test_zero_exponent_is_uniform(self):
+        w = zipf_weights(10, 0.0)
+        assert np.allclose(w, 0.1)
+
+    def test_higher_exponent_more_head_heavy(self):
+        flat = zipf_weights(20, 0.5)
+        steep = zipf_weights(20, 2.0)
+        assert steep[0] > flat[0]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, -1.0)
+
+
+class TestZipfSampler:
+    def test_sample_range(self):
+        s = ZipfSampler(10, 1.0, seed=0)
+        draws = s.sample(1000)
+        assert draws.min() >= 0
+        assert draws.max() < 10
+
+    def test_head_more_frequent_than_tail(self):
+        s = ZipfSampler(20, 1.0, seed=1)
+        draws = s.sample(5000)
+        head = (draws == 0).sum()
+        tail = (draws == 19).sum()
+        assert head > tail
+
+    def test_deterministic_with_seed(self):
+        a = ZipfSampler(10, 1.0, seed=5).sample(100)
+        b = ZipfSampler(10, 1.0, seed=5).sample(100)
+        assert (a == b).all()
+
+    def test_sample_one(self):
+        v = ZipfSampler(5, 1.0, seed=0).sample_one()
+        assert isinstance(v, int)
+        assert 0 <= v < 5
+
+    def test_expected_counts_sum(self):
+        s = ZipfSampler(10, 1.0, seed=0)
+        assert s.expected_counts(100).sum() == pytest.approx(100.0)
+
+    def test_weights_property_copies(self):
+        s = ZipfSampler(5, 1.0, seed=0)
+        w = s.weights
+        w[0] = 99.0
+        assert s.weights[0] != 99.0

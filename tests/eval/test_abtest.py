@@ -1,0 +1,120 @@
+"""Tests for repro.eval.abtest (simulated CTR A/B test)."""
+
+import pytest
+
+from repro.eval.abtest import ABTestConfig, ABTestReport, ABTestSimulator, ClickModel
+
+
+class TestClickModel:
+    def test_probability_tiers(self, tiny_marketplace):
+        cfg = ABTestConfig()
+        cm = ClickModel(tiny_marketplace, cfg)
+        # Pick an entity and its ground-truth scenario.
+        e = tiny_marketplace.catalog.entities[0]
+        assert cm.click_probability(e.entity_id, e.scenario_id) == cfg.p_click_scenario
+        # A scenario this entity's category does NOT belong to.
+        others = [
+            s for s in tiny_marketplace.leaf_scenarios()
+            if e.category_id not in s.category_ids and s.scenario_id != e.scenario_id
+        ]
+        if others:
+            assert (
+                cm.click_probability(e.entity_id, others[0].scenario_id)
+                == cfg.p_click_random
+            )
+
+    def test_category_tier(self, tiny_marketplace):
+        cfg = ABTestConfig()
+        cm = ClickModel(tiny_marketplace, cfg)
+        # Find (entity, scenario) where the category matches but the
+        # scenario differs → the middle tier.
+        for e in tiny_marketplace.catalog.entities:
+            for s in tiny_marketplace.leaf_scenarios():
+                if s.scenario_id != e.scenario_id and e.category_id in s.category_ids:
+                    assert (
+                        cm.click_probability(e.entity_id, s.scenario_id)
+                        == cfg.p_click_category
+                    )
+                    return
+        pytest.skip("no category-tier pair in this world")
+
+
+class TestReport:
+    def test_ctr_and_uplift(self):
+        r = ABTestReport(1000, 50, 1000, 75)
+        assert r.control_ctr == 0.05
+        assert r.treatment_ctr == 0.075
+        assert r.relative_uplift == pytest.approx(0.5)
+
+    def test_zero_impressions(self):
+        r = ABTestReport(0, 0, 0, 0)
+        assert r.control_ctr == 0.0
+        assert r.relative_uplift == 0.0
+
+    def test_summary(self):
+        assert "uplift" in ABTestReport(10, 1, 10, 2).summary()
+
+
+class TestSimulator:
+    def test_identical_arms_tie(self, tiny_marketplace):
+        """The same recommender in both arms must produce ~equal CTR
+        (paired impressions, same click draws distribution)."""
+        sim = ABTestSimulator(
+            tiny_marketplace, ABTestConfig(n_impressions=3000, seed=0)
+        )
+        members = tiny_marketplace.catalog.entities_in_scenario(
+            tiny_marketplace.leaf_scenarios()[0].scenario_id
+        )
+        fixed = lambda uid, q: members[:8]
+        report = sim.run(fixed, fixed)
+        assert report.control_impressions == report.treatment_impressions
+        assert report.relative_uplift == pytest.approx(0.0, abs=0.15)
+
+    def test_oracle_beats_random(self, tiny_marketplace):
+        """An intent-oracle recommender must beat a fixed-slate one."""
+        sim = ABTestSimulator(
+            tiny_marketplace, ABTestConfig(n_impressions=3000, seed=1)
+        )
+        catalog = tiny_marketplace.catalog
+        all_ids = [e.entity_id for e in catalog.entities]
+
+        # Control: always the same arbitrary slate.
+        control = lambda uid, q: all_ids[:8]
+
+        # Treatment: look up the query's scenario from ground truth.
+        by_text = {q.text: q for q in tiny_marketplace.query_log.queries}
+
+        def oracle(uid, q):
+            query = by_text.get(q)
+            if query is None or query.intent_kind != "scenario":
+                return all_ids[:8]
+            return catalog.entities_in_scenario(query.intent_id)[:8]
+
+        report = sim.run(control, oracle)
+        assert report.treatment_ctr > report.control_ctr
+
+    def test_deterministic(self, tiny_marketplace):
+        cfg = ABTestConfig(n_impressions=500, seed=7)
+        members = [e.entity_id for e in tiny_marketplace.catalog.entities[:8]]
+        rec = lambda uid, q: members
+        a = ABTestSimulator(tiny_marketplace, cfg).run(rec, rec)
+        b = ABTestSimulator(tiny_marketplace, cfg).run(rec, rec)
+        assert a.control_clicks == b.control_clicks
+        assert a.treatment_clicks == b.treatment_clicks
+
+    def test_slate_size_cap(self, tiny_marketplace):
+        cfg = ABTestConfig(n_impressions=200, slate_size=3, seed=0)
+        sim = ABTestSimulator(tiny_marketplace, cfg)
+        big = [e.entity_id for e in tiny_marketplace.catalog.entities[:20]]
+        rec = lambda uid, q: big
+        report = sim.run(rec, rec)
+        # Every impression shows at most 3 items.
+        assert report.control_impressions <= 200 * 3
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ABTestConfig(n_impressions=0)
+        with pytest.raises(ValueError):
+            ABTestConfig(p_click_scenario=1.5)

@@ -1,0 +1,120 @@
+"""Tests for repro.eval.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    adjusted_rand_index,
+    cluster_purity,
+    contingency_table,
+    normalized_mutual_information,
+    pair_precision_recall,
+)
+
+PERFECT = ({0: 0, 1: 0, 2: 1, 3: 1}, {0: 10, 1: 10, 2: 20, 3: 20})
+RANDOMISH = ({0: 0, 1: 1, 2: 0, 3: 1}, {0: 10, 1: 10, 2: 20, 3: 20})
+
+
+class TestContingency:
+    def test_shape_and_sum(self):
+        pred = np.array([0, 0, 1, 1])
+        true = np.array([5, 5, 6, 7])
+        t = contingency_table(pred, true)
+        assert t.shape == (2, 3)
+        assert t.sum() == 4
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            contingency_table(np.array([0]), np.array([0, 1]))
+
+
+class TestPurity:
+    def test_perfect(self):
+        assert cluster_purity(*PERFECT) == 1.0
+
+    def test_half(self):
+        assert cluster_purity(*RANDOMISH) == 0.5
+
+    def test_single_cluster(self):
+        pred = {i: 0 for i in range(4)}
+        assert cluster_purity(pred, PERFECT[1]) == 0.5
+
+    def test_no_common_items_raises(self):
+        with pytest.raises(ValueError):
+            cluster_purity({0: 0}, {1: 1})
+
+    def test_only_common_keys_scored(self):
+        pred = {0: 0, 1: 0, 99: 5}
+        true = {0: 1, 1: 1, 42: 7}
+        assert cluster_purity(pred, true) == 1.0
+
+
+class TestNMI:
+    def test_perfect(self):
+        assert normalized_mutual_information(*PERFECT) == pytest.approx(1.0)
+
+    def test_label_permutation_invariant(self):
+        pred_a = {0: 0, 1: 0, 2: 1, 3: 1}
+        pred_b = {0: 7, 1: 7, 2: 3, 3: 3}
+        truth = PERFECT[1]
+        assert normalized_mutual_information(
+            pred_a, truth
+        ) == pytest.approx(normalized_mutual_information(pred_b, truth))
+
+    def test_independent_partitions_low(self):
+        rng = np.random.default_rng(0)
+        pred = {i: int(rng.integers(4)) for i in range(400)}
+        true = {i: int(rng.integers(4)) for i in range(400)}
+        assert normalized_mutual_information(pred, true) < 0.1
+
+    def test_bounded(self):
+        assert 0.0 <= normalized_mutual_information(*RANDOMISH) <= 1.0
+
+    def test_both_single_cluster(self):
+        pred = {0: 0, 1: 0}
+        assert normalized_mutual_information(pred, pred) == 1.0
+
+
+class TestARI:
+    def test_perfect(self):
+        assert adjusted_rand_index(*PERFECT) == pytest.approx(1.0)
+
+    def test_worse_than_perfect(self):
+        assert adjusted_rand_index(*RANDOMISH) < 1.0
+
+    def test_chance_near_zero(self):
+        rng = np.random.default_rng(1)
+        pred = {i: int(rng.integers(3)) for i in range(600)}
+        true = {i: int(rng.integers(3)) for i in range(600)}
+        assert abs(adjusted_rand_index(pred, true)) < 0.05
+
+    def test_bounded_above(self):
+        assert adjusted_rand_index(*RANDOMISH) <= 1.0
+
+
+class TestPairPrecisionRecall:
+    def test_perfect(self):
+        pairs = [(1, 2), (3, 4)]
+        p, r = pair_precision_recall(pairs, pairs)
+        assert (p, r) == (1.0, 1.0)
+
+    def test_order_insensitive(self):
+        p, r = pair_precision_recall([(2, 1)], [(1, 2)])
+        assert (p, r) == (1.0, 1.0)
+
+    def test_partial(self):
+        p, r = pair_precision_recall([(1, 2), (5, 6)], [(1, 2), (3, 4)])
+        assert p == 0.5
+        assert r == 0.5
+
+    def test_empty_predictions(self):
+        p, r = pair_precision_recall([], [(1, 2)])
+        assert (p, r) == (0.0, 0.0)
+
+    def test_empty_truth(self):
+        p, r = pair_precision_recall([(1, 2)], [])
+        assert p == 0.0
+        assert r == 1.0
+
+    def test_both_empty(self):
+        assert pair_precision_recall([], []) == (0.0, 1.0)

@@ -1,0 +1,51 @@
+"""Tests for repro.graph.components."""
+
+from repro.graph.components import component_labels, connected_components
+from repro.graph.sparse import SparseGraph
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        g = SparseGraph(3)
+        g.set_edge(0, 1, 1.0)
+        g.set_edge(1, 2, 1.0)
+        assert connected_components(g) == [[0, 1, 2]]
+
+    def test_isolated_vertices(self):
+        g = SparseGraph(3)
+        assert connected_components(g) == [[0], [1], [2]]
+
+    def test_mixed(self):
+        g = SparseGraph(5)
+        g.set_edge(0, 1, 1.0)
+        g.set_edge(3, 4, 1.0)
+        comps = connected_components(g)
+        assert comps == [[0, 1], [2], [3, 4]]
+
+    def test_deterministic_order(self):
+        g = SparseGraph(4)
+        g.set_edge(2, 3, 1.0)
+        g.set_edge(0, 1, 1.0)
+        assert connected_components(g)[0] == [0, 1]
+
+    def test_empty_graph(self):
+        assert connected_components(SparseGraph(0)) == []
+
+    def test_long_path_no_recursion_error(self):
+        """Iterative DFS must survive deep graphs."""
+        n = 5000
+        g = SparseGraph(n)
+        for i in range(n - 1):
+            g.set_edge(i, i + 1, 1.0)
+        comps = connected_components(g)
+        assert len(comps) == 1
+        assert len(comps[0]) == n
+
+
+class TestComponentLabels:
+    def test_labels_match_components(self):
+        g = SparseGraph(4)
+        g.set_edge(0, 1, 1.0)
+        labels = component_labels(g)
+        assert labels[0] == labels[1]
+        assert labels[2] != labels[3]

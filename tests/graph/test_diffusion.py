@@ -1,0 +1,113 @@
+"""Tests for repro.graph.diffusion (local maximal edges)."""
+
+import pytest
+
+from repro.graph.diffusion import best_incident_edge, local_maximal_edges
+from repro.graph.sparse import SparseGraph
+
+
+def paper_figure3_graph() -> SparseGraph:
+    """A graph in the spirit of paper Fig. 3 (13 vertices A..M → 0..12).
+
+    Designed so that edges (A,B)=0.9 and (E,F)=0.91 are the two local
+    maximal edges after two diffusion rounds: (E,F) is the global max
+    and (A,B) is more than two hops away from both E and F, so news of
+    the heavier edge cannot reach A or B within k=2.
+    """
+    g = SparseGraph(13)
+    A, B, C, D, E, F, G, H, I, J, K, L, M = range(13)
+    edges = [
+        (A, B, 0.9), (A, D, 0.62), (B, C, 0.7), (B, H, 0.61),
+        (B, K, 0.5), (C, J, 0.67), (D, I, 0.58), (I, K, 0.52),
+        (K, H, 0.53), (D, K, 0.48),
+        (E, F, 0.91), (F, G, 0.68), (F, L, 0.63), (G, L, 0.65),
+        (G, J, 0.71), (J, M, 0.74), (L, M, 0.61),
+    ]
+    for u, v, w in edges:
+        g.set_edge(u, v, w)
+    return g
+
+
+class TestBestIncidentEdge:
+    def test_picks_heaviest(self):
+        g = paper_figure3_graph()
+        rec = best_incident_edge(g, 0)  # A: edges 0.9 (B) and 0.62 (D)
+        assert rec[0] == 0.9
+
+    def test_isolated_vertex(self):
+        g = SparseGraph(2)
+        assert best_incident_edge(g, 0) is None
+
+
+class TestLocalMaximalEdges:
+    def test_paper_figure3_two_rounds(self):
+        """After k=2 diffusion the figure's (A,B) and (E,F) survive."""
+        g = paper_figure3_graph()
+        edges = local_maximal_edges(g, diffusion_rounds=2)
+        pairs = {(u, v) for u, v, _ in edges}
+        assert (0, 1) in pairs   # A-B
+        assert (4, 5) in pairs   # E-F
+
+    def test_more_rounds_fewer_or_equal_edges(self):
+        g = paper_figure3_graph()
+        counts = [
+            len(local_maximal_edges(g, diffusion_rounds=k)) for k in (1, 2, 4, 8)
+        ]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_global_max_always_survives(self):
+        g = paper_figure3_graph()
+        gm = g.max_edge()
+        for k in (1, 2, 5, 10):
+            edges = local_maximal_edges(g, diffusion_rounds=k)
+            assert (gm[0], gm[1], gm[2]) in edges
+
+    def test_vertex_disjoint(self):
+        """Returned edges can merge concurrently: no shared endpoints."""
+        g = paper_figure3_graph()
+        for k in (1, 2, 3):
+            seen = set()
+            for u, v, _ in local_maximal_edges(g, k):
+                assert u not in seen and v not in seen
+                seen.update((u, v))
+
+    def test_empty_graph(self):
+        assert local_maximal_edges(SparseGraph(5), 2) == []
+
+    def test_single_edge(self):
+        g = SparseGraph(2)
+        g.set_edge(0, 1, 0.4)
+        assert local_maximal_edges(g, 1) == [(0, 1, 0.4)]
+
+    def test_path_graph_alternating(self):
+        """On a path with increasing weights, only the heaviest local
+        maxima survive one round."""
+        g = SparseGraph(4)
+        g.set_edge(0, 1, 0.1)
+        g.set_edge(1, 2, 0.2)
+        g.set_edge(2, 3, 0.3)
+        edges = local_maximal_edges(g, 1)
+        assert edges == [(2, 3, 0.3)]
+
+    def test_tie_broken_deterministically(self):
+        g = SparseGraph(4)
+        g.set_edge(0, 1, 0.5)
+        g.set_edge(1, 2, 0.5)
+        g.set_edge(2, 3, 0.5)
+        a = local_maximal_edges(g, 1)
+        b = local_maximal_edges(g, 1)
+        assert a == b
+        # Lexicographically smallest pair wins the tie.
+        assert (0, 1, 0.5) in a
+
+    def test_rounds_validated(self):
+        with pytest.raises(ValueError):
+            local_maximal_edges(SparseGraph(1), 0)
+
+    def test_disconnected_components_independent(self):
+        g = SparseGraph(4)
+        g.set_edge(0, 1, 0.9)
+        g.set_edge(2, 3, 0.2)
+        edges = local_maximal_edges(g, 3)
+        assert (0, 1, 0.9) in edges
+        assert (2, 3, 0.2) in edges

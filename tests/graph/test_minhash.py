@@ -1,0 +1,166 @@
+"""Tests for repro.graph.minhash (MinHash + LSH)."""
+
+import numpy as np
+import pytest
+
+from repro._util import jaccard
+from repro.graph.minhash import LSHConfig, LSHIndex, MinHasher, estimate_jaccard
+
+
+class TestMinHasher:
+    def test_signature_length(self):
+        h = MinHasher(n_hashes=32, seed=0)
+        assert h.signature({1, 2, 3}).shape == (32,)
+
+    def test_deterministic(self):
+        a = MinHasher(16, seed=5).signature({1, 2, 3})
+        b = MinHasher(16, seed=5).signature({1, 2, 3})
+        assert (a == b).all()
+
+    def test_identical_sets_identical_signatures(self):
+        h = MinHasher(16, seed=0)
+        assert (h.signature({4, 5}) == h.signature({5, 4})).all()
+
+    def test_empty_set_sentinel(self):
+        h = MinHasher(8, seed=0)
+        sig = h.signature(set())
+        assert (sig == np.iinfo(np.int64).max).all()
+        # Never collides with a non-empty set.
+        assert estimate_jaccard(sig, h.signature({1})) == 0.0
+
+    def test_estimate_tracks_true_jaccard(self):
+        """With enough hashes the estimate concentrates on the truth."""
+        h = MinHasher(n_hashes=512, seed=1)
+        a = set(range(0, 100))
+        b = set(range(50, 150))  # true Jaccard = 50/150 = 1/3
+        est = estimate_jaccard(h.signature(a), h.signature(b))
+        assert est == pytest.approx(jaccard(a, b), abs=0.07)
+
+    def test_estimate_disjoint_near_zero(self):
+        h = MinHasher(n_hashes=256, seed=2)
+        est = estimate_jaccard(
+            h.signature(set(range(100))), h.signature(set(range(1000, 1100)))
+        )
+        assert est < 0.05
+
+    def test_mismatched_signatures_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_jaccard(np.zeros(4), np.zeros(8))
+
+    def test_n_hashes_validated(self):
+        with pytest.raises(ValueError):
+            MinHasher(0)
+
+
+class TestLSHConfig:
+    def test_collision_probability_monotone(self):
+        cfg = LSHConfig(bands=16, rows_per_band=4)
+        probs = [cfg.collision_probability(s) for s in (0.1, 0.3, 0.5, 0.9)]
+        assert probs == sorted(probs)
+        assert probs[0] < 0.5 < probs[-1]
+
+    def test_n_hashes(self):
+        assert LSHConfig(bands=8, rows_per_band=3).n_hashes == 24
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LSHConfig(bands=0)
+
+
+class TestLSHIndex:
+    def _index_with_clusters(self, seed=0):
+        """20 entities in two query-set clusters of high internal Jaccard."""
+        rng = np.random.default_rng(seed)
+        index = LSHIndex(LSHConfig(bands=32, rows_per_band=2, seed=0))
+        sets = {}
+        base_a = set(range(0, 40))
+        base_b = set(range(100, 140))
+        for e in range(10):
+            drop = set(rng.choice(sorted(base_a), size=6, replace=False).tolist())
+            sets[e] = frozenset(base_a - drop)
+        for e in range(10, 20):
+            drop = set(rng.choice(sorted(base_b), size=6, replace=False).tolist())
+            sets[e] = frozenset(base_b - drop)
+        index.add_all(sets)
+        return index, sets
+
+    def test_high_jaccard_pairs_are_candidates(self):
+        index, sets = self._index_with_clusters()
+        pairs = index.candidate_pairs()
+        # Within-cluster pairs (Jaccard ~0.7+) should nearly all collide.
+        within = [(a, b) for a in range(10) for b in range(a + 1, 10)]
+        hit = sum(1 for p in within if p in pairs)
+        assert hit / len(within) > 0.9
+
+    def test_low_jaccard_pairs_mostly_filtered(self):
+        index, sets = self._index_with_clusters()
+        pairs = index.candidate_pairs()
+        across = [(a, b) for a in range(10) for b in range(10, 20)]
+        hit = sum(1 for p in across if p in pairs)
+        assert hit / len(across) < 0.2
+
+    def test_candidates_of_symmetric(self):
+        index, _ = self._index_with_clusters()
+        for e in range(20):
+            for other in index.candidates_of(e):
+                assert e in index.candidates_of(other)
+
+    def test_estimate_available_for_indexed(self):
+        index, sets = self._index_with_clusters()
+        est = index.estimate(0, 1)
+        assert 0.3 < est <= 1.0
+
+    def test_duplicate_add_rejected(self):
+        index = LSHIndex()
+        index.add(0, {1, 2})
+        with pytest.raises(ValueError):
+            index.add(0, {3})
+
+    def test_len(self):
+        index, _ = self._index_with_clusters()
+        assert len(index) == 20
+
+
+class TestEntityGraphLSHIntegration:
+    def test_lsh_mode_preserves_quality(self, tiny_marketplace):
+        """LSH candidates must recover most exact edges and identical
+        downstream clustering quality."""
+        from dataclasses import replace
+
+        from repro.core.config import ShoalConfig
+        from repro.core.pipeline import ShoalPipeline
+        from repro.eval.metrics import normalized_mutual_information
+
+        cfg = ShoalConfig()
+        exact = ShoalPipeline(cfg).fit(tiny_marketplace)
+        lsh_cfg = replace(
+            cfg,
+            entity_graph=replace(cfg.entity_graph, candidate_source="lsh"),
+        )
+        approx = ShoalPipeline(lsh_cfg).fit(tiny_marketplace)
+
+        e_exact = {(u, v) for u, v, _ in exact.entity_graph.edges()}
+        e_lsh = {(u, v) for u, v, _ in approx.entity_graph.edges()}
+        assert len(e_exact & e_lsh) / len(e_exact) > 0.7
+        # LSH never invents edges the exact path would reject: every LSH
+        # edge passes the same similarity threshold.
+        for _, _, w in approx.entity_graph.edges():
+            assert w >= cfg.entity_graph.min_similarity
+
+        truth = {
+            e.entity_id: e.scenario_id
+            for e in tiny_marketplace.catalog.entities
+        }
+        nmi_exact = normalized_mutual_information(
+            exact.clustering.dendrogram.root_partition(), truth
+        )
+        nmi_lsh = normalized_mutual_information(
+            approx.clustering.dendrogram.root_partition(), truth
+        )
+        assert nmi_lsh >= nmi_exact - 0.1
+
+    def test_invalid_source_rejected(self):
+        from repro.graph.entity_graph import EntityGraphConfig
+
+        with pytest.raises(ValueError, match="candidate_source"):
+            EntityGraphConfig(candidate_source="magic")

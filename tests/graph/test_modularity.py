@@ -1,0 +1,73 @@
+"""Tests for repro.graph.modularity (Newman–Girvan)."""
+
+import pytest
+
+from repro.graph.modularity import modularity, partition_from_labels, weighted_modularity
+from repro.graph.sparse import SparseGraph
+
+
+def two_cliques(bridge_weight: float = 0.1) -> SparseGraph:
+    """Two 4-cliques joined by one weak edge — textbook community graph."""
+    g = SparseGraph(8)
+    for base in (0, 4):
+        for i in range(4):
+            for j in range(i + 1, 4):
+                g.set_edge(base + i, base + j, 1.0)
+    g.set_edge(0, 4, bridge_weight)
+    return g
+
+
+class TestModularity:
+    def test_good_partition_positive(self):
+        g = two_cliques()
+        labels = {v: 0 if v < 4 else 1 for v in range(8)}
+        assert modularity(g, labels) > 0.3
+
+    def test_single_community_zero(self):
+        """All vertices in one community: Q = 0 exactly."""
+        g = two_cliques()
+        labels = {v: 0 for v in range(8)}
+        assert modularity(g, labels) == pytest.approx(0.0)
+
+    def test_good_beats_random_partition(self):
+        g = two_cliques()
+        good = {v: 0 if v < 4 else 1 for v in range(8)}
+        bad = {v: v % 2 for v in range(8)}
+        assert modularity(g, good) > modularity(g, bad)
+
+    def test_singletons_negative_or_zero(self):
+        g = two_cliques()
+        labels = {v: v for v in range(8)}
+        assert modularity(g, labels) < 0.0
+
+    def test_weighted_sensitivity(self):
+        """A heavier bridge lowers the two-community modularity."""
+        weak = two_cliques(0.1)
+        strong = two_cliques(5.0)
+        labels = {v: 0 if v < 4 else 1 for v in range(8)}
+        assert modularity(weak, labels) > modularity(strong, labels)
+
+    def test_empty_graph_zero(self):
+        g = SparseGraph(3)
+        assert modularity(g, {0: 0, 1: 0, 2: 1}) == 0.0
+
+    def test_missing_label_rejected(self):
+        g = two_cliques()
+        with pytest.raises(ValueError, match="no community label"):
+            modularity(g, {0: 0})
+
+    def test_alias(self):
+        g = two_cliques()
+        labels = {v: 0 if v < 4 else 1 for v in range(8)}
+        assert modularity(g, labels) == weighted_modularity(g, labels)
+
+    def test_bounded_above_by_one(self):
+        g = two_cliques()
+        labels = {v: 0 if v < 4 else 1 for v in range(8)}
+        assert modularity(g, labels) < 1.0
+
+
+class TestPartitionFromLabels:
+    def test_grouping(self):
+        groups = partition_from_labels({0: 5, 1: 5, 2: 9})
+        assert groups == {5: [0, 1], 9: [2]}

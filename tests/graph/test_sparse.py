@@ -1,0 +1,129 @@
+"""Tests for repro.graph.sparse (SparseGraph)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.sparse import SparseGraph
+
+
+@pytest.fixture
+def triangle() -> SparseGraph:
+    g = SparseGraph(3)
+    g.set_edge(0, 1, 0.9)
+    g.set_edge(1, 2, 0.5)
+    g.set_edge(0, 2, 0.7)
+    return g
+
+
+class TestVertices:
+    def test_initial_vertices(self):
+        g = SparseGraph(4)
+        assert g.n_vertices == 4
+        assert g.vertices() == [0, 1, 2, 3]
+
+    def test_add_vertex_idempotent(self):
+        g = SparseGraph(1)
+        g.add_vertex(5)
+        g.add_vertex(5)
+        assert g.n_vertices == 2
+
+    def test_negative_vertex_rejected(self):
+        g = SparseGraph(0)
+        with pytest.raises(ValueError):
+            g.add_vertex(-1)
+
+    def test_remove_vertex_removes_incident_edges(self, triangle):
+        triangle.remove_vertex(1)
+        assert triangle.n_vertices == 2
+        assert triangle.n_edges == 1
+        assert triangle.has_edge(0, 2)
+        assert not triangle.has_edge(0, 1)
+
+    def test_degree_and_strength(self, triangle):
+        assert triangle.degree(0) == 2
+        assert triangle.weighted_degree(0) == pytest.approx(1.6)
+
+
+class TestEdges:
+    def test_symmetric(self, triangle):
+        assert triangle.weight(0, 1) == triangle.weight(1, 0) == 0.9
+
+    def test_missing_edge_default(self, triangle):
+        triangle_g = triangle
+        assert triangle_g.weight(0, 99) == 0.0
+        assert triangle_g.weight(0, 99, default=-1.0) == -1.0
+
+    def test_self_loop_rejected(self):
+        g = SparseGraph(2)
+        with pytest.raises(ValueError, match="self-loop"):
+            g.set_edge(1, 1, 0.5)
+
+    def test_update_edge_keeps_count(self, triangle):
+        triangle.set_edge(0, 1, 0.4)
+        assert triangle.n_edges == 3
+        assert triangle.weight(0, 1) == 0.4
+
+    def test_remove_edge(self, triangle):
+        triangle.remove_edge(0, 1)
+        assert not triangle.has_edge(0, 1)
+        assert triangle.n_edges == 2
+
+    def test_remove_missing_edge_raises(self, triangle):
+        with pytest.raises(KeyError):
+            triangle.remove_edge(0, 99)
+
+    def test_edges_canonical_sorted(self, triangle):
+        e = triangle.edge_list()
+        assert e == [(0, 1, 0.9), (0, 2, 0.7), (1, 2, 0.5)]
+
+    def test_total_weight(self, triangle):
+        assert triangle.total_weight() == pytest.approx(2.1)
+
+    def test_max_edge(self, triangle):
+        assert triangle.max_edge() == (0, 1, 0.9)
+
+    def test_max_edge_tie_deterministic(self):
+        g = SparseGraph(4)
+        g.set_edge(2, 3, 0.5)
+        g.set_edge(0, 1, 0.5)
+        assert g.max_edge() == (0, 1, 0.5)
+
+    def test_max_edge_empty(self):
+        assert SparseGraph(3).max_edge() is None
+
+    def test_neighbors_copy(self, triangle):
+        n = triangle.neighbors(0)
+        n[1] = 99.0
+        assert triangle.weight(0, 1) == 0.9
+
+
+class TestBulk:
+    def test_from_edges_max_on_duplicate(self):
+        g = SparseGraph.from_edges(3, [(0, 1, 0.3), (1, 0, 0.8)])
+        assert g.weight(0, 1) == 0.8
+        assert g.n_edges == 1
+
+    def test_adjacency_arrays(self, triangle):
+        us, vs, ws = triangle.adjacency_arrays()
+        assert list(us) == [0, 0, 1]
+        assert list(vs) == [1, 2, 2]
+        assert ws.dtype == float
+
+    def test_adjacency_arrays_empty(self):
+        us, vs, ws = SparseGraph(2).adjacency_arrays()
+        assert len(us) == len(vs) == len(ws) == 0
+
+    def test_copy_independent(self, triangle):
+        c = triangle.copy()
+        c.remove_edge(0, 1)
+        assert triangle.has_edge(0, 1)
+        assert not c.has_edge(0, 1)
+
+    def test_subgraph(self, triangle):
+        sub = triangle.subgraph([0, 1])
+        assert sub.n_vertices == 2
+        assert sub.has_edge(0, 1)
+        assert not sub.has_edge(0, 2)
+
+    def test_repr(self, triangle):
+        assert "SparseGraph" in repr(triangle)

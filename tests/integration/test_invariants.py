@@ -1,0 +1,143 @@
+"""Cross-seed structural invariants of the fitted system.
+
+These hold for *any* marketplace the generator can produce, so they run
+over several seeds: the taxonomy must be a coherent forest over real
+entities, the entity graph must respect its config, descriptions must
+come from real queries, and the correlation graph must follow Eq. 5's
+definition exactly.
+"""
+
+import pytest
+
+from repro.core.config import ShoalConfig
+from repro.core.pipeline import ShoalPipeline
+from repro.data.marketplace import PROFILES, generate_marketplace
+
+SEEDS = (0, 7, 23)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def seeded_world(request):
+    market = generate_marketplace(PROFILES["tiny"].with_seed(request.param))
+    model = ShoalPipeline(ShoalConfig()).fit(market)
+    return market, model
+
+
+class TestTaxonomyInvariants:
+    def test_topics_form_a_forest(self, seeded_world):
+        _, model = seeded_world
+        taxonomy = model.taxonomy
+        for topic in taxonomy:
+            if topic.parent_id is not None:
+                parent = taxonomy.topic(topic.parent_id)
+                assert topic.topic_id in parent.child_ids
+                assert topic.level == parent.level + 1
+            for child_id in topic.child_ids:
+                assert taxonomy.topic(child_id).parent_id == topic.topic_id
+
+    def test_children_entities_subset_of_parent(self, seeded_world):
+        _, model = seeded_world
+        taxonomy = model.taxonomy
+        for topic in taxonomy:
+            parent_set = set(topic.entity_ids)
+            for child_id in topic.child_ids:
+                assert set(taxonomy.topic(child_id).entity_ids) <= parent_set
+
+    def test_sibling_entities_disjoint(self, seeded_world):
+        _, model = seeded_world
+        taxonomy = model.taxonomy
+        for topic in taxonomy:
+            seen = set()
+            for child_id in topic.child_ids:
+                members = set(taxonomy.topic(child_id).entity_ids)
+                assert not (members & seen)
+                seen |= members
+
+    def test_topic_sizes_meet_minimum(self, seeded_world):
+        _, model = seeded_world
+        for topic in model.taxonomy:
+            assert topic.size >= model.config.min_topic_size
+
+    def test_topic_categories_match_entities(self, seeded_world):
+        market, model = seeded_world
+        entity_cat = {
+            e.entity_id: e.category_id for e in market.catalog.entities
+        }
+        for topic in model.taxonomy:
+            expected = sorted({entity_cat[e] for e in topic.entity_ids})
+            assert topic.category_ids == expected
+
+    def test_merge_similarity_decreases_up_the_tree(self, seeded_world):
+        """A parent merge happened at a similarity no higher than its
+        children's merges would suggest is typical — weak form: child
+        formation similarity >= parent's for direct sub-topics."""
+        _, model = seeded_world
+        taxonomy = model.taxonomy
+        for topic in taxonomy:
+            for child_id in topic.child_ids:
+                child = taxonomy.topic(child_id)
+                assert child.similarity >= topic.similarity - 1e-9
+
+
+class TestGraphInvariants:
+    def test_edge_weights_respect_config(self, seeded_world):
+        _, model = seeded_world
+        floor = model.config.entity_graph.min_similarity
+        for _, _, w in model.entity_graph.edges():
+            assert floor <= w <= 1.0
+
+    def test_graph_vertices_are_clicked_entities(self, seeded_world):
+        _, model = seeded_world
+        clicked = set(model.bipartite.entity_ids())
+        assert set(model.entity_graph.vertices()) == clicked
+
+    def test_every_merge_used_a_live_edge(self, seeded_world):
+        _, model = seeded_world
+        threshold = model.config.clustering.similarity_threshold
+        for m in model.clustering.dendrogram.merges:
+            assert m.similarity >= threshold
+
+
+class TestDescriptionInvariants:
+    def test_descriptions_are_clicked_queries(self, seeded_world):
+        """A topic's tags must be queries that actually clicked one of
+        its entities — never borrowed from elsewhere."""
+        _, model = seeded_world
+        text_to_qid = {v: k for k, v in model.query_texts.items()}
+        for topic in model.taxonomy:
+            clicked_queries = set()
+            for e in topic.entity_ids:
+                clicked_queries |= model.bipartite.queries_of_entity(e)
+            for d in topic.descriptions:
+                assert text_to_qid[d] in clicked_queries
+
+    def test_scores_consistent_with_factors(self, seeded_world):
+        import math
+
+        _, model = seeded_world
+        for scores in model.descriptions.values():
+            for s in scores:
+                assert s.representativeness == pytest.approx(
+                    math.sqrt(max(0.0, s.popularity) * max(0.0, s.concentration))
+                )
+
+
+class TestCorrelationInvariants:
+    def test_eq5_exact(self, seeded_world):
+        """Every reported strength equals the root-topic co-occurrence
+        count, and every pair above threshold is present."""
+        _, model = seeded_world
+        counts = {}
+        for topic in model.taxonomy.root_topics():
+            cats = sorted(set(topic.category_ids))
+            for i in range(len(cats)):
+                for j in range(i + 1, len(cats)):
+                    key = (cats[i], cats[j])
+                    counts[key] = counts.get(key, 0) + 1
+        graph = model.correlations
+        threshold = model.config.correlation.min_strength
+        for (a, b), c in counts.items():
+            if c >= threshold:
+                assert graph.strength(a, b) == c
+            else:
+                assert graph.strength(a, b) == 0

@@ -1,0 +1,55 @@
+"""Tests for repro.pregel.aggregators."""
+
+from repro.pregel.aggregators import MaxAggregator, OrAggregator, SumAggregator
+
+
+class TestMaxAggregator:
+    def test_identity_none(self):
+        assert MaxAggregator().value is None
+
+    def test_accumulate(self):
+        a = MaxAggregator()
+        a.accumulate(3)
+        a.accumulate(1)
+        a.accumulate(7)
+        assert a.value == 7
+
+    def test_reset(self):
+        a = MaxAggregator()
+        a.accumulate(5)
+        a.reset()
+        assert a.value is None
+
+    def test_tuple_ordering(self):
+        a = MaxAggregator()
+        a.accumulate((0.5, -1, -2))
+        a.accumulate((0.9, -3, -4))
+        assert a.value == (0.9, -3, -4)
+
+
+class TestSumAggregator:
+    def test_identity_zero(self):
+        assert SumAggregator().value == 0
+
+    def test_accumulate(self):
+        a = SumAggregator()
+        for v in (1, 2, 3.5):
+            a.accumulate(v)
+        assert a.value == 6.5
+
+
+class TestOrAggregator:
+    def test_identity_false(self):
+        assert OrAggregator().value is False
+
+    def test_any_true_wins(self):
+        a = OrAggregator()
+        a.accumulate(False)
+        a.accumulate(True)
+        a.accumulate(False)
+        assert a.value is True
+
+    def test_all_false(self):
+        a = OrAggregator()
+        a.accumulate(False)
+        assert a.value is False

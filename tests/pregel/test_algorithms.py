@@ -1,0 +1,119 @@
+"""Tests for repro.pregel.algorithms (vertex-program library)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.components import component_labels, connected_components
+from repro.graph.sparse import SparseGraph
+from repro.pregel.algorithms import (
+    pregel_connected_components,
+    pregel_degrees,
+    pregel_pagerank,
+)
+
+
+def sample_graph() -> SparseGraph:
+    """Two components: a triangle {0,1,2} and an edge {3,4}; 5 isolated."""
+    g = SparseGraph(6)
+    g.set_edge(0, 1, 1.0)
+    g.set_edge(1, 2, 0.5)
+    g.set_edge(0, 2, 0.8)
+    g.set_edge(3, 4, 1.0)
+    return g
+
+
+class TestPregelComponents:
+    def test_matches_reference_implementation(self):
+        g = sample_graph()
+        pregel = pregel_connected_components(g)
+        reference = component_labels(g)
+        # Same grouping (labels differ: pregel uses min member id).
+        for u in g.vertices():
+            for v in g.vertices():
+                assert (pregel[u] == pregel[v]) == (
+                    reference[u] == reference[v]
+                )
+
+    def test_labels_are_min_member(self):
+        labels = pregel_connected_components(sample_graph())
+        assert labels[0] == labels[1] == labels[2] == 0
+        assert labels[3] == labels[4] == 3
+        assert labels[5] == 5
+
+    def test_long_chain(self):
+        n = 60
+        g = SparseGraph(n)
+        for i in range(n - 1):
+            g.set_edge(i, i + 1, 1.0)
+        labels = pregel_connected_components(g)
+        assert set(labels.values()) == {0}
+
+    def test_random_graph_matches_reference(self):
+        rng = np.random.default_rng(0)
+        g = SparseGraph(30)
+        for _ in range(25):
+            u, v = rng.integers(0, 30, size=2)
+            if u != v:
+                g.set_edge(int(u), int(v), 1.0)
+        pregel = pregel_connected_components(g)
+        groups = {}
+        for v, c in pregel.items():
+            groups.setdefault(c, set()).add(v)
+        expected = {frozenset(c) for c in map(set, connected_components(g))}
+        assert {frozenset(m) for m in groups.values()} == expected
+
+
+class TestPregelPageRank:
+    def test_ranks_sum_to_one_on_connected_graph(self):
+        g = SparseGraph(4)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                g.set_edge(i, j, 1.0)
+        ranks = pregel_pagerank(g, iterations=30)
+        assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_symmetric_graph_uniform_ranks(self):
+        g = SparseGraph(4)
+        g.set_edge(0, 1, 1.0)
+        g.set_edge(1, 2, 1.0)
+        g.set_edge(2, 3, 1.0)
+        g.set_edge(3, 0, 1.0)
+        ranks = pregel_pagerank(g, iterations=40)
+        vals = list(ranks.values())
+        assert max(vals) - min(vals) < 1e-9
+
+    def test_hub_ranks_highest(self):
+        """A star's center collects rank from every leaf."""
+        g = SparseGraph(6)
+        for leaf in range(1, 6):
+            g.set_edge(0, leaf, 1.0)
+        ranks = pregel_pagerank(g, iterations=30)
+        assert ranks[0] == max(ranks.values())
+
+    def test_weights_matter(self):
+        """Vertex 1 gets more of 0's rank than vertex 2 when its edge is
+        heavier."""
+        g = SparseGraph(3)
+        g.set_edge(0, 1, 10.0)
+        g.set_edge(0, 2, 1.0)
+        ranks = pregel_pagerank(g, iterations=30)
+        assert ranks[1] > ranks[2]
+
+    def test_empty_graph(self):
+        assert pregel_pagerank(SparseGraph(0)) == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pregel_pagerank(SparseGraph(2), iterations=0)
+        with pytest.raises(ValueError):
+            pregel_pagerank(SparseGraph(2), damping=1.5)
+
+
+class TestPregelDegrees:
+    def test_matches_graph(self):
+        g = sample_graph()
+        out = pregel_degrees(g)
+        for v in g.vertices():
+            degree, strength = out[v]
+            assert degree == g.degree(v)
+            assert strength == pytest.approx(g.weighted_degree(v))

@@ -1,0 +1,188 @@
+"""Tests for repro.pregel.engine (BSP superstep execution)."""
+
+import pytest
+
+from repro.pregel.aggregators import MaxAggregator, SumAggregator
+from repro.pregel.engine import PregelConfig, PregelEngine
+from repro.pregel.messages import combine_max
+from repro.pregel.vertex import Vertex
+
+
+class EchoOnce(Vertex):
+    """Sends its id to neighbors at step 0, stores received ids, halts."""
+
+    def compute(self, ctx, messages):
+        if ctx.superstep == 0:
+            ctx.send_to_neighbors(self.vertex_id)
+            self.value = []
+        else:
+            self.value = sorted(set(self.value + messages))
+        ctx.vote_to_halt()
+
+
+class MaxPropagate(Vertex):
+    """Classic Pregel example: propagate the global max vertex value."""
+
+    def compute(self, ctx, messages):
+        new_value = max([self.value] + messages)
+        if ctx.superstep == 0 or new_value > self.value:
+            self.value = new_value
+            ctx.send_to_neighbors(self.value)
+        ctx.vote_to_halt()
+
+
+class Counter(Vertex):
+    """Contributes 1 to a sum aggregator each superstep, runs 3 steps."""
+
+    def compute(self, ctx, messages):
+        ctx.aggregate("count", 1)
+        if ctx.superstep >= 2:
+            ctx.vote_to_halt()
+        else:
+            ctx.send(self.vertex_id, "tick")  # self-message keeps it alive
+
+
+def ring(n, vertex_cls, value=0):
+    vertices = []
+    for i in range(n):
+        edges = {(i - 1) % n: 1.0, (i + 1) % n: 1.0}
+        vertices.append(vertex_cls(i, value, edges))
+    return vertices
+
+
+class TestBasicExecution:
+    def test_echo_delivers_neighbor_ids(self):
+        engine = PregelEngine(ring(4, EchoOnce, value=None))
+        result = engine.run()
+        assert result.halted
+        assert engine.vertex(0).value == [1, 3]
+        assert engine.vertex(2).value == [1, 3]
+
+    def test_max_propagation_converges(self):
+        vertices = ring(10, MaxPropagate)
+        for v in vertices:
+            v.value = int(v.vertex_id)
+        engine = PregelEngine(vertices)
+        result = engine.run()
+        assert result.halted
+        assert all(v.value == 9 for v in engine.vertices())
+        # On a 10-ring, news takes ~5 supersteps to wrap around.
+        assert 5 <= result.supersteps <= 8
+
+    def test_superstep_cap(self):
+        class Restless(Vertex):
+            def compute(self, ctx, messages):
+                ctx.send(self.vertex_id, "again")
+
+        engine = PregelEngine(
+            [Restless(0, None, {})], PregelConfig(max_supersteps=5)
+        )
+        result = engine.run()
+        assert not result.halted
+        assert result.supersteps == 5
+
+    def test_all_halted_immediately(self):
+        class Sleeper(Vertex):
+            def compute(self, ctx, messages):
+                ctx.vote_to_halt()
+
+        engine = PregelEngine([Sleeper(i, None, {}) for i in range(3)])
+        result = engine.run()
+        assert result.halted
+        assert result.supersteps == 1
+
+    def test_message_reactivates_halted_vertex(self):
+        engine = PregelEngine(ring(4, EchoOnce, value=None))
+        engine.run()
+        # All vertices processed their inbox in superstep 1 then halted.
+        assert all(not v.active for v in engine.vertices())
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            PregelEngine([Vertex(0), Vertex(0)])
+
+
+class TestAggregators:
+    def test_sum_aggregator_counts(self):
+        engine = PregelEngine(
+            [Counter(i, None, {}) for i in range(4)],
+            aggregators={"count": SumAggregator()},
+        )
+        result = engine.run()
+        # Last superstep's reduction: all 4 vertices contributed.
+        assert result.aggregators["count"] == 4
+
+    def test_aggregated_visible_next_superstep(self):
+        seen = {}
+
+        class Reader(Vertex):
+            def compute(self, ctx, messages):
+                if ctx.superstep == 0:
+                    ctx.aggregate("m", self.vertex_id)
+                    ctx.send(self.vertex_id, "tick")
+                else:
+                    seen[self.vertex_id] = ctx.aggregated("m")
+                    ctx.vote_to_halt()
+
+        engine = PregelEngine(
+            [Reader(i, None, {}) for i in range(3)],
+            aggregators={"m": MaxAggregator()},
+        )
+        engine.run()
+        assert seen == {0: 2, 1: 2, 2: 2}
+
+    def test_unknown_aggregator_raises(self):
+        class Bad(Vertex):
+            def compute(self, ctx, messages):
+                ctx.aggregate("missing", 1)
+
+        engine = PregelEngine([Bad(0, None, {})])
+        with pytest.raises(KeyError):
+            engine.run()
+
+
+class TestStatsAndCombiner:
+    def test_stats_recorded(self):
+        engine = PregelEngine(ring(6, EchoOnce, value=None), PregelConfig(n_workers=2))
+        result = engine.run()
+        assert result.stats[0].active_vertices == 6
+        assert result.stats[0].messages_sent == 12  # 2 per vertex
+        assert result.total_messages == 12
+        assert 0 <= result.total_remote_messages <= 12
+        assert result.critical_path_work() >= result.supersteps
+
+    def test_remote_fraction(self):
+        engine = PregelEngine(ring(6, EchoOnce, value=None), PregelConfig(n_workers=3))
+        result = engine.run()
+        s = result.stats[0]
+        assert 0.0 <= s.remote_fraction <= 1.0
+
+    def test_combiner_reduces_delivery(self):
+        class SendMany(Vertex):
+            def compute(self, ctx, messages):
+                if ctx.superstep == 0:
+                    for val in (1, 5, 3):
+                        ctx.send(1 - self.vertex_id, val)
+                else:
+                    self.value = messages
+                ctx.vote_to_halt()
+
+        engine = PregelEngine(
+            [SendMany(0, None, {}), SendMany(1, None, {})],
+            PregelConfig(combiner=combine_max),
+        )
+        engine.run()
+        assert engine.vertex(0).value == [5]
+        assert engine.vertex(1).value == [5]
+
+    def test_remove_edge_applied_after_superstep(self):
+        class Cutter(Vertex):
+            def compute(self, ctx, messages):
+                if ctx.superstep == 0:
+                    ctx.remove_edge(1)
+                ctx.vote_to_halt()
+
+        v = Cutter(0, None, {1: 1.0})
+        engine = PregelEngine([v])
+        engine.run()
+        assert v.edges == {}

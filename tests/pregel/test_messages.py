@@ -1,0 +1,71 @@
+"""Tests for repro.pregel.messages (router and combiners)."""
+
+import pytest
+
+from repro.pregel.messages import MessageRouter, combine_max, combine_sum
+from repro.pregel.partition import HashPartitioner
+
+
+class TestCombiners:
+    def test_combine_max(self):
+        assert combine_max([3, 9, 1]) == [9]
+
+    def test_combine_max_empty(self):
+        assert combine_max([]) == []
+
+    def test_combine_sum(self):
+        assert combine_sum([1, 2, 3]) == [6]
+
+    def test_combine_sum_empty(self):
+        assert combine_sum([]) == []
+
+
+class TestRouter:
+    def test_flush_delivers_grouped(self):
+        r = MessageRouter(HashPartitioner(2))
+        r.post(0, 1, "a")
+        r.post(0, 1, "b")
+        r.post(0, 2, "c")
+        inboxes = r.flush()
+        assert inboxes == {1: ["a", "b"], 2: ["c"]}
+
+    def test_flush_clears(self):
+        r = MessageRouter(HashPartitioner(2))
+        r.post(0, 1, "x")
+        r.flush()
+        assert r.flush() == {}
+        assert not r.has_pending()
+
+    def test_combiner_applied_per_target(self):
+        r = MessageRouter(HashPartitioner(2), combiner=combine_max)
+        r.post(0, 1, 5)
+        r.post(0, 1, 9)
+        r.post(0, 2, 1)
+        inboxes = r.flush()
+        assert inboxes == {1: [9], 2: [1]}
+
+    def test_stats_total_and_remote(self):
+        p = HashPartitioner(2)
+        r = MessageRouter(p)
+        # Find a local and a remote pair deterministically.
+        local = next(v for v in range(1, 50) if not p.is_remote(0, v))
+        remote = next(v for v in range(1, 50) if p.is_remote(0, v))
+        r.post(0, local, "m")
+        r.post(0, remote, "m")
+        assert r.sent_total == 2
+        assert r.sent_remote == 1
+
+    def test_reset_stats(self):
+        r = MessageRouter(HashPartitioner(2))
+        r.post(0, 1, "m")
+        r.reset_stats()
+        assert r.sent_total == 0
+
+    def test_pending_per_worker(self):
+        p = HashPartitioner(2)
+        r = MessageRouter(p)
+        r.post(0, 1, "m")
+        r.post(0, 1, "m")
+        per = r.pending_per_worker()
+        assert sum(per.values()) == 2
+        assert set(per) == {0, 1}

@@ -1,0 +1,49 @@
+"""Tests for repro.pregel.partition (hash partitioner)."""
+
+import pytest
+
+from repro.pregel.partition import HashPartitioner
+
+
+class TestHashPartitioner:
+    def test_worker_range(self):
+        p = HashPartitioner(4)
+        for vid in range(200):
+            assert 0 <= p.worker_of(vid) < 4
+
+    def test_deterministic(self):
+        p1 = HashPartitioner(8)
+        p2 = HashPartitioner(8)
+        for vid in range(100):
+            assert p1.worker_of(vid) == p2.worker_of(vid)
+
+    def test_roughly_balanced(self):
+        p = HashPartitioner(4)
+        groups = p.partition(list(range(4000)))
+        sizes = [len(v) for v in groups.values()]
+        assert min(sizes) > 700  # ±30% of the 1000 ideal
+
+    def test_partition_includes_empty_workers(self):
+        p = HashPartitioner(10)
+        groups = p.partition([1])
+        assert set(groups) == set(range(10))
+
+    def test_string_keys(self):
+        p = HashPartitioner(3)
+        assert p.worker_of("alpha") == p.worker_of("alpha")
+        assert 0 <= p.worker_of("alpha") < 3
+
+    def test_is_remote(self):
+        p = HashPartitioner(2)
+        same = [v for v in range(50) if p.worker_of(v) == p.worker_of(0)]
+        other = [v for v in range(50) if p.worker_of(v) != p.worker_of(0)]
+        assert not p.is_remote(0, same[0])
+        assert p.is_remote(0, other[0])
+
+    def test_single_worker_nothing_remote(self):
+        p = HashPartitioner(1)
+        assert not p.is_remote(3, 99)
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)

@@ -1,0 +1,220 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro._util import jaccard
+from repro.clustering.dendrogram import Dendrogram, Merge
+from repro.clustering.hac import HACConfig, SequentialHAC
+from repro.clustering.linkage import LINKAGES, sqrt_linkage
+from repro.clustering.membership import MembershipTracker
+from repro.clustering.parallel_hac import ParallelHAC, ParallelHACConfig
+from repro.graph.diffusion import local_maximal_edges
+from repro.graph.modularity import modularity
+from repro.graph.sparse import SparseGraph
+
+# -- strategies -----------------------------------------------------------
+
+
+@st.composite
+def sparse_graphs(draw, max_vertices=14, max_extra_edges=20):
+    """Random small weighted graphs (weights in (0, 1])."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    g = SparseGraph(n)
+    n_edges = draw(st.integers(min_value=0, max_value=max_extra_edges))
+    for _ in range(n_edges):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            continue
+        w = draw(
+            st.floats(min_value=0.01, max_value=1.0,
+                      allow_nan=False, allow_infinity=False)
+        )
+        g.set_edge(u, v, round(w, 6))
+    return g
+
+
+similarities = st.floats(min_value=0.0, max_value=1.0,
+                         allow_nan=False, allow_infinity=False)
+sizes = st.integers(min_value=1, max_value=10_000)
+
+
+# -- linkage properties ------------------------------------------------------
+
+
+class TestLinkageProperties:
+    @given(similarities, similarities, sizes, sizes)
+    def test_sqrt_linkage_bounded_by_inputs(self, a, b, na, nb):
+        s = sqrt_linkage(a, b, na, nb)
+        assert min(a, b) - 1e-12 <= s <= max(a, b) + 1e-12
+
+    @given(similarities, similarities, sizes, sizes)
+    def test_sqrt_linkage_symmetric(self, a, b, na, nb):
+        assert sqrt_linkage(a, b, na, nb) == pytest.approx(
+            sqrt_linkage(b, a, nb, na)
+        )
+
+    @given(similarities, sizes, sizes)
+    def test_equal_inputs_fixed_point(self, a, na, nb):
+        """All linkages agree when both edges have the same weight."""
+        for name, fn in LINKAGES.items():
+            assert fn(a, a, na, nb) == pytest.approx(a), name
+
+    @given(similarities, similarities, sizes)
+    def test_equal_sizes_is_plain_mean(self, a, b, n):
+        assert sqrt_linkage(a, b, n, n) == pytest.approx((a + b) / 2)
+
+
+# -- jaccard properties ----------------------------------------------------
+
+
+class TestJaccardProperties:
+    @given(st.sets(st.integers(0, 50)), st.sets(st.integers(0, 50)))
+    def test_bounded(self, a, b):
+        assert 0.0 <= jaccard(a, b) <= 1.0
+
+    @given(st.sets(st.integers(0, 50)), st.sets(st.integers(0, 50)))
+    def test_symmetric(self, a, b):
+        assert jaccard(a, b) == jaccard(b, a)
+
+    @given(st.sets(st.integers(0, 50), min_size=1))
+    def test_self_is_one(self, a):
+        assert jaccard(a, a) == 1.0
+
+
+# -- membership tracker properties ---------------------------------------
+
+
+class TestMembershipProperties:
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=15))
+    def test_members_always_partition(self, merge_requests):
+        """After arbitrary (valid) merges, live clusters partition the
+        original vertex set exactly."""
+        vertices = list(range(12))
+        t = MembershipTracker(vertices)
+        for a, b in merge_requests:
+            live = t.live_clusters()
+            ca, cb = live[a % len(live)], live[b % len(live)]
+            if ca != cb:
+                t.merge(ca, cb)
+        seen = []
+        for c in t.live_clusters():
+            seen.extend(t.members(c))
+        assert sorted(seen) == vertices
+        # cluster_of agrees with members().
+        for c in t.live_clusters():
+            for v in t.members(c):
+                assert t.cluster_of(v) == c
+
+
+# -- diffusion properties -----------------------------------------------------
+
+
+class TestDiffusionProperties:
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    @given(sparse_graphs(), st.integers(min_value=1, max_value=4))
+    def test_edges_vertex_disjoint(self, g, k):
+        seen = set()
+        for u, v, _ in local_maximal_edges(g, k):
+            assert u not in seen and v not in seen
+            seen.update((u, v))
+
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    @given(sparse_graphs())
+    def test_global_max_always_included(self, g):
+        gm = g.max_edge()
+        if gm is None:
+            return
+        for k in (1, 3):
+            assert gm in local_maximal_edges(g, k)
+
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    @given(sparse_graphs(), st.integers(min_value=1, max_value=3))
+    def test_monotone_in_rounds(self, g, k):
+        """More diffusion never yields more local maxima."""
+        assert len(local_maximal_edges(g, k + 1)) <= len(
+            local_maximal_edges(g, k)
+        )
+
+
+# -- HAC properties ------------------------------------------------------------
+
+
+class TestHACProperties:
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    @given(sparse_graphs(), st.sampled_from([0.0, 0.2, 0.5, 0.8]))
+    def test_parallel_hac_invariants(self, g, threshold):
+        result = ParallelHAC(
+            ParallelHACConfig(similarity_threshold=max(threshold, 0.01))
+        ).fit(g)
+        d = result.dendrogram
+        # 1. Every merge at/above threshold.
+        for m in d.merges:
+            assert m.similarity >= max(threshold, 0.01) - 1e-12
+        # 2. Roots partition the vertex set.
+        covered = []
+        for r in d.roots():
+            covered.extend(d.leaves_under(r))
+        assert sorted(covered) == g.vertices()
+        # 3. Input untouched.
+        assert g.n_vertices == len(g.vertices())
+
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    @given(sparse_graphs())
+    def test_sequential_hac_partition_covers(self, g):
+        d = SequentialHAC(HACConfig(similarity_threshold=0.1)).fit(g)
+        labels = d.root_partition()
+        assert sorted(labels) == g.vertices()
+
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    @given(sparse_graphs())
+    def test_cut_granularity_monotone(self, g):
+        """Higher similarity cuts never produce fewer clusters."""
+        d = SequentialHAC(HACConfig(similarity_threshold=0.01)).fit(g)
+        counts = [
+            len(set(d.cut_at_similarity(t).values()))
+            for t in (0.0, 0.3, 0.6, 0.9)
+        ]
+        assert counts == sorted(counts)
+
+
+# -- modularity properties ---------------------------------------------------
+
+
+class TestModularityProperties:
+    @settings(max_examples=50, suppress_health_check=[HealthCheck.too_slow])
+    @given(sparse_graphs(), st.integers(min_value=1, max_value=5))
+    def test_bounded(self, g, n_communities):
+        labels = {v: v % n_communities for v in g.vertices()}
+        q = modularity(g, labels)
+        assert -1.0 <= q <= 1.0
+
+    @settings(max_examples=50, suppress_health_check=[HealthCheck.too_slow])
+    @given(sparse_graphs())
+    def test_single_community_zero(self, g):
+        labels = {v: 0 for v in g.vertices()}
+        assert modularity(g, labels) == pytest.approx(0.0, abs=1e-9)
+
+
+# -- dendrogram properties --------------------------------------------------
+
+
+class TestDendrogramProperties:
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    @given(sparse_graphs())
+    def test_leaf_count_conserved(self, g):
+        d = SequentialHAC(HACConfig(similarity_threshold=0.05)).fit(g)
+        total = sum(len(d.leaves_under(r)) for r in d.roots())
+        assert total == g.n_vertices
+
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    @given(sparse_graphs())
+    def test_merge_count_vs_roots(self, g):
+        """n_vertices − n_merges == number of roots (forest identity)."""
+        d = SequentialHAC(HACConfig(similarity_threshold=0.05)).fit(g)
+        assert g.n_vertices - d.n_merges == len(d.roots())

@@ -1,0 +1,108 @@
+"""Tests for repro.store.persistence (taxonomy JSON roundtrip)."""
+
+import json
+
+import pytest
+
+from repro.core.taxonomy import Taxonomy, Topic
+from repro.store.persistence import (
+    load_taxonomy,
+    save_taxonomy,
+    taxonomy_from_dict,
+    taxonomy_to_dict,
+)
+
+
+def sample_taxonomy() -> Taxonomy:
+    parent = Topic(
+        10, entity_ids=[0, 1, 2], category_ids=[5, 6],
+        level=0, similarity=0.4, descriptions=["beach trip"],
+    )
+    child = Topic(
+        8, entity_ids=[0, 1], category_ids=[5],
+        parent_id=10, level=1, similarity=0.8,
+    )
+    parent.child_ids = [8]
+    return Taxonomy([parent, child])
+
+
+class TestDictRoundtrip:
+    def test_roundtrip_preserves_topics(self):
+        t = sample_taxonomy()
+        restored = taxonomy_from_dict(taxonomy_to_dict(t))
+        assert len(restored) == len(t)
+        for original in t:
+            r = restored.topic(original.topic_id)
+            assert r.entity_ids == original.entity_ids
+            assert r.category_ids == original.category_ids
+            assert r.parent_id == original.parent_id
+            assert r.child_ids == original.child_ids
+            assert r.similarity == original.similarity
+            assert r.descriptions == original.descriptions
+
+    def test_version_checked(self):
+        payload = taxonomy_to_dict(sample_taxonomy())
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            taxonomy_from_dict(payload)
+
+    def test_dict_is_json_serialisable(self):
+        json.dumps(taxonomy_to_dict(sample_taxonomy()))
+
+
+class TestEmbeddingsRoundtrip:
+    def test_save_load(self, tmp_path, tiny_model):
+        import numpy as np
+
+        from repro.store.persistence import load_embeddings, save_embeddings
+
+        path = tmp_path / "emb.npz"
+        save_embeddings(tiny_model.embeddings, path)
+        restored = load_embeddings(path)
+        assert restored.dim == tiny_model.embeddings.dim
+        assert np.allclose(restored.matrix, tiny_model.embeddings.matrix)
+        # The vocabulary and its sampling tables survive exactly.
+        assert restored.vocabulary.words == tiny_model.embeddings.vocabulary.words
+        assert np.allclose(
+            restored.vocabulary.negative_sampling_distribution,
+            tiny_model.embeddings.vocabulary.negative_sampling_distribution,
+        )
+        # Lookup semantics preserved.
+        word = restored.vocabulary.words[0]
+        assert np.allclose(
+            restored.unit_vector(word),
+            tiny_model.embeddings.unit_vector(word),
+        )
+
+    def test_loaded_embeddings_drive_builder(self, tmp_path, tiny_model, tiny_marketplace):
+        """A serving process can rebuild the entity graph from persisted
+        embeddings without retraining."""
+        from repro.graph.entity_graph import EntityGraphBuilder
+        from repro.store.persistence import load_embeddings, save_embeddings
+
+        path = tmp_path / "emb.npz"
+        save_embeddings(tiny_model.embeddings, path)
+        restored = load_embeddings(path)
+        builder = EntityGraphBuilder(restored, config=tiny_model.config.entity_graph)
+        graph = builder.build(tiny_model.bipartite, tiny_model.titles)
+        assert graph.edge_list() == tiny_model.entity_graph.edge_list()
+
+
+class TestFileRoundtrip:
+    def test_save_load(self, tmp_path):
+        t = sample_taxonomy()
+        path = tmp_path / "taxonomy.json"
+        save_taxonomy(t, path)
+        restored = load_taxonomy(path)
+        assert [x.topic_id for x in restored] == [x.topic_id for x in t]
+        # Indexes rebuilt correctly.
+        assert restored.topic_of_entity(0).topic_id == 8
+        assert restored.root_topics()[0].topic_id == 10
+
+    def test_fitted_model_roundtrip(self, tiny_model, tmp_path):
+        path = tmp_path / "fitted.json"
+        save_taxonomy(tiny_model.taxonomy, path)
+        restored = load_taxonomy(path)
+        assert len(restored) == len(tiny_model.taxonomy)
+        for t in tiny_model.taxonomy:
+            assert restored.topic(t.topic_id).descriptions == t.descriptions

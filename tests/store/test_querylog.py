@@ -1,0 +1,111 @@
+"""Tests for repro.store.querylog (sliding-window store)."""
+
+import pytest
+
+from repro.data.queries import Query
+from repro.store.querylog import QueryLogStore, QueryLogStoreConfig
+
+
+@pytest.fixture
+def store() -> QueryLogStore:
+    s = QueryLogStore(QueryLogStoreConfig(window_days=3))
+    s.register_query(Query(0, "beach dress", "scenario", 0))
+    s.register_query(Query(1, "jeans", "category", 5))
+    return s
+
+
+class TestWrites:
+    def test_append_and_count(self, store):
+        store.append_event(0, 7, 0, [1, 2])
+        store.append_event(0, 8, 1, [3])
+        assert store.n_events() == 2
+        assert store.days() == [0]
+
+    def test_unregistered_query_rejected(self, store):
+        with pytest.raises(KeyError):
+            store.append_event(0, 7, 99, [1])
+
+    def test_negative_day_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.append_event(-1, 7, 0, [1])
+
+    def test_conflicting_query_redefinition_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.register_query(Query(0, "other text", "scenario", 0))
+
+    def test_idempotent_registration(self, store):
+        store.register_query(Query(0, "beach dress", "scenario", 0))
+        assert store.n_queries() == 2
+
+
+class TestRetention:
+    def test_old_segments_dropped(self, store):
+        for day in range(6):
+            store.append_event(day, 1, 0, [day])
+        # window_days=3, latest day=5 → keep days 3,4,5.
+        assert store.days() == [3, 4, 5]
+
+    def test_segment_sizes(self, store):
+        store.append_event(0, 1, 0, [1])
+        store.append_event(0, 2, 0, [2])
+        store.append_event(1, 3, 1, [3])
+        assert store.segment_sizes() == {0: 2, 1: 1}
+
+    def test_retention_respects_window_config(self):
+        s = QueryLogStore(QueryLogStoreConfig(window_days=1))
+        s.register_query(Query(0, "q", "category", 0))
+        s.append_event(0, 1, 0, [1])
+        s.append_event(5, 1, 0, [2])
+        assert s.days() == [5]
+
+
+class TestSnapshot:
+    def test_roundtrip(self, store):
+        store.append_event(0, 7, 0, [1, 2])
+        store.append_event(1, 8, 1, [3])
+        log = store.snapshot()
+        assert len(log) == 2
+        assert log.events[0].clicked_entity_ids == (1, 2)
+        assert log.events[1].query_id == 1
+
+    def test_snapshot_day_range(self, store):
+        store.append_event(0, 7, 0, [1])
+        store.append_event(1, 8, 1, [2])
+        store.append_event(2, 9, 0, [3])
+        log = store.snapshot(first_day=1, last_day=1)
+        assert len(log) == 1
+        assert log.events[0].day == 1
+
+    def test_snapshot_empty_store(self, store):
+        log = store.snapshot()
+        assert len(log) == 0
+        assert log.n_queries() == 2  # registered queries carried
+
+    def test_ingest_generated_log(self, tiny_marketplace):
+        s = QueryLogStore(QueryLogStoreConfig(window_days=7))
+        n = s.ingest(tiny_marketplace.query_log)
+        assert n == len(tiny_marketplace.query_log)
+        snap = s.snapshot()
+        assert len(snap) == len(tiny_marketplace.query_log)
+        # Aggregates agree with the original log.
+        assert snap.query_frequencies() == tiny_marketplace.query_log.query_frequencies()
+
+    def test_pipeline_runs_from_store_snapshot(self, tiny_marketplace):
+        """The store feeds the pipeline exactly like a generated log."""
+        from repro.core.config import ShoalConfig
+        from repro.core.pipeline import ShoalPipeline
+
+        s = QueryLogStore(QueryLogStoreConfig(window_days=7))
+        s.ingest(tiny_marketplace.query_log)
+        titles = {e.entity_id: e.title for e in tiny_marketplace.catalog.entities}
+        query_texts = {q.query_id: q.text for q in tiny_marketplace.query_log.queries}
+        model = ShoalPipeline(ShoalConfig()).fit_raw(
+            s.snapshot(), titles, query_texts
+        )
+        assert len(model.taxonomy) > 0
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryLogStoreConfig(window_days=0)

@@ -1,0 +1,110 @@
+"""Tests for repro.store.tables (columnar tables)."""
+
+import numpy as np
+import pytest
+
+from repro.store.tables import Column, ColumnarTable, Schema
+
+
+@pytest.fixture
+def table() -> ColumnarTable:
+    schema = Schema(
+        [Column("id", int), Column("name", str), Column("price", float)]
+    )
+    t = ColumnarTable(schema)
+    t.append(id=1, name="a", price=1.5)
+    t.append(id=2, name="b", price=2.5)
+    return t
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Schema([Column("x", int), Column("x", str)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Schema([])
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            Column("x", list)
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError):
+            Column("not valid", int)
+
+    def test_contains_and_lookup(self):
+        s = Schema([Column("a", int)])
+        assert "a" in s
+        assert "b" not in s
+        assert s.column("a").dtype is int
+        assert s.names == ["a"]
+        assert len(s) == 1
+
+
+class TestAppend:
+    def test_row_count(self, table):
+        assert len(table) == 2
+
+    def test_missing_column_rejected(self, table):
+        with pytest.raises(ValueError, match="missing"):
+            table.append(id=3, name="c")
+
+    def test_extra_column_rejected(self, table):
+        with pytest.raises(ValueError, match="extra"):
+            table.append(id=3, name="c", price=1.0, extra=5)
+
+    def test_wrong_type_rejected(self, table):
+        with pytest.raises(TypeError):
+            table.append(id="x", name="c", price=1.0)
+
+    def test_bool_not_accepted_as_int(self, table):
+        with pytest.raises(TypeError, match="bool"):
+            table.append(id=True, name="c", price=1.0)
+
+    def test_int_upcasts_to_float(self, table):
+        table.append(id=3, name="c", price=3)
+        assert table.row(2)["price"] == 3.0
+        assert isinstance(table.row(2)["price"], float)
+
+    def test_extend(self, table):
+        n = table.extend(
+            [{"id": 3, "name": "c", "price": 1.0}, {"id": 4, "name": "d", "price": 2.0}]
+        )
+        assert n == 2
+        assert len(table) == 4
+
+
+class TestReads:
+    def test_column(self, table):
+        assert table.column("name") == ["a", "b"]
+
+    def test_column_array_dtypes(self, table):
+        assert table.column_array("id").dtype == np.int64
+        assert table.column_array("price").dtype == np.float64
+        assert table.column_array("name").dtype == object
+
+    def test_row(self, table):
+        assert table.row(0) == {"id": 1, "name": "a", "price": 1.5}
+
+    def test_row_bounds(self, table):
+        with pytest.raises(IndexError):
+            table.row(5)
+
+    def test_rows(self, table):
+        assert len(table.rows()) == 2
+
+    def test_filter(self, table):
+        out = table.filter(lambda r: r["price"] > 2)
+        assert len(out) == 1
+        assert out.row(0)["name"] == "b"
+
+    def test_select(self, table):
+        out = table.select(["name"])
+        assert out.schema.names == ["name"]
+        assert out.row(1) == {"name": "b"}
+
+    def test_group_count(self, table):
+        table.append(id=3, name="a", price=9.0)
+        assert table.group_count("name") == {"a": 2, "b": 1}

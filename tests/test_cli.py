@@ -1,0 +1,77 @@
+"""Tests for repro.cli (command-line interface)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_profile_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fit", "--profile", "galactic"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fit"])
+        assert args.profile == "small"
+        assert args.seed == 0
+
+
+class TestFitCommand:
+    def test_prints_taxonomy(self, capsys):
+        rc = main(["fit", "--profile", "tiny", "--max-roots", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ShoalModel(" in out
+        assert "entities" in out
+        assert "topics=" in out
+
+    def test_writes_taxonomy_json(self, tmp_path, capsys):
+        path = tmp_path / "tax.json"
+        rc = main(["fit", "--profile", "tiny", "--output", str(path)])
+        assert rc == 0
+        payload = json.loads(path.read_text())
+        assert payload["topics"]
+
+    def test_alpha_override(self, capsys):
+        rc = main(["fit", "--profile", "tiny", "--alpha", "0.5"])
+        assert rc == 0
+
+
+class TestEvaluateCommand:
+    def test_passes_on_tiny(self, capsys):
+        rc = main(["evaluate", "--profile", "tiny"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "precision:" in out
+        assert "modularity:" in out
+
+
+class TestSearchCommand:
+    def test_default_query(self, capsys):
+        rc = main(["search", "--profile", "tiny"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "query:" in out
+        assert "topic" in out
+
+    def test_explicit_garbage_query(self, capsys):
+        rc = main(["search", "--profile", "tiny", "zzzz qqqq"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no matching topics" in out
+
+
+class TestABTestCommand:
+    def test_uplift_positive(self, capsys):
+        rc = main(
+            ["abtest", "--profile", "tiny", "--impressions", "1500"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "uplift" in out

@@ -1,0 +1,150 @@
+"""Tests for repro._util helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    check_in,
+    check_positive,
+    check_probability,
+    chunked,
+    cosine,
+    ensure_rng,
+    format_table,
+    harmonic_number,
+    jaccard,
+    normalize_rows,
+    safe_log,
+    stable_pairs_key,
+    top_k_indices,
+    weighted_choice,
+)
+
+
+class TestEnsureRng:
+    def test_from_int_seed(self):
+        rng = ensure_rng(42)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_from_none(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_same_seed_same_stream(self):
+        a = ensure_rng(7).integers(0, 1000, size=10)
+        b = ensure_rng(7).integers(0, 1000, size=10)
+        assert (a == b).all()
+
+
+class TestValidation:
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            check_positive("x", 0)
+
+    def test_check_positive_allow_zero(self):
+        check_positive("x", 0, allow_zero=True)
+        with pytest.raises(ValueError):
+            check_positive("x", -1, allow_zero=True)
+
+    def test_check_probability_bounds(self):
+        check_probability("p", 0.0)
+        check_probability("p", 1.0)
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+        with pytest.raises(ValueError):
+            check_probability("p", -0.1)
+
+    def test_check_in(self):
+        check_in("mode", "a", ("a", "b"))
+        with pytest.raises(ValueError, match="mode"):
+            check_in("mode", "c", ("a", "b"))
+
+
+class TestNumericHelpers:
+    def test_safe_log_positive(self):
+        assert safe_log(math.e) == pytest.approx(1.0)
+
+    def test_safe_log_nonpositive_is_zero(self):
+        assert safe_log(0) == 0.0
+        assert safe_log(-3) == 0.0
+
+    def test_cosine_identical(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert cosine(v, v) == pytest.approx(1.0)
+
+    def test_cosine_orthogonal(self):
+        assert cosine(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(0.0)
+
+    def test_cosine_zero_vector(self):
+        assert cosine(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_normalize_rows_unit_norm(self):
+        m = np.array([[3.0, 4.0], [0.0, 0.0]])
+        out = normalize_rows(m)
+        assert np.linalg.norm(out[0]) == pytest.approx(1.0)
+        assert (out[1] == 0).all()  # zero rows stay zero
+
+    def test_harmonic_number(self):
+        assert harmonic_number(1) == pytest.approx(1.0)
+        assert harmonic_number(3) == pytest.approx(1 + 0.5 + 1 / 3)
+
+
+class TestJaccard:
+    def test_disjoint(self):
+        assert jaccard({1, 2}, {3, 4}) == 0.0
+
+    def test_identical(self):
+        assert jaccard({1, 2, 3}, {1, 2, 3}) == 1.0
+
+    def test_partial(self):
+        assert jaccard({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+
+    def test_both_empty(self):
+        assert jaccard(set(), set()) == 0.0
+
+    def test_accepts_lists(self):
+        assert jaccard([1, 1, 2], [2, 3]) == pytest.approx(1 / 3)
+
+
+class TestSmallUtilities:
+    def test_stable_pairs_key_orders(self):
+        assert stable_pairs_key(5, 2) == (2, 5)
+        assert stable_pairs_key(2, 5) == (2, 5)
+
+    def test_chunked(self):
+        assert list(chunked([1, 2, 3, 4, 5], 2)) == [[1, 2], [3, 4], [5]]
+
+    def test_chunked_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))
+
+    def test_top_k_indices_sorted_desc(self):
+        vals = np.array([0.1, 0.9, 0.5, 0.7])
+        idx = top_k_indices(vals, 2)
+        assert list(idx) == [1, 3]
+
+    def test_top_k_indices_k_larger_than_n(self):
+        idx = top_k_indices(np.array([1.0, 2.0]), 10)
+        assert len(idx) == 2
+
+    def test_top_k_zero(self):
+        assert len(top_k_indices(np.array([1.0]), 0)) == 0
+
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = out.split("\n")
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_weighted_choice_deterministic_weight(self):
+        rng = ensure_rng(0)
+        assert weighted_choice(rng, ["x", "y"], [0.0, 1.0]) == "y"
+
+    def test_weighted_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            weighted_choice(ensure_rng(0), [])

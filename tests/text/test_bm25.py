@@ -1,0 +1,90 @@
+"""Tests for repro.text.bm25."""
+
+import pytest
+
+from repro.text.bm25 import BM25, BM25Config
+
+DOCS = [
+    ["beach", "dress", "summer", "beach"],
+    ["winter", "coat", "snow"],
+    ["beach", "towel"],
+    ["dress", "formal", "evening", "dress", "silk"],
+]
+
+
+@pytest.fixture(scope="module")
+def index():
+    return BM25(DOCS)
+
+
+class TestScoring:
+    def test_relevant_doc_scores_higher(self, index):
+        s = index.scores(["beach"])
+        assert s[0] > s[1]
+        assert s[2] > s[1]
+
+    def test_absent_term_scores_zero(self, index):
+        assert index.score(["spaceship"], 0) == 0.0
+
+    def test_term_frequency_saturation(self, index):
+        """Doc 3 has 'dress' twice; score grows sublinearly with tf."""
+        one = BM25([["dress"], ["x"]])
+        many = BM25([["dress"] * 10, ["x"]])
+        assert many.score(["dress"], 0) < 10 * one.score(["dress"], 0)
+
+    def test_idf_positive(self, index):
+        for tok in ("beach", "dress", "silk"):
+            assert index.idf(tok) > 0
+
+    def test_idf_rarer_term_higher(self, index):
+        assert index.idf("silk") > index.idf("beach")
+
+    def test_idf_unknown_zero(self, index):
+        assert index.idf("spaceship") == 0.0
+
+    def test_multi_term_additive(self, index):
+        s_both = index.score(["beach", "dress"], 0)
+        s_beach = index.score(["beach"], 0)
+        s_dress = index.score(["dress"], 0)
+        assert s_both == pytest.approx(s_beach + s_dress)
+
+    def test_length_normalisation(self):
+        """Same tf, longer doc → lower score (b > 0)."""
+        idx = BM25([["q", "a", "b", "c", "d", "e"], ["q"]])
+        assert idx.score(["q"], 1) > idx.score(["q"], 0)
+
+    def test_index_bounds(self, index):
+        with pytest.raises(IndexError):
+            index.score(["beach"], 99)
+
+
+class TestTopK:
+    def test_top_k_order(self, index):
+        top = index.top_k(["beach"], k=3)
+        scores = [s for _, s in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_k_excludes_zero_scores(self, index):
+        top = index.top_k(["silk"], k=10)
+        assert all(s > 0 for _, s in top)
+        assert [i for i, _ in top] == [3]
+
+    def test_empty_query(self, index):
+        assert index.top_k([], k=3) == []
+
+
+class TestEdgeCases:
+    def test_empty_collection(self):
+        idx = BM25([])
+        assert idx.n_documents == 0
+        assert idx.average_document_length == 0.0
+
+    def test_empty_documents(self):
+        idx = BM25([[], []])
+        assert idx.score(["x"], 0) == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BM25Config(k1=0)
+        with pytest.raises(ValueError):
+            BM25Config(b=1.5)

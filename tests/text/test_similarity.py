@@ -1,0 +1,103 @@
+"""Tests for repro.text.similarity (Eq. 2 kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.text.similarity import (
+    entity_embedding,
+    mean_pairwise_shifted_cosine,
+    pairwise_content_similarity_matrix,
+    shifted_cosine,
+)
+from repro.text.word2vec import Word2Vec, Word2VecConfig
+
+
+_CLUSTER_A = ["sun", "beach", "sand", "wave", "surf", "shore", "tan", "palm"]
+_CLUSTER_B = ["snow", "ski", "ice", "frost", "sled", "mitt", "lodge", "peak"]
+
+
+@pytest.fixture(scope="module")
+def embeddings():
+    rng = np.random.default_rng(0)
+    docs = []
+    for _ in range(400):
+        pool = _CLUSTER_A if rng.random() < 0.5 else _CLUSTER_B
+        docs.append([pool[int(i)] for i in rng.integers(0, len(pool), size=6)])
+    return Word2Vec(Word2VecConfig(dim=12, epochs=20, seed=0)).fit(docs)
+
+
+class TestShiftedCosine:
+    def test_range(self):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            a, b = rng.normal(size=8), rng.normal(size=8)
+            assert 0.0 <= shifted_cosine(a, b) <= 1.0
+
+    def test_identical_vectors(self):
+        v = np.array([1.0, 2.0])
+        assert shifted_cosine(v, v) == pytest.approx(1.0)
+
+    def test_opposite_vectors(self):
+        v = np.array([1.0, 0.0])
+        assert shifted_cosine(v, -v) == pytest.approx(0.0)
+
+    def test_zero_vector_neutral(self):
+        assert shifted_cosine(np.zeros(3), np.ones(3)) == 0.5
+
+
+class TestEntityEmbedding:
+    def test_mean_of_unit_vectors(self, embeddings):
+        m = entity_embedding(embeddings, ["sun", "beach"])
+        expected = (embeddings.unit_vector("sun") + embeddings.unit_vector("beach")) / 2
+        assert np.allclose(m, expected)
+
+    def test_unknown_tokens_zero(self, embeddings):
+        assert not entity_embedding(embeddings, ["qqq", "zzz"]).any()
+
+    def test_empty_tokens_zero(self, embeddings):
+        assert not entity_embedding(embeddings, []).any()
+
+
+class TestMeanPairwise:
+    def test_factorised_equals_naive(self, embeddings):
+        """The O(n+m) factorised form must equal the O(n·m) double sum."""
+        tu = ["sun", "beach", "sand"]
+        tv = ["snow", "ski"]
+        fast = mean_pairwise_shifted_cosine(embeddings, tu, tv)
+        naive = np.mean(
+            [
+                shifted_cosine(
+                    embeddings.unit_vector(a), embeddings.unit_vector(b)
+                )
+                for a in tu
+                for b in tv
+            ]
+        )
+        assert fast == pytest.approx(float(naive), abs=1e-9)
+
+    def test_same_cluster_higher(self, embeddings):
+        within = mean_pairwise_shifted_cosine(embeddings, ["sun"], ["beach"])
+        between = mean_pairwise_shifted_cosine(embeddings, ["sun"], ["snow"])
+        assert within > between
+
+    def test_no_known_tokens_neutral(self, embeddings):
+        assert mean_pairwise_shifted_cosine(embeddings, ["qq"], ["beach"]) == 0.5
+
+    def test_range(self, embeddings):
+        v = mean_pairwise_shifted_cosine(embeddings, ["sun", "ski"], ["ice", "sand"])
+        assert 0.0 <= v <= 1.0
+
+
+class TestDenseMatrix:
+    def test_matches_scalar_kernel(self, embeddings):
+        docs = [["sun", "beach"], ["snow"], ["sand", "ski"]]
+        m = pairwise_content_similarity_matrix(embeddings, docs)
+        for i in range(3):
+            for j in range(3):
+                expected = mean_pairwise_shifted_cosine(embeddings, docs[i], docs[j])
+                assert m[i, j] == pytest.approx(expected, abs=1e-9)
+
+    def test_symmetric(self, embeddings):
+        docs = [["sun"], ["snow"], ["beach", "ice"]]
+        m = pairwise_content_similarity_matrix(embeddings, docs)
+        assert np.allclose(m, m.T)

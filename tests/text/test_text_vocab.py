@@ -1,0 +1,104 @@
+"""Tests for repro.text.vocab (corpus vocabulary)."""
+
+import numpy as np
+import pytest
+
+from repro.text.vocab import Vocabulary, VocabularyBuildConfig, build_vocabulary
+
+CORPUS = [
+    ["beach", "dress", "summer"],
+    ["beach", "dress"],
+    ["beach", "towel"],
+    ["rare"],
+]
+
+
+class TestBuild:
+    def test_frequency_order(self):
+        v = build_vocabulary(CORPUS)
+        assert v.word_of(0) == "beach"  # most frequent gets id 0
+
+    def test_counts(self):
+        v = build_vocabulary(CORPUS)
+        assert v.count_of("beach") == 3
+        assert v.count_of("dress") == 2
+        assert v.count_of("rare") == 1
+
+    def test_min_count_filters(self):
+        v = build_vocabulary(CORPUS, VocabularyBuildConfig(min_count=2))
+        assert "rare" not in v
+        assert "beach" in v
+
+    def test_total_tokens(self):
+        v = build_vocabulary(CORPUS)
+        assert v.total_tokens == 8
+
+    def test_tie_broken_alphabetically(self):
+        v = build_vocabulary([["b", "a"]])
+        assert v.word_of(0) == "a"
+
+    def test_empty_corpus(self):
+        v = build_vocabulary([])
+        assert len(v) == 0
+
+
+class TestMapping:
+    def test_roundtrip(self):
+        v = build_vocabulary(CORPUS)
+        for w in v.words:
+            assert v.word_of(v.id_of(w)) == w
+
+    def test_get_default(self):
+        v = build_vocabulary(CORPUS)
+        assert v.get("missing") == -1
+        assert v.get("missing", default=-7) == -7
+
+    def test_id_of_missing_raises(self):
+        v = build_vocabulary(CORPUS)
+        with pytest.raises(KeyError):
+            v.id_of("missing")
+
+    def test_encode_drops_oov(self):
+        v = build_vocabulary(CORPUS)
+        ids = v.encode(["beach", "unknown", "dress"])
+        assert len(ids) == 2
+
+    def test_encode_corpus(self):
+        v = build_vocabulary(CORPUS)
+        enc = v.encode_corpus(CORPUS)
+        assert len(enc) == len(CORPUS)
+
+
+class TestTrainingTables:
+    def test_keep_probabilities_bounded(self):
+        v = build_vocabulary(CORPUS)
+        kp = v.keep_probabilities
+        assert (kp > 0).all()
+        assert (kp <= 1.0).all()
+
+    def test_rare_words_kept_more(self):
+        v = build_vocabulary(CORPUS, VocabularyBuildConfig(subsample_threshold=1e-2))
+        kp = v.keep_probabilities
+        assert kp[v.id_of("rare")] >= kp[v.id_of("beach")]
+
+    def test_negative_distribution_normalised(self):
+        v = build_vocabulary(CORPUS)
+        nd = v.negative_sampling_distribution
+        assert nd.sum() == pytest.approx(1.0)
+
+    def test_negative_distribution_smoothing(self):
+        """Power 0.75 flattens relative to raw frequency."""
+        v = build_vocabulary(CORPUS)
+        nd = v.negative_sampling_distribution
+        counts = v.counts.astype(float)
+        raw = counts / counts.sum()
+        i, j = v.id_of("beach"), v.id_of("rare")
+        assert nd[i] / nd[j] < raw[i] / raw[j]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary(["a"], np.array([1, 2]), VocabularyBuildConfig())
+
+    def test_duplicate_words_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary(["a", "a"], np.array([1, 1]), VocabularyBuildConfig())

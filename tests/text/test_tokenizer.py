@@ -1,0 +1,59 @@
+"""Tests for repro.text.tokenizer."""
+
+import pytest
+
+from repro.text.tokenizer import Tokenizer, TokenizerConfig
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert Tokenizer().tokenize("Beach Dress") == ["beach", "dress"]
+
+    def test_punctuation_stripped(self):
+        assert Tokenizer().tokenize("hello, world!") == ["hello", "world"]
+
+    def test_numbers_kept(self):
+        assert Tokenizer().tokenize("iphone 13 case") == ["iphone", "13", "case"]
+
+    def test_hyphenated_words_kept_whole(self):
+        assert Tokenizer().tokenize("beach-holiday kit") == ["beach-holiday", "kit"]
+
+    def test_empty_string(self):
+        assert Tokenizer().tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert Tokenizer().tokenize("   \t\n ") == []
+
+    def test_min_length_filter(self):
+        t = Tokenizer(TokenizerConfig(min_token_length=3))
+        assert t.tokenize("a bb ccc dddd") == ["ccc", "dddd"]
+
+    def test_max_length_filter(self):
+        t = Tokenizer(TokenizerConfig(max_token_length=4))
+        assert t.tokenize("tiny enormousword") == ["tiny"]
+
+    def test_stopword_removal(self):
+        t = Tokenizer(TokenizerConfig(remove_stopwords=True))
+        assert t.tokenize("the dress on sale") == ["dress"]
+
+    def test_stopwords_kept_by_default(self):
+        assert "the" in Tokenizer().tokenize("the dress")
+
+    def test_callable(self):
+        t = Tokenizer()
+        assert t("red shoe") == ["red", "shoe"]
+
+    def test_tokenize_all_preserves_order(self):
+        t = Tokenizer()
+        out = t.tokenize_all(["a b", "c"])
+        assert out == [["a", "b"], ["c"]]
+
+
+class TestConfigValidation:
+    def test_min_length_validated(self):
+        with pytest.raises(ValueError):
+            TokenizerConfig(min_token_length=0)
+
+    def test_max_ge_min(self):
+        with pytest.raises(ValueError):
+            TokenizerConfig(min_token_length=5, max_token_length=4)
