@@ -7,7 +7,6 @@ target (the magnitude depends on the click-model contrast, which we
 also sweep to show the mechanism is robust, not tuned).
 """
 
-import pytest
 
 from repro._util import format_table
 from repro.baselines.ontology_rec import OntologyRecommender, OntologyRecommenderConfig

@@ -7,7 +7,6 @@ peaks in the upper-middle range — both signals help, query evidence
 helps more — justifying the paper's 0.7.
 """
 
-import pytest
 
 from repro._util import format_table
 from repro.core.config import ShoalConfig

@@ -10,7 +10,6 @@ of the query coalition.
 """
 
 import numpy as np
-import pytest
 
 from repro._util import format_table
 from repro.baselines.flat_kmeans import SphericalKMeans, SphericalKMeansConfig

@@ -8,7 +8,6 @@ shape target: a precision/recall trade-off where moderate thresholds
 keep precision high — the paper's reason for thresholding at all.
 """
 
-import pytest
 
 from repro._util import format_table
 from repro.core.correlation import CategoryCorrelationConfig, CategoryCorrelationMiner

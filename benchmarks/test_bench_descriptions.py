@@ -8,13 +8,10 @@ pop-only and con-only ablations — the geometric mean should win or tie,
 which is why the paper combines both factors.
 """
 
-import math
 
-import pytest
 
 from repro._util import format_table
 from repro.core.descriptions import DescriptionConfig, TopicDescriber
-from repro.text.tokenizer import Tokenizer
 
 
 def _dominant_scenario(marketplace, topic):

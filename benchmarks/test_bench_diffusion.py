@@ -8,7 +8,6 @@ rounds, and mean merges/round — plus the quality (modularity) to show
 k=2 loses nothing.
 """
 
-import pytest
 
 from repro._util import format_table
 from repro.clustering.parallel_hac import ParallelHAC, ParallelHACConfig

@@ -8,7 +8,6 @@ size). The shape target: "max" linkage chains clusters into giants,
 healthy middle — with sqrt at least as good as arithmetic.
 """
 
-import pytest
 
 from repro._util import format_table
 from repro.clustering.parallel_hac import ParallelHAC, ParallelHACConfig

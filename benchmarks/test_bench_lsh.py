@@ -9,7 +9,6 @@ graph's edges, and downstream taxonomy quality.
 
 import time
 
-import pytest
 
 from dataclasses import replace
 

@@ -6,7 +6,6 @@ partition over corpus sizes and seeds — "consistently" is the claim, so
 the table is a sweep, not a single number.
 """
 
-import pytest
 
 from repro._util import format_table
 from repro.core.config import ShoalConfig

@@ -10,7 +10,6 @@ being an artifact of a too-clean world.
 
 import dataclasses
 
-import pytest
 
 from repro._util import format_table
 from repro.core.config import ShoalConfig

@@ -6,7 +6,6 @@ ground-truth scenario labels as the judge, on the default synthetic
 corpus, across three generator seeds.
 """
 
-import pytest
 
 from repro._util import format_table
 from repro.core.config import ShoalConfig

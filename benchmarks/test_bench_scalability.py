@@ -12,7 +12,6 @@ machine we reproduce the *shape*:
 
 import time
 
-import pytest
 
 from repro._util import format_table
 from repro.clustering.hac import HACConfig, SequentialHAC

@@ -32,8 +32,53 @@ def scenario_query(bench_marketplace):
 
 
 def test_bench_scenario_a_query_to_topic(benchmark, service, scenario_query):
+    """Repeated identical searches — the cached serving hot path."""
     hits = benchmark(service.search_topics, scenario_query, 5)
     assert hits
+
+
+def test_bench_scenario_a_cold(benchmark, bench_model, bench_marketplace,
+                               scenario_query):
+    """Uncached search — inverted-index pruning without the LRU cache."""
+    cold = ShoalService(bench_model, cache_size=0)
+    cold.set_entity_categories(
+        {e.entity_id: e.category_id for e in bench_marketplace.catalog.entities}
+    )
+    hits = benchmark(cold.search_topics, scenario_query, 5)
+    assert hits
+    assert cold.cache_stats().hits == 0
+
+
+def test_bench_search_topics_batch(benchmark, service, bench_marketplace):
+    """A panel-sized batch of distinct queries through the batch API."""
+    queries = [
+        q.text for q in bench_marketplace.query_log.queries[:32]
+    ]
+    results = benchmark(service.search_topics_batch, queries, 5)
+    assert len(results) == len(queries)
+
+
+def test_bench_recommend_batch(benchmark, service, bench_marketplace):
+    queries = [
+        q.text
+        for q in bench_marketplace.query_log.queries
+        if q.intent_kind == "scenario"
+    ][:16]
+    slates = benchmark(service.recommend_batch, queries, 8)
+    assert len(slates) == len(queries)
+
+
+def test_bench_related_topics(benchmark, service):
+    """Repeated star-graph neighbour lookups (cached after the first)."""
+    root = service.taxonomy.root_topics()[0]
+    benchmark(service.related_topics, root.topic_id, 6)
+
+
+def test_bench_related_topics_cold(benchmark, bench_model):
+    """Uncached related-topics — precomputed token sets + candidate pruning."""
+    cold = ShoalService(bench_model, cache_size=0)
+    root = cold.taxonomy.root_topics()[0]
+    benchmark(cold.related_topics, root.topic_id, 6)
 
 
 def test_bench_scenario_b_topic_to_subtopic(benchmark, service):

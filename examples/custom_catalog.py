@@ -105,8 +105,8 @@ def main() -> None:
         print()
 
     service = ShoalService(model)
-    for probe in ("beach", "camping cold"):
-        hits = service.search_topics(probe, k=1)
+    probes = ["beach", "camping cold"]
+    for probe, hits in zip(probes, service.search_topics_batch(probes, k=1)):
         if hits:
             print(f"query {probe!r} -> topic {hits[0].topic_id} "
                   f"(\"{hits[0].label}\")")

@@ -47,7 +47,7 @@ def main() -> None:
     else:
         print("  (leaf topic, no sub-topics)")
 
-    print(f"\n=== (C) Topic -> Category -> Item ===")
+    print("\n=== (C) Topic -> Category -> Item ===")
     for cid in service.categories_of_topic(topic_id)[:3]:
         entities = service.entities_of_topic_category(topic_id, cid)
         print(f"  category {market.ontology.name_of(cid)!r}: "
@@ -55,7 +55,7 @@ def main() -> None:
         for e in entities[:2]:
             print(f"    item entity {e}: \"{model.titles[e]}\"")
 
-    print(f"\n=== (D) Category -> Category (Eq. 5 correlations) ===")
+    print("\n=== (D) Category -> Category (Eq. 5 correlations) ===")
     cats = model.correlations.categories()
     if not cats:
         print("  (no correlated categories at this corpus size)")
@@ -65,6 +65,14 @@ def main() -> None:
     for hit in service.related_categories(center, k=6):
         print(f"    related: {market.ontology.name_of(hit.category_id)!r} "
               f"(co-occurs in {hit.strength} root topics)")
+
+    print(f"\n=== star graph: topics related to topic {topic_id} ===")
+    for other, score in service.related_topics(topic_id, k=4):
+        print(f"  topic {other.topic_id}  sim={score:.3f}  \"{other.label()}\"")
+
+    # The engine caches query results; a second identical search hits.
+    service.search_topics(query, k=4)
+    print(f"\n{service.cache_stats().summary()}")
 
 
 if __name__ == "__main__":

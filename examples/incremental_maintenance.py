@@ -37,10 +37,19 @@ def main() -> None:
         retrain_every=5,     # full word2vec retrain every 5 slides
     )
 
+    probe = next(
+        q.text for q in market.query_log.queries if q.intent_kind == "scenario"
+    )
     print("sliding the 7-day window nightly:\n")
     for day in range(6, 12):
         update = maintainer.advance(market.query_log, last_day=day)
-        print(f"  {update.summary()}")
+        # The persistent serving engine is refreshed on every slide:
+        # indexes rebuilt, query cache invalidated, stats cumulative.
+        hits = maintainer.service().search_topics(probe, k=1)
+        top = f"top topic for {probe!r}: {hits[0].topic_id}" if hits else "no hit"
+        print(f"  {update.summary()}  ({top})")
+
+    print(f"\n{maintainer.service().cache_stats().summary()}")
 
     model = maintainer.model
     assert model is not None

@@ -51,8 +51,10 @@ def main() -> None:
     print_panel("Fig. 4a control: category recommendation", market,
                 control.recommend(0, query.text))
     print()
-    print_panel("Fig. 4b experiment: SHOAL topic recommendation", market,
-                service.recommend_entities_for_query(query.text, 8))
+    # recommend_batch amortises tokenisation when a page renders many
+    # panels at once; with one query it degrades to the single path.
+    [slate] = service.recommend_batch([query.text], 8)
+    print_panel("Fig. 4b experiment: SHOAL topic recommendation", market, slate)
 
     print("\nRunning the paired A/B simulation (paper Sec. 3)...")
     sim = ABTestSimulator(market, ABTestConfig(n_impressions=6000, seed=0))

@@ -10,7 +10,7 @@ Run:  python examples/sliding_window.py
 """
 
 from repro import ShoalConfig, ShoalPipeline, generate_marketplace
-from repro.data.marketplace import PROFILES, MarketplaceConfig
+from repro.data.marketplace import PROFILES
 from repro.data.queries import QueryLogConfig
 from repro.store.querylog import QueryLogStore, QueryLogStoreConfig
 

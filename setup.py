@@ -1,11 +1,29 @@
-"""Legacy setup shim.
+"""Packaging for the SHOAL reproduction (src/ layout).
 
-The execution environment has no `wheel` package and no network, so
-PEP 517 editable installs fail; this setup.py lets
-``pip install -e . --no-build-isolation`` take the legacy
-``setup.py develop`` path.
+Kept as a plain setup.py (no pyproject build-system table) so
+offline environments without the ``wheel`` package can still
+``pip install -e . --no-build-isolation`` via the legacy
+``setup.py develop`` path; networked CI installs with plain
+``pip install .``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="shoal-repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of SHOAL: large-scale hierarchical taxonomy via "
+        "graph-based query coalition (Li et al., PVLDB 12(12), 2019)"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": ["repro=repro.cli:main"],
+    },
+)

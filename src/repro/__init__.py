@@ -26,7 +26,7 @@ Subpackages:
 
 from repro.core.config import ShoalConfig
 from repro.core.pipeline import ShoalModel, ShoalPipeline
-from repro.core.serving import ShoalService
+from repro.core.serving import CacheStats, ShoalService
 from repro.core.taxonomy import Taxonomy, Topic
 from repro.data.marketplace import (
     Marketplace,
@@ -42,6 +42,7 @@ __all__ = [
     "ShoalPipeline",
     "ShoalModel",
     "ShoalService",
+    "CacheStats",
     "Taxonomy",
     "Topic",
     "Marketplace",

@@ -9,11 +9,11 @@ initialisation adapted to cosine distance.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
-from repro._util import RngLike, check_positive, ensure_rng, normalize_rows
+from repro._util import check_positive, ensure_rng, normalize_rows
 
 __all__ = ["SphericalKMeansConfig", "SphericalKMeans"]
 

@@ -100,9 +100,9 @@ def _cmd_search(args) -> int:
             if q.intent_kind == "scenario"
         )
     ]
-    for query in queries:
+    batched = service.search_topics_batch(queries, k=args.k)
+    for query, hits in zip(queries, batched):
         print(f"query: {query!r}")
-        hits = service.search_topics(query, k=args.k)
         if not hits:
             print("  (no matching topics)")
             continue

@@ -10,7 +10,7 @@ the hierarchical taxonomy SHOAL serves (paper Fig. 1b).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 __all__ = ["Merge", "Dendrogram"]
 

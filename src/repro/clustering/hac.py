@@ -18,9 +18,8 @@ so both algorithms share identical similarity semantics.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro._util import check_probability
 from repro.clustering.dendrogram import Dendrogram, Merge

@@ -12,7 +12,7 @@ of a child id) because the dendrogram needs distinct nodes per merge.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set
+from typing import Dict, Iterable, List
 
 __all__ = ["MembershipTracker"]
 

@@ -28,7 +28,7 @@ Two execution modes share the identical merge semantics:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro._util import check_in, check_positive
 from repro.clustering.dendrogram import Dendrogram, Merge
@@ -37,14 +37,7 @@ from repro.clustering.linkage import LINKAGES, LinkageFn
 from repro.clustering.membership import MembershipTracker
 from repro.graph.diffusion import local_maximal_edges
 from repro.graph.sparse import SparseGraph
-from repro.pregel import (
-    MaxAggregator,
-    PregelConfig,
-    PregelEngine,
-    SumAggregator,
-    Vertex,
-    combine_max,
-)
+from repro.pregel import PregelConfig, PregelEngine, Vertex, combine_max
 
 __all__ = ["ParallelHACConfig", "RoundStats", "ParallelHACResult", "ParallelHAC"]
 

@@ -8,8 +8,7 @@ threshold 10) and use sensible laptop-scale settings elsewhere.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
 from repro._util import check_positive
 from repro.clustering.parallel_hac import ParallelHACConfig

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -155,7 +155,6 @@ class TopicDescriber:
     ) -> float:
         """Softmax of BM25 relevance across topic pseudo-documents."""
         rels = bm25.scores(query_tokens) / self._config.softmax_scale
-        exp = np.exp(rels - rels.max()) if rels.size else np.zeros(0)
         # The paper's denominator carries a +1; reproduce it in the
         # shifted domain (the shift cancels in ranking but we keep the
         # formula close to the paper by working with raw scores when safe).

@@ -16,14 +16,15 @@ configurable ``retrain_every`` forces periodic full retrains.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.clustering.parallel_hac import ParallelHAC
 from repro.core.config import ShoalConfig
 from repro.core.correlation import CategoryCorrelationMiner
 from repro.core.descriptions import TopicDescriber
-from repro.core.pipeline import ShoalModel, ShoalPipeline
+from repro.core.pipeline import ShoalModel
+from repro.core.serving import ShoalService
 from repro.core.taxonomy import Taxonomy
 from repro.data.queries import QueryLog
 from repro.eval.metrics import normalized_mutual_information
@@ -88,11 +89,28 @@ class IncrementalShoal:
         self._embeddings: Optional[WordEmbeddings] = None
         self._fits_since_retrain = 0
         self._last_model: Optional[ShoalModel] = None
+        self._service: Optional[ShoalService] = None
 
     @property
     def model(self) -> Optional[ShoalModel]:
         """The most recent fitted model (None before the first advance)."""
         return self._last_model
+
+    def service(self) -> ShoalService:
+        """A persistent serving engine over the latest model.
+
+        The same :class:`ShoalService` instance is returned across
+        window slides; each :meth:`advance` refreshes its indexes and
+        invalidates its query cache, so stale window results are never
+        served while cache hit/miss counters stay cumulative.
+        """
+        if self._last_model is None:
+            raise RuntimeError("no model yet; call advance() first")
+        if self._service is None:
+            self._service = ShoalService(
+                self._last_model, entity_categories=self._categories
+            )
+        return self._service
 
     # -- embedding lifecycle -----------------------------------------------
 
@@ -166,6 +184,8 @@ class IncrementalShoal:
         stability = self._stability(self._last_model, model)
         self._last_model = model
         self._fits_since_retrain += 1
+        if self._service is not None:
+            self._service.refresh(model, entity_categories=self._categories)
         return WindowUpdate(
             last_day=last_day,
             first_day=first_day,

@@ -1,4 +1,5 @@
-"""Serving layer: the four demo scenarios of paper Fig. 5.
+"""Serving engine: the four demo scenarios of paper Fig. 5, built for
+read throughput.
 
 * **Query→Topic (A)** — keyword search over topic descriptions and
   content returns the matching topics (the "visual star graph");
@@ -8,23 +9,53 @@
 * **Category→Category (D)** — related categories from the Sec. 2.4
   correlation graph.
 
-Retrieval for (A) ranks topics by BM25 relevance of the query against
-each topic's description+pseudo-document index, matching how the demo
-"query processor finds related topics for the input query".
+The engine separates the *build* path from the *serve* path, the way a
+production read tier must when the paper claims "millions of searches
+per day":
+
+1. **Precomputed indexes** — per-topic description token sets, the
+   inverted token→topic index, the category→topic index, per-topic
+   subtree sets, and the entity→category map are all built once in
+   :meth:`ShoalService._install_model`, never per request.
+2. **Candidate pruning** — :meth:`search_topics` scores only the BM25
+   posting-list candidates; :meth:`related_topics` scores only topics
+   sharing at least one description token or category with the centre
+   topic. Both prunings are exact: a topic outside the candidate set
+   scores zero and could never be returned.
+3. **Query-result LRU cache** — repeated ``search_topics`` /
+   ``related_topics`` / ``recommend`` calls are served from an LRU
+   cache with hit/miss accounting (:meth:`cache_stats`) and explicit
+   invalidation (:meth:`invalidate_cache`). Sliding-window updates
+   invalidate it via :meth:`refresh`, which
+   :class:`~repro.core.incremental.IncrementalShoal` calls on every
+   window advance.
+4. **Batch APIs** — :meth:`search_topics_batch` and
+   :meth:`recommend_batch` amortise tokenisation and share cache
+   lookups across a request batch.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.correlation import CorrelationGraph
 from repro.core.pipeline import ShoalModel
 from repro.core.taxonomy import Taxonomy, Topic
-from repro.text.bm25 import BM25, BM25Config
+from repro.text.bm25 import BM25
 from repro.text.tokenizer import Tokenizer
 
-__all__ = ["TopicHit", "CategoryHit", "ShoalService"]
+__all__ = ["TopicHit", "CategoryHit", "CacheStats", "ShoalService"]
 
 
 @dataclass(frozen=True)
@@ -46,24 +77,182 @@ class CategoryHit:
     strength: int
 
 
-class ShoalService:
-    """Read-only query interface over a fitted :class:`ShoalModel`."""
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time counters of the query-result cache."""
 
-    def __init__(self, model: ShoalModel, tokenizer: Optional[Tokenizer] = None):
-        self._model = model
+    hits: int
+    misses: int
+    size: int
+    max_size: int
+    invalidations: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"cache: {self.hits} hits / {self.misses} misses "
+            f"(rate={self.hit_rate:.2%}), {self.size}/{self.max_size} "
+            f"entries, {self.invalidations} invalidations"
+        )
+
+
+class _LRUCache:
+    """Bounded LRU map with hit/miss counters.
+
+    ``max_size == 0`` disables caching entirely (every get misses,
+    every put is a no-op) — useful for cold-path benchmarking.
+    """
+
+    _MISS = object()
+
+    def __init__(self, max_size: int):
+        if max_size < 0:
+            raise ValueError(f"cache size must be >= 0, got {max_size}")
+        self.max_size = max_size
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Hashable) -> Any:
+        value = self._data.get(key, self._MISS)
+        if value is self._MISS:
+            self.misses += 1
+            return self._MISS
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.max_size == 0:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.max_size:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.invalidations += 1
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            size=len(self._data),
+            max_size=self.max_size,
+            invalidations=self.invalidations,
+        )
+
+
+class ShoalService:
+    """Read-only query engine over a fitted :class:`ShoalModel`.
+
+    ``cache_size`` bounds the query-result LRU cache (0 disables it).
+    ``entity_categories`` installs the authoritative entity → category
+    map up front; without it the map is derived from single-category
+    topics (see :meth:`set_entity_categories`).
+    """
+
+    def __init__(
+        self,
+        model: ShoalModel,
+        tokenizer: Optional[Tokenizer] = None,
+        *,
+        cache_size: int = 4096,
+        entity_categories: Optional[Dict[int, int]] = None,
+    ):
         self._tokenizer = tokenizer or Tokenizer()
+        self._cache = _LRUCache(cache_size)
+        self._install_model(model, entity_categories)
+
+    # -- index build ---------------------------------------------------------
+
+    def _install_model(
+        self,
+        model: ShoalModel,
+        entity_categories: Optional[Dict[int, int]] = None,
+    ) -> None:
+        """Build every serving index for ``model``; called once per model."""
+        tokenize = self._tokenizer.tokenize
+        self._model = model
         self._topics: List[Topic] = model.taxonomy.topics()
+        self._position_of: Dict[int, int] = {
+            t.topic_id: pos for pos, t in enumerate(self._topics)
+        }
+
         # Retrieval index: one document per topic = its descriptions
         # (boosted by repetition) plus its entity titles.
         docs: List[List[str]] = []
+        # Per-topic description token sets and category sets, used by
+        # related_topics; tokenised once here instead of per call.
+        self._topic_tokens: List[FrozenSet[str]] = []
+        self._topic_categories: List[FrozenSet[int]] = []
         for t in self._topics:
-            tokens: List[str] = []
+            desc_tokens: List[str] = []
             for d in t.descriptions:
-                tokens.extend(self._tokenizer.tokenize(d) * 3)
+                desc_tokens.extend(tokenize(d))
+            doc = desc_tokens * 3
             for e in t.entity_ids:
-                tokens.extend(self._tokenizer.tokenize(model.titles.get(e, "")))
-            docs.append(tokens)
+                doc.extend(tokenize(model.titles.get(e, "")))
+            docs.append(doc)
+            self._topic_tokens.append(frozenset(desc_tokens))
+            self._topic_categories.append(frozenset(t.category_ids))
         self._index = BM25(docs) if docs else None
+
+        # Inverted indexes for related_topics candidate pruning.
+        self._positions_with_token: Dict[str, List[int]] = {}
+        self._positions_with_category: Dict[int, List[int]] = {}
+        for pos, tokens in enumerate(self._topic_tokens):
+            for tok in tokens:
+                self._positions_with_token.setdefault(tok, []).append(pos)
+        for pos, cats in enumerate(self._topic_categories):
+            for c in cats:
+                self._positions_with_category.setdefault(c, []).append(pos)
+
+        # Subtree sets (topic + all descendants), children before
+        # parents so each parent unions already-complete child sets.
+        self._subtree: Dict[int, FrozenSet[int]] = {}
+        for t in sorted(self._topics, key=lambda t: t.level, reverse=True):
+            ids = {t.topic_id}
+            for c in t.child_ids:
+                ids.update(self._subtree[c])
+            self._subtree[t.topic_id] = frozenset(ids)
+
+        # Entity → category map: authoritative if provided, otherwise
+        # derived — a topic whose category set is a single category
+        # pins all its entities, leaf-most topics winning ties.
+        if entity_categories is not None:
+            self._entity_categories = dict(entity_categories)
+        else:
+            mapping: Dict[int, int] = {}
+            for t in sorted(self._topics, key=lambda t: t.level, reverse=True):
+                if len(t.category_ids) == 1:
+                    c = t.category_ids[0]
+                    for e in t.entity_ids:
+                        mapping.setdefault(e, c)
+            self._entity_categories = mapping
+
+    def refresh(
+        self,
+        model: ShoalModel,
+        entity_categories: Optional[Dict[int, int]] = None,
+    ) -> None:
+        """Swap in a freshly fitted model.
+
+        Rebuilds every precomputed index and invalidates the query
+        cache: results computed against the previous window must never
+        be served against the new one.
+        """
+        self._install_model(model, entity_categories)
+        self._cache.clear()
 
     @property
     def model(self) -> ShoalModel:
@@ -73,15 +262,30 @@ class ShoalService:
     def taxonomy(self) -> Taxonomy:
         return self._model.taxonomy
 
+    # -- cache lifecycle -----------------------------------------------------
+
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/size counters of the query-result cache."""
+        return self._cache.stats()
+
+    def invalidate_cache(self) -> None:
+        """Drop all cached query results (counters are cumulative)."""
+        self._cache.clear()
+
     # -- scenario A: Query → Topic ------------------------------------------
 
     def search_topics(self, query: str, k: int = 5) -> List[TopicHit]:
         """Topics relevant to a keyword query, best first."""
-        if self._index is None:
+        return self._search_tokens(tuple(self._tokenizer.tokenize(query)), k)
+
+    def _search_tokens(self, tokens: Tuple[str, ...], k: int) -> List[TopicHit]:
+        """Cached BM25 search over pre-tokenised query terms."""
+        if self._index is None or not tokens:
             return []
-        tokens = self._tokenizer.tokenize(query)
-        if not tokens:
-            return []
+        key = ("search", tokens, k)
+        cached = self._cache.get(key)
+        if cached is not _LRUCache._MISS:
+            return list(cached)
         hits = []
         for doc_idx, score in self._index.top_k(tokens, k):
             t = self._topics[doc_idx]
@@ -94,7 +298,20 @@ class ShoalService:
                     n_categories=len(t.category_ids),
                 )
             )
+        self._cache.put(key, tuple(hits))
         return hits
+
+    def search_topics_batch(
+        self, queries: Sequence[str], k: int = 5
+    ) -> List[List[TopicHit]]:
+        """One result list per query, in order.
+
+        Tokenises the whole batch up front and serves duplicate
+        queries from the cache, so a panel of N widgets issuing the
+        same trending queries costs one index probe each.
+        """
+        token_lists = self._tokenizer.tokenize_all(queries)
+        return [self._search_tokens(tuple(toks), k) for toks in token_lists]
 
     def best_topic(self, query: str) -> Optional[Topic]:
         """The single best-matching topic (None if nothing matches)."""
@@ -127,39 +344,21 @@ class ShoalService:
     ) -> List[int]:
         """Entities of the topic falling under one of its categories.
 
-        Requires the model to know entity categories via the taxonomy's
-        category links; entities without category info never match.
+        Uses the precomputed entity → category map; entities without
+        category info never match.
         """
         topic = self.taxonomy.topic(topic_id)
-        cat_map = self._entity_category_map()
+        cat_map = self._entity_categories
         return [e for e in topic.entity_ids if cat_map.get(e) == category_id]
-
-    def _entity_category_map(self) -> Dict[int, int]:
-        """Reconstruct entity → category from leaf-most topics.
-
-        Built lazily and cached: a topic whose category set is a single
-        category pins all its entities; otherwise entities stay
-        ambiguous unless a more specific topic resolves them.
-        """
-        cached = getattr(self, "_entity_categories", None)
-        if cached is not None:
-            return cached
-        mapping: Dict[int, int] = {}
-        for t in sorted(self._topics, key=lambda t: t.level, reverse=True):
-            if len(t.category_ids) == 1:
-                c = t.category_ids[0]
-                for e in t.entity_ids:
-                    mapping.setdefault(e, c)
-        self._entity_categories = mapping
-        return mapping
 
     def set_entity_categories(self, mapping: Dict[int, int]) -> None:
         """Install the authoritative entity → category map (preferred).
 
         The pipeline knows the catalog's categories; examples call this
-        so scenario C filters exactly.
+        so scenario C filters exactly. Invalidates the query cache.
         """
         self._entity_categories = dict(mapping)
+        self._cache.clear()
 
     # -- scenario D: Category → Category ---------------------------------------
 
@@ -178,43 +377,55 @@ class ShoalService:
         merchandise *or* the same intent surface together. Excludes the
         topic itself and its ancestors/descendants (hierarchy
         navigation already covers those).
+
+        Only candidate topics sharing at least one description token or
+        category with the centre are scored (anything else scores 0).
         """
         center = self.taxonomy.topic(topic_id)
-        lineage = {t.topic_id for t in self.topic_path(topic_id)}
-        stack = list(center.child_ids)
-        while stack:
-            node = stack.pop()
-            lineage.add(node)
-            stack.extend(self.taxonomy.topic(node).child_ids)
+        key = ("related", topic_id, k)
+        cached = self._cache.get(key)
+        if cached is not _LRUCache._MISS:
+            return list(cached)
 
-        center_cats = set(center.category_ids)
-        center_tokens = set()
-        for d in center.descriptions:
-            center_tokens.update(self._tokenizer.tokenize(d))
+        center_pos = self._position_of[topic_id]
+        lineage = set(self._subtree[topic_id])
+        parent = center.parent_id
+        while parent is not None:
+            lineage.add(parent)
+            parent = self.taxonomy.topic(parent).parent_id
+
+        center_cats = self._topic_categories[center_pos]
+        center_tokens = self._topic_tokens[center_pos]
+        candidates: set = set()
+        for tok in center_tokens:
+            candidates.update(self._positions_with_token.get(tok, ()))
+        for c in center_cats:
+            candidates.update(self._positions_with_category.get(c, ()))
 
         scored: List[Tuple[Topic, float]] = []
-        for other in self._topics:
+        for pos in candidates:
+            other = self._topics[pos]
             if other.topic_id in lineage:
                 continue
-            cats = set(other.category_ids)
+            cats = self._topic_categories[pos]
             cat_sim = (
                 len(center_cats & cats) / len(center_cats | cats)
-                if center_cats | cats
+                if center_cats or cats
                 else 0.0
             )
-            tokens = set()
-            for d in other.descriptions:
-                tokens.update(self._tokenizer.tokenize(d))
+            tokens = self._topic_tokens[pos]
             tok_sim = (
                 len(center_tokens & tokens) / len(center_tokens | tokens)
-                if center_tokens | tokens
+                if center_tokens or tokens
                 else 0.0
             )
             score = 0.5 * cat_sim + 0.5 * tok_sim
             if score > 0.0:
                 scored.append((other, score))
         scored.sort(key=lambda ts: (-ts[1], ts[0].topic_id))
-        return scored[:k]
+        result = scored[:k]
+        self._cache.put(key, tuple(result))
+        return result
 
     # -- recommendation (used by the A/B bench) -----------------------------------
 
@@ -229,3 +440,20 @@ class ShoalService:
         if topic is None:
             return []
         return topic.entity_ids[:k]
+
+    def recommend_batch(
+        self, queries: Sequence[str], k: int = 10
+    ) -> List[List[int]]:
+        """One entity slate per query, in order.
+
+        The batched counterpart of :meth:`recommend_entities_for_query`;
+        shares tokenisation and cache lookups across the batch.
+        """
+        slates: List[List[int]] = []
+        for hits in self.search_topics_batch(queries, k=1):
+            if not hits:
+                slates.append([])
+            else:
+                topic = self.taxonomy.topic(hits[0].topic_id)
+                slates.append(topic.entity_ids[:k])
+        return slates

@@ -10,7 +10,7 @@ matching — tagged with representative queries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.clustering.dendrogram import Dendrogram
 

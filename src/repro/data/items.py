@@ -16,12 +16,12 @@ needs — while entities of the same category share nouns/attributes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro._util import RngLike, check_positive, check_probability, ensure_rng
+from repro._util import check_positive, check_probability, ensure_rng
 from repro.data.scenarios import Scenario
 from repro.data.vocab import DomainVocabulary
 from repro.data.zipf import zipf_weights

@@ -10,11 +10,10 @@ scaling experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
-from repro._util import ensure_rng
 from repro.data.items import ItemCatalog, ItemConfig, generate_catalog
 from repro.data.ontology import Ontology, OntologyConfig, generate_ontology
 from repro.data.queries import QueryLog, QueryLogConfig, generate_query_log

@@ -10,10 +10,10 @@ fan-out whose leaves are the categories items are assigned to.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
-from repro._util import RngLike, check_positive, ensure_rng
+from repro._util import check_positive, ensure_rng
 
 __all__ = ["Category", "Ontology", "OntologyConfig", "generate_ontology"]
 

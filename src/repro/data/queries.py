@@ -18,13 +18,13 @@ queries in the last seven days". We generate a timestamped query log:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro._util import RngLike, check_positive, check_probability, ensure_rng
+from repro._util import check_positive, check_probability, ensure_rng
 from repro.data.items import ItemCatalog
-from repro.data.scenarios import Scenario, scenario_by_id
+from repro.data.scenarios import Scenario
 from repro.data.users import UserPopulation
 from repro.data.vocab import DomainVocabulary
 from repro.data.zipf import zipf_weights

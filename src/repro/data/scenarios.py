@@ -16,12 +16,11 @@ marketplace makes them explicit latent variables:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
-from repro._util import RngLike, check_positive, check_probability, ensure_rng
+from repro._util import check_positive, check_probability, ensure_rng
 
 __all__ = ["Scenario", "ScenarioConfig", "generate_scenarios"]
 

@@ -13,11 +13,11 @@ same user objects, so the mechanism is shared end to end.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 
-from repro._util import RngLike, check_positive, check_probability, ensure_rng
+from repro._util import check_positive, check_probability, ensure_rng
 from repro.data.scenarios import Scenario
 
 __all__ = ["SimulatedUser", "UserPopulation", "UserConfig", "generate_users"]

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from repro._util import RngLike, check_positive, ensure_rng
+from repro._util import check_positive, ensure_rng
 
 __all__ = ["VocabularyConfig", "DomainVocabulary", "generate_vocabulary"]
 

@@ -24,14 +24,12 @@ whole scenario.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List
 
-import numpy as np
 
-from repro._util import RngLike, check_positive, check_probability, ensure_rng
+from repro._util import check_positive, check_probability, ensure_rng
 from repro.data.marketplace import Marketplace
-from repro.data.scenarios import scenario_by_id
 
 __all__ = ["ABTestConfig", "ClickModel", "ABTestReport", "ABTestSimulator"]
 

@@ -20,9 +20,8 @@ Precision = correct judgements / total judgements.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional
 
-import numpy as np
 
 from repro._util import RngLike, check_positive, check_probability, ensure_rng
 from repro.core.taxonomy import Taxonomy, Topic

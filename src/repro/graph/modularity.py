@@ -14,9 +14,8 @@ the weighted degree (strength) of vertex i, and ``c_i`` its community.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Sequence
+from typing import Dict, Mapping
 
-import numpy as np
 
 from repro.graph.sparse import SparseGraph
 

@@ -24,7 +24,6 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro._util import stable_pairs_key
 
 __all__ = ["SparseGraph"]
 

@@ -9,7 +9,7 @@ benches use :class:`SumAggregator` to count merges per round.
 
 from __future__ import annotations
 
-from typing import Any, Generic, List, Optional, TypeVar
+from typing import Generic, TypeVar
 
 T = TypeVar("T")
 

@@ -15,7 +15,7 @@ pin the two implementations together.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List
+from typing import Dict
 
 from repro.graph.sparse import SparseGraph
 from repro.pregel.engine import PregelConfig, PregelEngine

@@ -16,7 +16,7 @@ experiments in this reproduction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, List, Optional
+from typing import Any, Dict, Hashable, List, Optional
 
 from repro._util import check_positive
 from repro.pregel.aggregators import Aggregator

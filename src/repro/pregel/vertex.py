@@ -10,7 +10,7 @@ messages at the start of the next superstep — classic Pregel.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Iterable, List, Optional
+from typing import Any, Dict, Hashable, List, Optional
 
 __all__ = ["Vertex", "VertexContext"]
 

@@ -11,7 +11,7 @@ pipeline can be re-run as the window slides.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro._util import check_positive
 from repro.data.queries import Query, QueryEvent, QueryLog

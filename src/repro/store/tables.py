@@ -10,7 +10,7 @@ database engine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple, Type
 
 import numpy as np
 

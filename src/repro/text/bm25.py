@@ -9,6 +9,7 @@ tokenised documents.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
@@ -49,8 +50,9 @@ class BM25:
         self._config = config
         self._doc_freqs: List[Dict[str, int]] = []
         self._doc_lengths: List[int] = []
+        self._postings: Dict[str, List[int]] = {}
         df: Dict[str, int] = {}
-        for doc in documents:
+        for doc_index, doc in enumerate(documents):
             tf: Dict[str, int] = {}
             for tok in doc:
                 tf[tok] = tf.get(tok, 0) + 1
@@ -58,6 +60,7 @@ class BM25:
             self._doc_lengths.append(len(doc))
             for tok in tf:
                 df[tok] = df.get(tok, 0) + 1
+                self._postings.setdefault(tok, []).append(doc_index)
         n = len(self._doc_freqs)
         self._n_docs = n
         self._avg_len = (sum(self._doc_lengths) / n) if n else 0.0
@@ -78,6 +81,18 @@ class BM25:
     def idf(self, token: str) -> float:
         """Smoothed IDF of a token (0.0 for unseen tokens)."""
         return self._idf.get(token, 0.0)
+
+    def candidates(self, query_tokens: Sequence[str]) -> List[int]:
+        """Documents containing at least one query token, ascending.
+
+        Every document with a non-zero BM25 score for the query is in
+        this list, so scoring only candidates is exact top-k pruning,
+        not an approximation.
+        """
+        seen: set = set()
+        for tok in query_tokens:
+            seen.update(self._postings.get(tok, ()))
+        return sorted(seen)
 
     # -- scoring --------------------------------------------------------------
 
@@ -106,7 +121,16 @@ class BM25:
         )
 
     def top_k(self, query_tokens: Sequence[str], k: int = 10) -> List[tuple]:
-        """Top-``k`` (doc_index, score) pairs by descending relevance."""
-        s = self.scores(query_tokens)
-        order = np.argsort(s)[::-1][: max(0, k)]
-        return [(int(i), float(s[i])) for i in order if s[i] > 0.0]
+        """Top-``k`` (doc_index, score) pairs by descending relevance.
+
+        Scores only the posting-list candidates instead of the full
+        collection; ties break toward the lower document index.
+        """
+        if k <= 0:
+            return []
+        scored = [
+            (self.score(query_tokens, i), i)
+            for i in self.candidates(query_tokens)
+        ]
+        top = heapq.nlargest(k, scored, key=lambda si: (si[0], -si[1]))
+        return [(i, s) for s, i in top if s > 0.0]

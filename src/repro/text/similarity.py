@@ -14,11 +14,10 @@ time — important because the entity-graph builder calls it O(E) times.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from repro._util import normalize_rows
 from repro.text.word2vec import WordEmbeddings
 
 __all__ = ["shifted_cosine", "mean_pairwise_shifted_cosine", "entity_embedding"]

@@ -10,8 +10,8 @@ stop-word removal, and length filtering.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, List, Sequence
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List
 
 __all__ = ["TokenizerConfig", "Tokenizer"]
 

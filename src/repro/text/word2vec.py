@@ -11,11 +11,11 @@ bench corpora (tens of thousands of tokens).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro._util import RngLike, check_positive, ensure_rng, normalize_rows
+from repro._util import check_positive, ensure_rng, normalize_rows
 from repro.text.vocab import Vocabulary
 
 __all__ = ["Word2VecConfig", "WordEmbeddings", "Word2Vec"]

@@ -1,6 +1,5 @@
 """Tests for repro.clustering.linkage (Eq. 4 and ablation variants)."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for repro.core.pipeline (end-to-end orchestration)."""
 
-import pytest
 
 from repro.core.config import ShoalConfig
 from repro.core.pipeline import ShoalPipeline

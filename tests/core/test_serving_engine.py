@@ -1,0 +1,231 @@
+"""Tests for the serving-engine internals of repro.core.serving:
+query-result LRU cache (hit/miss/invalidation, incremental wiring) and
+the batch APIs."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import ShoalConfig
+from repro.core.incremental import IncrementalShoal
+from repro.core.serving import ShoalService
+from repro.data.marketplace import PROFILES, generate_marketplace
+from repro.data.queries import QueryLogConfig
+
+
+@pytest.fixture()
+def service(tiny_model, tiny_marketplace):
+    """A fresh service per test — cache counters start at zero."""
+    return ShoalService(
+        tiny_model,
+        entity_categories={
+            e.entity_id: e.category_id
+            for e in tiny_marketplace.catalog.entities
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def scenario_query(tiny_marketplace):
+    return next(
+        q.text
+        for q in tiny_marketplace.query_log.queries
+        if q.intent_kind == "scenario"
+    )
+
+
+class TestQueryCache:
+    def test_repeat_search_hits_cache(self, service, scenario_query):
+        first = service.search_topics(scenario_query, k=3)
+        stats = service.cache_stats()
+        assert stats.hits == 0
+        assert stats.misses == 1
+        second = service.search_topics(scenario_query, k=3)
+        stats = service.cache_stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert second == first
+
+    def test_different_k_is_different_entry(self, service, scenario_query):
+        service.search_topics(scenario_query, k=3)
+        service.search_topics(scenario_query, k=5)
+        assert service.cache_stats().misses == 2
+
+    def test_cached_result_is_copy(self, service, scenario_query):
+        first = service.search_topics(scenario_query, k=3)
+        first.clear()  # caller mutation must not corrupt the cache
+        again = service.search_topics(scenario_query, k=3)
+        assert again  # still the real hits, not the cleared list
+
+    def test_related_topics_cached(self, service):
+        root = service.taxonomy.root_topics()[0]
+        first = service.related_topics(root.topic_id, k=6)
+        second = service.related_topics(root.topic_id, k=6)
+        assert second == first
+        assert service.cache_stats().hits >= 1
+
+    def test_invalidate_cache(self, service, scenario_query):
+        service.search_topics(scenario_query, k=3)
+        service.invalidate_cache()
+        stats = service.cache_stats()
+        assert stats.size == 0
+        assert stats.invalidations == 1
+        service.search_topics(scenario_query, k=3)
+        assert service.cache_stats().misses == 2
+
+    def test_set_entity_categories_invalidates(self, service, scenario_query):
+        service.search_topics(scenario_query, k=3)
+        service.set_entity_categories({})
+        assert service.cache_stats().size == 0
+
+    def test_cache_disabled(self, tiny_model, scenario_query):
+        svc = ShoalService(tiny_model, cache_size=0)
+        svc.search_topics(scenario_query, k=3)
+        svc.search_topics(scenario_query, k=3)
+        stats = svc.cache_stats()
+        assert stats.hits == 0
+        assert stats.misses == 2
+        assert stats.size == 0
+
+    def test_lru_eviction(self, tiny_model):
+        svc = ShoalService(tiny_model, cache_size=2)
+        queries = list(tiny_model.query_texts.values())[:3]
+        for q in queries:
+            svc.search_topics(q, k=3)
+        assert svc.cache_stats().size == 2
+        svc.search_topics(queries[0], k=3)  # evicted → miss again
+        assert svc.cache_stats().misses == 4
+
+    def test_negative_cache_size_rejected(self, tiny_model):
+        with pytest.raises(ValueError):
+            ShoalService(tiny_model, cache_size=-1)
+
+    def test_hit_rate(self, service, scenario_query):
+        assert service.cache_stats().hit_rate == 0.0
+        service.search_topics(scenario_query, k=3)
+        service.search_topics(scenario_query, k=3)
+        assert service.cache_stats().hit_rate == pytest.approx(0.5)
+        assert "hits" in service.cache_stats().summary()
+
+    def test_cached_equals_uncached(self, tiny_model, tiny_marketplace):
+        """The cache must be invisible: cached and cache-disabled
+        services agree on every query and every related-topics call."""
+        cats = {
+            e.entity_id: e.category_id
+            for e in tiny_marketplace.catalog.entities
+        }
+        warm = ShoalService(tiny_model, entity_categories=cats)
+        cold = ShoalService(tiny_model, cache_size=0, entity_categories=cats)
+        queries = list(tiny_model.query_texts.values())[:10]
+        for q in queries + queries:  # second pass hits warm's cache
+            assert warm.search_topics(q, k=4) == cold.search_topics(q, k=4)
+        for t in warm.taxonomy.root_topics()[:5]:
+            w = [(o.topic_id, s) for o, s in warm.related_topics(t.topic_id)]
+            c = [(o.topic_id, s) for o, s in cold.related_topics(t.topic_id)]
+            assert w == c
+
+
+class TestBatchAPIs:
+    def test_search_batch_equals_sequential(self, service, tiny_model):
+        queries = list(tiny_model.query_texts.values())[:12]
+        batched = service.search_topics_batch(queries, k=4)
+        sequential = [service.search_topics(q, k=4) for q in queries]
+        assert batched == sequential
+
+    def test_recommend_batch_equals_sequential(self, service, tiny_model):
+        queries = list(tiny_model.query_texts.values())[:12]
+        batched = service.recommend_batch(queries, k=6)
+        sequential = [
+            service.recommend_entities_for_query(q, k=6) for q in queries
+        ]
+        assert batched == sequential
+
+    def test_batch_preserves_order_and_length(self, service, tiny_model):
+        queries = list(tiny_model.query_texts.values())[:5]
+        queries.insert(2, "zzzz qqqq nothing")  # no-hit query mid-batch
+        results = service.search_topics_batch(queries, k=3)
+        assert len(results) == len(queries)
+        assert results[2] == []
+
+    def test_empty_batch(self, service):
+        assert service.search_topics_batch([], k=3) == []
+        assert service.recommend_batch([], k=3) == []
+
+    def test_duplicate_queries_share_cache(self, service, scenario_query):
+        service.search_topics_batch([scenario_query] * 8, k=3)
+        stats = service.cache_stats()
+        assert stats.misses == 1
+        assert stats.hits == 7
+
+
+class TestIncrementalWiring:
+    @pytest.fixture(scope="class")
+    def long_market(self):
+        cfg = dataclasses.replace(
+            PROFILES["tiny"],
+            query_log=QueryLogConfig(n_days=9, events_per_day=400),
+        )
+        return generate_marketplace(cfg)
+
+    @pytest.fixture(scope="class")
+    def maintainer(self, long_market):
+        titles = {e.entity_id: e.title for e in long_market.catalog.entities}
+        query_texts = {
+            q.query_id: q.text for q in long_market.query_log.queries
+        }
+        categories = {
+            e.entity_id: e.category_id for e in long_market.catalog.entities
+        }
+        return IncrementalShoal(
+            ShoalConfig(), titles, query_texts, categories, retrain_every=100
+        )
+
+    def test_service_requires_model(self, long_market):
+        titles = {e.entity_id: e.title for e in long_market.catalog.entities}
+        inc = IncrementalShoal(ShoalConfig(), titles, {}, {})
+        with pytest.raises(RuntimeError):
+            inc.service()
+
+    def test_advance_refreshes_persistent_service(
+        self, maintainer, long_market
+    ):
+        maintainer.advance(long_market.query_log, last_day=6)
+        svc = maintainer.service()
+        assert maintainer.service() is svc  # persistent instance
+
+        query = next(
+            q.text
+            for q in long_market.query_log.queries
+            if q.intent_kind == "scenario"
+        )
+        svc.search_topics(query, k=3)
+        svc.search_topics(query, k=3)
+        stats = svc.cache_stats()
+        assert stats.hits == 1 and stats.misses == 1
+
+        maintainer.advance(long_market.query_log, last_day=7)
+        # Same service object, new model, cache invalidated.
+        assert maintainer.service() is svc
+        assert svc.model is maintainer.model
+        assert svc.cache_stats().size == 0
+        svc.search_topics(query, k=3)
+        stats = svc.cache_stats()
+        assert stats.misses == 2  # recomputed against the new window
+        assert stats.invalidations >= 1
+
+    def test_refreshed_service_serves_new_taxonomy(
+        self, maintainer, long_market
+    ):
+        maintainer.advance(long_market.query_log, last_day=8)
+        svc = maintainer.service()
+        hits = svc.search_topics(
+            next(
+                q.text
+                for q in long_market.query_log.queries
+                if q.intent_kind == "scenario"
+            ),
+            k=1,
+        )
+        assert hits
+        # The returned topic exists in the *current* taxonomy.
+        assert svc.taxonomy.topic(hits[0].topic_id) is not None

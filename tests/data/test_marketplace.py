@@ -1,6 +1,5 @@
 """Tests for repro.data.marketplace (top-level generator)."""
 
-import pytest
 
 from repro.data.marketplace import (
     PROFILES,

@@ -1,6 +1,5 @@
 """Tests for repro.graph.sparse (SparseGraph)."""
 
-import numpy as np
 import pytest
 
 from repro.graph.sparse import SparseGraph

@@ -9,7 +9,6 @@ empty-but-valid outputs, never exceptions.
 
 import dataclasses
 
-import pytest
 
 from repro.core.config import ShoalConfig
 from repro.core.pipeline import ShoalPipeline
@@ -167,5 +166,4 @@ class TestConfigEdgeCases:
         model = ShoalPipeline(
             dataclasses.replace(ShoalConfig(), window_days=1)
         ).fit(tiny_marketplace)
-        days = {e.day for e in tiny_marketplace.query_log.events}
         assert len(model.taxonomy) >= 0  # valid model from one day

@@ -1,6 +1,5 @@
 """Tests for repro.pregel.messages (router and combiners)."""
 
-import pytest
 
 from repro.pregel.messages import MessageRouter, combine_max, combine_sum
 from repro.pregel.partition import HashPartitioner

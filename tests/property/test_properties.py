@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) on core data structures/invariants."""
 
-import math
 
 import numpy as np
 import pytest
@@ -8,7 +7,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro._util import jaccard
-from repro.clustering.dendrogram import Dendrogram, Merge
+from repro.clustering.dendrogram import Dendrogram
 from repro.clustering.hac import HACConfig, SequentialHAC
 from repro.clustering.linkage import LINKAGES, sqrt_linkage
 from repro.clustering.membership import MembershipTracker

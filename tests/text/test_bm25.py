@@ -72,6 +72,36 @@ class TestTopK:
     def test_empty_query(self, index):
         assert index.top_k([], k=3) == []
 
+    def test_nonpositive_k(self, index):
+        assert index.top_k(["beach"], k=0) == []
+        assert index.top_k(["beach"], k=-1) == []
+
+    def test_pruned_matches_full_scan(self, index):
+        """Posting-list pruning is exact: top_k agrees with brute-force
+        scoring of every document."""
+        for query in (["beach"], ["dress", "silk"], ["beach", "winter"]):
+            full = sorted(
+                (
+                    (i, index.score(query, i))
+                    for i in range(index.n_documents)
+                ),
+                key=lambda pair: (-pair[1], pair[0]),
+            )
+            expected = [(i, s) for i, s in full if s > 0.0][:10]
+            assert index.top_k(query, k=10) == expected
+
+
+class TestCandidates:
+    def test_candidates_cover_matching_docs(self, index):
+        assert index.candidates(["beach"]) == [0, 2]
+        assert index.candidates(["beach", "snow"]) == [0, 1, 2]
+
+    def test_unknown_token_no_candidates(self, index):
+        assert index.candidates(["spaceship"]) == []
+
+    def test_duplicate_query_tokens(self, index):
+        assert index.candidates(["beach", "beach"]) == [0, 2]
+
 
 class TestEdgeCases:
     def test_empty_collection(self):
