@@ -1,0 +1,50 @@
+"""F6 — cold-start: warm-starting from a snapshot vs refitting.
+
+The deployment claim behind ``ShoalModel.save`` / ``load``: a serving
+fleet must come up from fitted artifacts, not refit per process. This
+bench puts numbers on that — the full pipeline fit versus writing,
+loading, and index-building from a snapshot directory on the default
+bench corpus.
+"""
+
+import pytest
+
+from repro.core.pipeline import ShoalModel, ShoalPipeline
+from repro.core.serving import ShoalService
+
+
+@pytest.fixture(scope="module")
+def snapshot_dir(bench_model, bench_marketplace, tmp_path_factory):
+    d = tmp_path_factory.mktemp("coldstart") / "model"
+    categories = {
+        e.entity_id: e.category_id for e in bench_marketplace.catalog.entities
+    }
+    bench_model.save(d, entity_categories=categories)
+    return d
+
+
+def test_bench_refit_cold_start(benchmark, bench_marketplace, bench_model):
+    """The no-snapshot baseline: every process refits the pipeline."""
+    pipeline = ShoalPipeline(bench_model.config)
+    model = benchmark.pedantic(
+        pipeline.fit, args=(bench_marketplace,), rounds=1, iterations=1
+    )
+    assert len(model.taxonomy) == len(bench_model.taxonomy)
+
+
+def test_bench_snapshot_save(benchmark, bench_model, tmp_path):
+    benchmark.pedantic(
+        bench_model.save, args=(tmp_path / "snap",), rounds=3, iterations=1
+    )
+
+
+def test_bench_snapshot_load(benchmark, snapshot_dir, bench_model):
+    """Reconstructing the full model from disk (the warm-start path)."""
+    model = benchmark(ShoalModel.load, snapshot_dir)
+    assert len(model.taxonomy) == len(bench_model.taxonomy)
+
+
+def test_bench_service_from_snapshot(benchmark, snapshot_dir):
+    """Disk → ready-to-serve read tier, indexes included."""
+    service = benchmark(ShoalService.from_snapshot, snapshot_dir)
+    assert len(service.taxonomy) > 0

@@ -1,0 +1,89 @@
+"""Fit once, snapshot to disk, and warm-start a serving fleet from it.
+
+Production SHOAL is an offline fit feeding an online read tier: one
+pipeline process fits the model, every serving process loads the
+resulting artifacts — refitting per process would be absurd at scale.
+This example walks that handoff:
+
+1. fit on the small profile and ``model.save()`` a versioned snapshot
+   (JSON for inspectable structures, NPZ for arrays, no pickle);
+2. ``ShoalService.from_snapshot()`` — construct the read tier purely
+   from disk and verify its answers are identical to the in-memory
+   service;
+3. ``IncrementalShoal.checkpoint()`` / ``resume()`` — sliding-window
+   maintenance surviving a process restart.
+
+Run:  python examples/save_and_serve.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import ShoalPipeline, ShoalService, generate_marketplace
+from repro.core.incremental import IncrementalShoal
+from repro.data.marketplace import PROFILES
+
+
+def main() -> None:
+    market = generate_marketplace(PROFILES["small"])
+    titles = {e.entity_id: e.title for e in market.catalog.entities}
+    query_texts = {q.query_id: q.text for q in market.query_log.queries}
+    categories = {e.entity_id: e.category_id for e in market.catalog.entities}
+
+    t0 = time.perf_counter()
+    model = ShoalPipeline().fit(market)
+    fit_seconds = time.perf_counter() - t0
+    print(f"offline fit: {fit_seconds:.2f}s  ->  {model.summary()}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        snap = Path(tmp) / "snapshot"
+
+        # 1. Persist every artifact as one versioned snapshot directory.
+        model.save(snap, entity_categories=categories)
+        total_kb = sum(p.stat().st_size for p in snap.iterdir()) / 1024
+        print(f"\nsnapshot at {snap} ({total_kb:.0f} KiB):")
+        for p in sorted(snap.iterdir()):
+            print(f"  {p.name:24s} {p.stat().st_size / 1024:8.1f} KiB")
+
+        # 2. Warm-start the read tier from disk and cross-check answers.
+        t0 = time.perf_counter()
+        served = ShoalService.from_snapshot(snap)
+        load_seconds = time.perf_counter() - t0
+        print(
+            f"\nwarm start: {load_seconds:.2f}s "
+            f"({fit_seconds / max(load_seconds, 1e-9):.0f}x faster than refit)"
+        )
+
+        in_memory = ShoalService(model, entity_categories=categories)
+        sample = [q.text for q in market.query_log.queries[:100]]
+        assert served.search_topics_batch(sample) == in_memory.search_topics_batch(sample)
+        assert served.recommend_batch(sample) == in_memory.recommend_batch(sample)
+        print("served answers are identical to the in-memory service")
+
+        demo = next(
+            q.text for q in market.query_log.queries
+            if q.intent_kind == "scenario"
+        )
+        print(f"\nquery: {demo!r}")
+        for hit in served.search_topics(demo, k=3):
+            print(f"  {hit.score:7.2f}  {hit.label}")
+
+        # 3. Sliding-window maintenance across a "restart".
+        inc = IncrementalShoal(
+            model.config, titles, query_texts, categories, retrain_every=100
+        )
+        inc.advance(market.query_log, last_day=6)
+        ckpt = Path(tmp) / "checkpoint"
+        inc.checkpoint(ckpt)
+
+        resumed = IncrementalShoal.resume(ckpt)  # a brand-new process
+        update = resumed.advance(market.query_log, last_day=6)
+        print(
+            f"\nresumed maintenance: {update.summary()} "
+            f"(embeddings retrained: {update.embeddings_retrained})"
+        )
+
+
+if __name__ == "__main__":
+    main()

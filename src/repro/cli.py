@@ -3,17 +3,22 @@
 Operational entry points for the library, mirroring how the production
 system would be driven:
 
-* ``python -m repro.cli fit`` — generate a marketplace (or use a saved
-  taxonomy), run the pipeline, print the taxonomy tree and stats, and
-  optionally persist the taxonomy as JSON;
+* ``python -m repro.cli fit`` — generate a marketplace, run the
+  pipeline, print the taxonomy tree and stats, and optionally persist
+  the taxonomy as JSON (``--output``) or the full model as a versioned
+  snapshot directory (``--save``);
 * ``python -m repro.cli evaluate`` — run the precision protocol and
   modularity scoring against ground truth;
-* ``python -m repro.cli search`` — fit then answer keyword queries from
-  the command line (demo scenario A);
+* ``python -m repro.cli search`` — answer keyword queries from the
+  command line (demo scenario A);
 * ``python -m repro.cli abtest`` — run the paired CTR experiment.
 
 All subcommands accept ``--profile`` (tiny/small/default/large/xlarge)
-and ``--seed`` so results are reproducible from the shell.
+and ``--seed`` so results are reproducible from the shell, plus
+``--load DIR`` to warm-start from a ``fit --save`` snapshot instead of
+refitting — the offline-fit → online-serving handoff. ``search
+--load`` builds the read tier purely from disk, no marketplace
+generation at all.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ from typing import List, Optional
 
 from repro.baselines.ontology_rec import OntologyRecommender, OntologyRecommenderConfig
 from repro.core.config import ShoalConfig
-from repro.core.pipeline import ShoalPipeline
+from repro.core.pipeline import ShoalModel, ShoalPipeline
 from repro.core.report import compute_stats, render_tree
 from repro.core.serving import ShoalService
 from repro.data.marketplace import PROFILES, generate_marketplace
@@ -48,14 +53,61 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--alpha", type=float, default=None,
         help="override Eq. 3 mixing coefficient (default: paper's 0.7)",
     )
+    parser.add_argument(
+        "--load", default=None, metavar="DIR",
+        help="load a model snapshot (from 'fit --save') instead of fitting",
+    )
 
 
-def _build(args) -> tuple:
-    market = generate_marketplace(PROFILES[args.profile].with_seed(args.seed))
+def _fit_model(args, market):
     config = ShoalConfig()
     if args.alpha is not None:
         config = config.with_alpha(args.alpha)
-    model = ShoalPipeline(config).fit(market)
+    return ShoalPipeline(config).fit(market)
+
+
+def _check_load_flags(args) -> None:
+    """Reject flag combinations that would silently have no effect."""
+    if args.load and args.alpha is not None:
+        raise SystemExit(
+            "--alpha has no effect with --load: the snapshot was fitted "
+            "with its own alpha; refit with 'fit --alpha ... --save' instead"
+        )
+
+
+def _check_snapshot_world(args) -> None:
+    """Fail fast when a snapshot is paired with the wrong marketplace.
+
+    Ground truth (evaluate) and the CTR simulation (abtest) come from
+    the regenerated world, so the snapshot must have been fitted on the
+    same --profile/--seed. 'fit --save' records both in the manifest.
+    """
+    from repro.store.persistence import read_manifest
+
+    meta = read_manifest(args.load).get("metadata", {})
+    profile, seed = meta.get("profile"), meta.get("seed")
+    if profile is None:
+        return  # snapshot not written by the CLI; trust the operator
+    if profile != args.profile or seed != args.seed:
+        raise SystemExit(
+            f"snapshot at {args.load} was fitted on --profile {profile} "
+            f"--seed {seed}, but this command runs against --profile "
+            f"{args.profile} --seed {args.seed}; rerun with the "
+            "snapshot's flags"
+        )
+
+
+def _build(args) -> tuple:
+    """(marketplace, model) — loading the model from a snapshot when
+    ``--load`` is given, so only the cheap world generation runs."""
+    _check_load_flags(args)
+    if args.load:
+        _check_snapshot_world(args)
+    market = generate_marketplace(PROFILES[args.profile].with_seed(args.seed))
+    if args.load:
+        model = ShoalModel.load(args.load)
+    else:
+        model = _fit_model(args, market)
     return market, model
 
 
@@ -71,6 +123,15 @@ def _cmd_fit(args) -> int:
     if args.output:
         save_taxonomy(model.taxonomy, args.output)
         print(f"taxonomy written to {args.output}")
+    if args.save:
+        model.save(
+            args.save,
+            entity_categories={
+                e.entity_id: e.category_id for e in market.catalog.entities
+            },
+            metadata={"profile": args.profile, "seed": args.seed},
+        )
+        print(f"model snapshot written to {args.save}")
     return 0
 
 
@@ -87,19 +148,36 @@ def _cmd_evaluate(args) -> int:
     return 0 if (report.precision >= 0.9 and q > 0.3) else 1
 
 
+def _default_snapshot_query(service: ShoalService) -> str:
+    """A demo query when serving from disk: a topic's own description."""
+    for topic in service.taxonomy.root_topics():
+        if topic.descriptions:
+            return topic.descriptions[0]
+    return "example"
+
+
 def _cmd_search(args) -> int:
-    market, model = _build(args)
-    service = ShoalService(model)
-    service.set_entity_categories(
-        {e.entity_id: e.category_id for e in market.catalog.entities}
-    )
-    names = {c.category_id: c.name for c in market.ontology}
-    queries = args.queries or [
-        next(
-            q.text for q in market.query_log.queries
-            if q.intent_kind == "scenario"
+    _check_load_flags(args)
+    if args.load:
+        # Pure warm-start: the read tier comes entirely from the
+        # snapshot — no marketplace generation, no fitting. (No world
+        # consistency check needed: nothing here uses the marketplace.)
+        service = ShoalService.from_snapshot(args.load)
+        names = {}
+        queries = args.queries or [_default_snapshot_query(service)]
+    else:
+        market, model = _build(args)
+        service = ShoalService(model)
+        service.set_entity_categories(
+            {e.entity_id: e.category_id for e in market.catalog.entities}
         )
-    ]
+        names = {c.category_id: c.name for c in market.ontology}
+        queries = args.queries or [
+            next(
+                q.text for q in market.query_log.queries
+                if q.intent_kind == "scenario"
+            )
+        ]
     batched = service.search_topics_batch(queries, k=args.k)
     for query, hits in zip(queries, batched):
         print(f"query: {query!r}")
@@ -148,6 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_fit)
     p_fit.add_argument("--max-roots", type=int, default=8)
     p_fit.add_argument("--output", default=None, help="write taxonomy JSON here")
+    p_fit.add_argument(
+        "--save", default=None, metavar="DIR",
+        help="write a full model snapshot directory (for later --load)",
+    )
     p_fit.set_defaults(func=_cmd_fit)
 
     p_eval = sub.add_parser("evaluate", help="precision + modularity check")

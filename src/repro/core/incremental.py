@@ -17,7 +17,8 @@ configurable ``retrain_every`` forces periodic full retrains.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from pathlib import Path
+from typing import Dict, Optional, Union
 
 from repro.clustering.parallel_hac import ParallelHAC
 from repro.core.config import ShoalConfig
@@ -137,6 +138,66 @@ class IncrementalShoal:
         """Catalog update: new/changed titles invalidate embeddings."""
         self._titles.update(titles)
         self.invalidate_embeddings()
+
+    def update_queries(self, query_texts: Dict[int, str]) -> None:
+        """Register new/changed query texts (e.g. queries first seen in a
+        later window) so :class:`TopicDescriber` can score them.
+
+        Unlike :meth:`update_titles` this does *not* force an embedding
+        retrain: description matching only needs the raw text, and the
+        token geometry catches up at the next scheduled retrain.
+        """
+        self._query_texts.update(query_texts)
+
+    # -- persistence ----------------------------------------------------------
+
+    def checkpoint(self, directory: Union[str, Path]) -> Path:
+        """Persist the full maintenance state to ``directory``.
+
+        Includes the refit inputs (titles, query texts, categories),
+        the embedding-retrain counters, and a complete snapshot of the
+        latest model, so sliding-window maintenance survives a process
+        restart via :meth:`resume`.
+        """
+        # Imported lazily: the store layer depends on core modules.
+        from repro.store.persistence import CheckpointState, save_checkpoint
+
+        state = CheckpointState(
+            config=self._config,
+            titles=dict(self._titles),
+            query_texts=dict(self._query_texts),
+            entity_categories=dict(self._categories),
+            retrain_every=self._retrain_every,
+            fits_since_retrain=self._fits_since_retrain,
+            embeddings_valid=self._embeddings is not None,
+            model=self._last_model,
+        )
+        return save_checkpoint(state, directory)
+
+    @classmethod
+    def resume(cls, directory: Union[str, Path]) -> "IncrementalShoal":
+        """Reconstruct an :class:`IncrementalShoal` from a checkpoint.
+
+        Warm embeddings are re-linked from the snapshotted model (they
+        are the same artifact), unless they were invalidated before the
+        checkpoint — then the next :meth:`advance` retrains, exactly as
+        it would have without the restart.
+        """
+        from repro.store.persistence import load_checkpoint
+
+        state = load_checkpoint(directory)
+        inc = cls(
+            state.config,
+            state.titles,
+            state.query_texts,
+            state.entity_categories,
+            retrain_every=state.retrain_every,
+        )
+        inc._fits_since_retrain = state.fits_since_retrain
+        inc._last_model = state.model
+        if state.embeddings_valid and state.model is not None:
+            inc._embeddings = state.model.embeddings
+        return inc
 
     # -- the slide -----------------------------------------------------------
 

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 from repro.clustering.parallel_hac import ParallelHAC, ParallelHACResult
 from repro.core.config import ShoalConfig
@@ -61,6 +62,40 @@ class ShoalModel:
             f"rounds={self.clustering.n_rounds})"
         )
 
+    # -- persistence --------------------------------------------------------
+
+    def save(
+        self,
+        directory: Union[str, Path],
+        *,
+        entity_categories: Optional[Dict[int, int]] = None,
+        metadata: Optional[Dict] = None,
+    ) -> Path:
+        """Write a versioned snapshot of every artifact to ``directory``.
+
+        The snapshot is what a serving fleet warm-starts from (see
+        :mod:`repro.store.persistence.snapshot` for the on-disk
+        format); ``entity_categories`` optionally persists the
+        authoritative entity → category map alongside the model, and
+        ``metadata`` is a JSON-safe dict recorded in the manifest.
+        """
+        # Imported lazily: the store layer depends on this module.
+        from repro.store.persistence import save_model
+
+        return save_model(
+            self,
+            directory,
+            entity_categories=entity_categories,
+            metadata=metadata,
+        )
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "ShoalModel":
+        """Reconstruct a model from a snapshot written by :meth:`save`."""
+        from repro.store.persistence import load_model
+
+        return load_model(directory)
+
 
 class ShoalPipeline:
     """Builds a :class:`ShoalModel` from a marketplace or raw inputs."""
@@ -83,7 +118,12 @@ class ShoalPipeline:
             e.entity_id: e.category_id for e in marketplace.catalog.entities
         }
         days = marketplace.query_log.days()
-        last_day = days[-1] if days else 0
+        if not days:
+            raise ValueError(
+                "cannot fit on an empty query log: it contains no events, "
+                "so there is no window to build the bipartite graph from"
+            )
+        last_day = days[-1]
         first_day = max(0, last_day - self._config.window_days + 1)
         return self.fit_raw(
             marketplace.query_log,

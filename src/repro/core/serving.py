@@ -173,6 +173,33 @@ class ShoalService:
         self._cache = _LRUCache(cache_size)
         self._install_model(model, entity_categories)
 
+    @classmethod
+    def from_snapshot(
+        cls,
+        directory,
+        tokenizer: Optional[Tokenizer] = None,
+        *,
+        cache_size: int = 4096,
+    ) -> "ShoalService":
+        """Warm-start the full read tier from a model snapshot on disk.
+
+        This is the production deployment path: the pipeline fits
+        offline and calls :meth:`ShoalModel.save`; every serving
+        process then constructs from the snapshot directory, skipping
+        the fit entirely. If the snapshot carries the authoritative
+        entity → category sidecar it is installed up front, so answers
+        are identical to a service built from the in-memory model.
+        """
+        # Imported lazily: the store layer depends on this module's package.
+        from repro.store.persistence import load_entity_categories, load_model
+
+        return cls(
+            load_model(directory),
+            tokenizer,
+            cache_size=cache_size,
+            entity_categories=load_entity_categories(directory),
+        )
+
     # -- index build ---------------------------------------------------------
 
     def _install_model(

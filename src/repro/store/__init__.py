@@ -7,16 +7,26 @@ tables; this package provides the single-node equivalents:
   schema validation and simple filtering;
 * :mod:`repro.store.querylog` — a query-log store with per-day
   segments and sliding-window retention (paper: last seven days);
-* :mod:`repro.store.persistence` — JSON serialisation of a fitted
-  taxonomy/model so a serving process can load without refitting.
+* :mod:`repro.store.persistence` — pickle-free serialisation of fitted
+  artifacts: standalone taxonomy/embeddings files, versioned model
+  snapshot directories (``ShoalModel.save``/``load``,
+  ``ShoalService.from_snapshot``), and incremental-maintenance
+  checkpoints (``IncrementalShoal.checkpoint``/``resume``).
 """
 
 from repro.store.tables import Column, ColumnarTable, Schema
 from repro.store.querylog import QueryLogStore, QueryLogStoreConfig
 from repro.store.persistence import (
+    CheckpointState,
+    load_checkpoint,
     load_embeddings,
+    load_entity_categories,
+    load_model,
     load_taxonomy,
+    read_manifest,
+    save_checkpoint,
     save_embeddings,
+    save_model,
     save_taxonomy,
     taxonomy_to_dict,
     taxonomy_from_dict,
@@ -34,4 +44,11 @@ __all__ = [
     "load_embeddings",
     "taxonomy_to_dict",
     "taxonomy_from_dict",
+    "save_model",
+    "load_model",
+    "load_entity_categories",
+    "read_manifest",
+    "CheckpointState",
+    "save_checkpoint",
+    "load_checkpoint",
 ]

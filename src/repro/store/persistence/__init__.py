@@ -1,0 +1,64 @@
+"""Model artifact persistence: per-artifact serialisers, versioned
+model snapshots, and incremental checkpoints.
+
+A fitted model's artifacts are what a serving fleet loads; refitting
+per process would be absurd at production scale. This package covers
+three granularities, all strictly pickle-free:
+
+* :mod:`~repro.store.persistence.artifacts` — standalone taxonomy
+  (JSON) and embeddings (NPZ) files;
+* :mod:`~repro.store.persistence.snapshot` — the versioned snapshot
+  directory holding *every* :class:`ShoalModel` artifact, consumed by
+  ``ShoalModel.load`` / ``ShoalService.from_snapshot``;
+* :mod:`~repro.store.persistence.checkpoint` — snapshot plus
+  sliding-window maintenance state, consumed by
+  ``IncrementalShoal.resume``.
+"""
+
+from repro.store.persistence.artifacts import (
+    load_embeddings,
+    load_taxonomy,
+    save_embeddings,
+    save_taxonomy,
+    taxonomy_from_dict,
+    taxonomy_to_dict,
+)
+from repro.store.persistence.checkpoint import (
+    CHECKPOINT_KIND,
+    CheckpointState,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.store.persistence.snapshot import (
+    MODEL_SNAPSHOT_KIND,
+    SNAPSHOT_FORMAT_VERSION,
+    check_manifest,
+    config_from_dict,
+    config_to_dict,
+    load_entity_categories,
+    load_model,
+    read_manifest,
+    save_model,
+)
+
+__all__ = [
+    "taxonomy_to_dict",
+    "taxonomy_from_dict",
+    "save_taxonomy",
+    "load_taxonomy",
+    "save_embeddings",
+    "load_embeddings",
+    "config_to_dict",
+    "config_from_dict",
+    "save_model",
+    "load_model",
+    "load_entity_categories",
+    "read_manifest",
+    "check_manifest",
+    "SNAPSHOT_FORMAT_VERSION",
+    "MODEL_SNAPSHOT_KIND",
+    "CHECKPOINT_KIND",
+    "CheckpointState",
+    "save_checkpoint",
+    "load_checkpoint",
+]

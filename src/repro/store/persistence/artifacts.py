@@ -1,14 +1,24 @@
-"""Model artifact persistence.
+"""Single-artifact serialisers: taxonomy (JSON) and embeddings (NPZ).
 
-A fitted taxonomy (and the word embeddings behind it) are the
-artifacts a serving fleet loads; refitting per process would be absurd
-at production scale. Taxonomies serialise to JSON (inspectable,
-dependency-free); embeddings to NPZ (binary, compact).
+These are the two artifacts that predate the snapshot subsystem and are
+still useful standalone (a taxonomy dump is human-inspectable; an
+embeddings file can warm-start an :class:`EntityGraphBuilder` without
+the rest of the model). Both formats are strictly pickle-free:
+
+* the taxonomy is standard JSON — non-finite similarities are
+  sanitised to 0.0 and ``allow_nan=False`` is enforced so the output
+  never contains the non-standard ``NaN``/``Infinity`` literals other
+  parsers reject;
+* the embeddings NPZ stores the vocabulary as a fixed-width unicode
+  array (never ``object`` dtype), so ``np.load`` works with its safe
+  default ``allow_pickle=False`` and snapshots are portable across
+  Python/numpy versions.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Dict, Union
 
@@ -30,8 +40,14 @@ __all__ = [
 _FORMAT_VERSION = 1
 
 
+def _finite(value: float, default: float = 0.0) -> float:
+    """Clamp non-finite floats so the output is standard JSON."""
+    v = float(value)
+    return v if math.isfinite(v) else default
+
+
 def taxonomy_to_dict(taxonomy: Taxonomy) -> Dict:
-    """Serialise a taxonomy to plain dicts/lists."""
+    """Serialise a taxonomy to plain dicts/lists (standard-JSON safe)."""
     return {
         "format_version": _FORMAT_VERSION,
         "topics": [
@@ -42,7 +58,7 @@ def taxonomy_to_dict(taxonomy: Taxonomy) -> Dict:
                 "parent_id": t.parent_id,
                 "child_ids": t.child_ids,
                 "level": t.level,
-                "similarity": t.similarity,
+                "similarity": _finite(t.similarity),
                 "descriptions": t.descriptions,
             }
             for t in taxonomy
@@ -75,10 +91,16 @@ def taxonomy_from_dict(payload: Dict) -> Taxonomy:
 
 
 def save_taxonomy(taxonomy: Taxonomy, path: Union[str, Path]) -> None:
-    """Write a taxonomy to a JSON file."""
+    """Write a taxonomy to a strictly standard JSON file."""
     p = Path(path)
     with p.open("w", encoding="utf-8") as f:
-        json.dump(taxonomy_to_dict(taxonomy), f, indent=1, sort_keys=True)
+        json.dump(
+            taxonomy_to_dict(taxonomy),
+            f,
+            indent=1,
+            sort_keys=True,
+            allow_nan=False,
+        )
 
 
 def load_taxonomy(path: Union[str, Path]) -> Taxonomy:
@@ -90,17 +112,23 @@ def load_taxonomy(path: Union[str, Path]) -> Taxonomy:
 
 
 def save_embeddings(embeddings: WordEmbeddings, path: Union[str, Path]) -> None:
-    """Write trained word embeddings to a compressed NPZ file.
+    """Write trained word embeddings to a compressed, pickle-free NPZ.
 
     Stores the embedding matrix, the vocabulary's words/counts, and the
     vocabulary-build parameters needed to rebuild its sampling tables.
+    Words are stored as a fixed-width unicode array so the file loads
+    with numpy's safe default ``allow_pickle=False``.
     """
     vocab = embeddings.vocabulary
     cfg = vocab.config
+    words = vocab.words
+    words_arr = (
+        np.asarray(words, dtype=np.str_) if words else np.empty(0, dtype="<U1")
+    )
     np.savez_compressed(
         Path(path),
         matrix=embeddings.matrix,
-        words=np.array(vocab.words, dtype=object),
+        words=words_arr,
         counts=vocab.counts,
         min_count=np.int64(cfg.min_count),
         subsample_threshold=np.float64(cfg.subsample_threshold),
@@ -109,8 +137,8 @@ def save_embeddings(embeddings: WordEmbeddings, path: Union[str, Path]) -> None:
 
 
 def load_embeddings(path: Union[str, Path]) -> WordEmbeddings:
-    """Inverse of :func:`save_embeddings`."""
-    with np.load(Path(path), allow_pickle=True) as payload:
+    """Inverse of :func:`save_embeddings` (no pickle involved)."""
+    with np.load(Path(path)) as payload:
         config = VocabularyBuildConfig(
             min_count=int(payload["min_count"]),
             subsample_threshold=float(payload["subsample_threshold"]),

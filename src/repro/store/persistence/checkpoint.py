@@ -1,0 +1,125 @@
+"""Incremental-maintenance checkpoints.
+
+Sliding-window maintenance (:class:`~repro.core.incremental.
+IncrementalShoal`) carries state that must survive a process restart:
+the catalog texts it refits from, the warm embeddings policy counters,
+and the latest fitted model. A *checkpoint* directory persists all of
+it on top of the model-snapshot format:
+
+* ``MANIFEST.json`` — kind/version plus the scalar state
+  (``retrain_every``, ``fits_since_retrain``, ``embeddings_valid``,
+  ``has_model``); written last, like model snapshots;
+* ``config.json`` — the :class:`ShoalConfig`;
+* ``state.json`` — titles, query texts, entity categories;
+* ``model/`` — a full model snapshot of the latest window (when one
+  exists).
+
+Warm embeddings are not stored twice: the model snapshot already holds
+them (``advance`` guarantees ``model.embeddings is self._embeddings``),
+so resume re-links them from the loaded model unless they were
+invalidated (``embeddings_valid`` is false), in which case the next
+``advance`` retrains exactly as it would have pre-restart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.core.config import ShoalConfig
+from repro.core.pipeline import ShoalModel
+
+from repro.store.persistence.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    check_manifest,
+    config_from_dict,
+    config_to_dict,
+    load_model,
+    read_json,
+    read_manifest,
+    save_model,
+    write_json,
+)
+
+__all__ = ["CHECKPOINT_KIND", "CheckpointState", "save_checkpoint", "load_checkpoint"]
+
+CHECKPOINT_KIND = "shoal-incremental-checkpoint"
+
+_MANIFEST = "MANIFEST.json"
+
+
+@dataclass
+class CheckpointState:
+    """Everything an :class:`IncrementalShoal` needs to resume."""
+
+    config: ShoalConfig
+    titles: Dict[int, str]
+    query_texts: Dict[int, str]
+    entity_categories: Dict[int, int]
+    retrain_every: int
+    fits_since_retrain: int
+    embeddings_valid: bool
+    model: Optional[ShoalModel]
+
+
+def save_checkpoint(
+    state: CheckpointState, directory: Union[str, Path]
+) -> Path:
+    """Write a checkpoint directory (manifest last, see module doc)."""
+    d = Path(directory)
+    d.mkdir(parents=True, exist_ok=True)
+    # Invalidate any existing checkpoint before touching its contents.
+    (d / _MANIFEST).unlink(missing_ok=True)
+
+    write_json(d / "config.json", config_to_dict(state.config))
+    write_json(
+        d / "state.json",
+        {
+            "titles": {str(k): v for k, v in state.titles.items()},
+            "query_texts": {str(k): v for k, v in state.query_texts.items()},
+            "entity_categories": {
+                str(k): int(v) for k, v in state.entity_categories.items()
+            },
+        },
+    )
+    if state.model is not None:
+        save_model(
+            state.model,
+            d / "model",
+            entity_categories=state.entity_categories,
+        )
+    write_json(
+        d / _MANIFEST,
+        {
+            "kind": CHECKPOINT_KIND,
+            "format_version": SNAPSHOT_FORMAT_VERSION,
+            "retrain_every": state.retrain_every,
+            "fits_since_retrain": state.fits_since_retrain,
+            "embeddings_valid": state.embeddings_valid,
+            "has_model": state.model is not None,
+        },
+    )
+    return d
+
+
+def load_checkpoint(directory: Union[str, Path]) -> CheckpointState:
+    """Inverse of :func:`save_checkpoint`, with manifest validation."""
+    d = Path(directory)
+    manifest = read_manifest(d)
+    check_manifest(manifest, CHECKPOINT_KIND)
+
+    raw = read_json(d / "state.json")
+    model = load_model(d / "model") if manifest["has_model"] else None
+    return CheckpointState(
+        config=config_from_dict(read_json(d / "config.json")),
+        titles={int(k): v for k, v in raw["titles"].items()},
+        query_texts={int(k): v for k, v in raw["query_texts"].items()},
+        entity_categories={
+            int(k): int(v) for k, v in raw["entity_categories"].items()
+        },
+        retrain_every=int(manifest["retrain_every"]),
+        fits_since_retrain=int(manifest["fits_since_retrain"]),
+        embeddings_valid=bool(manifest["embeddings_valid"]),
+        model=model,
+    )

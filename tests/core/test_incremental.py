@@ -124,3 +124,120 @@ class TestAdvance:
             IncrementalShoal(
                 ShoalConfig(), titles, query_texts, categories, retrain_every=0
             )
+
+
+class TestUpdateQueries:
+    def test_registered_text_reaches_descriptions(self, long_market, inputs):
+        """A query whose text only becomes known in a later window gets
+        description coverage once registered — without forcing an
+        embedding retrain (unlike update_titles)."""
+        titles, query_texts, categories = inputs
+        # Hold out the text of a query that actually has clicks late in
+        # the log, simulating a query first seen in a later window.
+        late_days = {e.query_id for e in long_market.query_log.events if e.day >= 7}
+        held_out = min(late_days)
+        partial = {k: v for k, v in query_texts.items() if k != held_out}
+
+        inc = IncrementalShoal(
+            ShoalConfig(), titles, partial, categories, retrain_every=100
+        )
+        inc.advance(long_market.query_log, last_day=6)
+        scored_before = {
+            s.query_id
+            for scores in inc.model.descriptions.values()
+            for s in scores
+        }
+        assert held_out not in scored_before  # no text -> never scored
+
+        inc.update_queries({held_out: query_texts[held_out]})
+        update = inc.advance(long_market.query_log, last_day=9)
+        assert not update.embeddings_retrained  # no retrain forced
+        assert update.model.query_texts[held_out] == query_texts[held_out]
+        scored_after = {
+            s.query_id
+            for scores in update.model.descriptions.values()
+            for s in scores
+        }
+        assert held_out in scored_after
+
+    def test_does_not_invalidate_embeddings(self, long_market, inputs):
+        titles, query_texts, categories = inputs
+        inc = IncrementalShoal(
+            ShoalConfig(), titles, query_texts, categories, retrain_every=100
+        )
+        inc.advance(long_market.query_log, 6)
+        emb = inc.model.embeddings
+        inc.update_queries({10_000: "brand new query text"})
+        u = inc.advance(long_market.query_log, 7)
+        assert not u.embeddings_retrained
+        assert u.model.embeddings is emb
+
+
+class TestCheckpointResume:
+    def test_resume_restores_model_and_warm_embeddings(
+        self, long_market, inputs, tmp_path
+    ):
+        titles, query_texts, categories = inputs
+        inc = IncrementalShoal(
+            ShoalConfig(), titles, query_texts, categories, retrain_every=100
+        )
+        inc.advance(long_market.query_log, last_day=6)
+        inc.checkpoint(tmp_path / "ckpt")
+
+        resumed = IncrementalShoal.resume(tmp_path / "ckpt")
+        assert resumed.model is not None
+        assert [t.topic_id for t in resumed.model.taxonomy] == [
+            t.topic_id for t in inc.model.taxonomy
+        ]
+        # The resumed instance serves immediately, without an advance.
+        assert resumed.service().search_topics("anything") is not None
+
+        # The next slide behaves exactly as it would have pre-restart:
+        # warm embeddings are reused and the result is identical.
+        u_orig = inc.advance(long_market.query_log, last_day=7)
+        u_res = resumed.advance(long_market.query_log, last_day=7)
+        assert not u_res.embeddings_retrained
+        assert (
+            u_res.model.clustering.dendrogram.root_partition()
+            == u_orig.model.clustering.dendrogram.root_partition()
+        )
+        assert u_res.taxonomy_stability == pytest.approx(u_orig.taxonomy_stability)
+
+    def test_retrain_counter_survives(self, long_market, inputs, tmp_path):
+        titles, query_texts, categories = inputs
+        inc = IncrementalShoal(
+            ShoalConfig(), titles, query_texts, categories, retrain_every=2
+        )
+        inc.advance(long_market.query_log, 6)  # retrain, counter -> 1
+        inc.checkpoint(tmp_path / "ckpt")
+        resumed = IncrementalShoal.resume(tmp_path / "ckpt")
+        assert not resumed.advance(long_market.query_log, 7).embeddings_retrained
+        assert resumed.advance(long_market.query_log, 8).embeddings_retrained
+
+    def test_invalidated_embeddings_stay_invalid(
+        self, long_market, inputs, tmp_path
+    ):
+        titles, query_texts, categories = inputs
+        inc = IncrementalShoal(
+            ShoalConfig(), titles, query_texts, categories, retrain_every=100
+        )
+        inc.advance(long_market.query_log, 6)
+        inc.update_titles({0: "completely new title words"})
+        inc.checkpoint(tmp_path / "ckpt")
+        resumed = IncrementalShoal.resume(tmp_path / "ckpt")
+        assert resumed.model is not None
+        u = resumed.advance(long_market.query_log, 7)
+        assert u.embeddings_retrained  # the invalidation survived
+        assert resumed._titles[0] == "completely new title words"
+
+    def test_checkpoint_before_first_advance(
+        self, long_market, inputs, tmp_path
+    ):
+        titles, query_texts, categories = inputs
+        inc = IncrementalShoal(ShoalConfig(), titles, query_texts, categories)
+        inc.checkpoint(tmp_path / "ckpt")
+        resumed = IncrementalShoal.resume(tmp_path / "ckpt")
+        assert resumed.model is None
+        u = resumed.advance(long_market.query_log, 6)
+        assert u.embeddings_retrained
+        assert len(u.model.taxonomy) > 0

@@ -1,8 +1,12 @@
 """Tests for repro.core.pipeline (end-to-end orchestration)."""
 
+import dataclasses
+
+import pytest
 
 from repro.core.config import ShoalConfig
 from repro.core.pipeline import ShoalPipeline
+from repro.data.queries import QueryLog
 
 
 class TestFit:
@@ -30,6 +34,17 @@ class TestFit:
         for t in tiny_model.taxonomy:
             for d in t.descriptions:
                 assert d in query_texts
+
+    def test_empty_query_log_raises(self, tiny_marketplace):
+        """Regression: fitting on a log with no events used to proceed
+        with last_day=0 and fail deep in graph construction; it must
+        fail fast with a clear error at the entry point."""
+        empty_market = dataclasses.replace(
+            tiny_marketplace,
+            query_log=QueryLog(tiny_marketplace.query_log.queries, []),
+        )
+        with pytest.raises(ValueError, match="empty query log"):
+            ShoalPipeline(ShoalConfig()).fit(empty_market)
 
     def test_stage_timings_recorded(self, tiny_model):
         expected = {

@@ -49,6 +49,27 @@ class TestDictRoundtrip:
     def test_dict_is_json_serialisable(self):
         json.dumps(taxonomy_to_dict(sample_taxonomy()))
 
+    def test_nan_similarity_sanitised(self, tmp_path):
+        """Regression: a NaN similarity must not leak the non-standard
+        ``NaN`` literal into the JSON file (strict parsers reject it)."""
+        nan_topic = Topic(
+            3, entity_ids=[0, 1], category_ids=[2],
+            level=0, similarity=float("nan"), descriptions=["odd one"],
+        )
+        inf_topic = Topic(
+            4, entity_ids=[2, 3], category_ids=[2],
+            level=0, similarity=float("inf"),
+        )
+        path = tmp_path / "nan.json"
+        save_taxonomy(Taxonomy([nan_topic, inf_topic]), path)
+        text = path.read_text()
+        assert "NaN" not in text and "Infinity" not in text
+        # Strict parsing (reject non-standard constants) succeeds.
+        json.loads(text, parse_constant=pytest.fail)
+        restored = load_taxonomy(path)
+        assert restored.topic(3).similarity == 0.0
+        assert restored.topic(4).similarity == 0.0
+
 
 class TestEmbeddingsRoundtrip:
     def test_save_load(self, tmp_path, tiny_model):
@@ -73,6 +94,20 @@ class TestEmbeddingsRoundtrip:
             restored.unit_vector(word),
             tiny_model.embeddings.unit_vector(word),
         )
+
+    def test_pickle_free(self, tmp_path, tiny_model):
+        """Regression: the NPZ must load under numpy's safe default
+        ``allow_pickle=False`` — no object-dtype arrays anywhere."""
+        import numpy as np
+
+        from repro.store.persistence import save_embeddings
+
+        path = tmp_path / "emb.npz"
+        save_embeddings(tiny_model.embeddings, path)
+        with np.load(path) as payload:  # allow_pickle defaults to False
+            for key in payload.files:
+                assert payload[key].dtype != object
+            assert payload["words"].dtype.kind == "U"
 
     def test_loaded_embeddings_drive_builder(self, tmp_path, tiny_model, tiny_marketplace):
         """A serving process can rebuild the entity graph from persisted

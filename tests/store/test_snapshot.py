@@ -1,0 +1,255 @@
+"""Tests for the versioned model snapshot + checkpoint formats.
+
+The deployment contract under test: a serving process that loads a
+snapshot must answer exactly like the process that fitted the model —
+and nothing in the format may rely on pickle.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import ShoalModel
+from repro.core.serving import ShoalService
+from repro.store.persistence import (
+    SNAPSHOT_FORMAT_VERSION,
+    config_from_dict,
+    config_to_dict,
+    load_entity_categories,
+    load_model,
+    read_manifest,
+    save_model,
+)
+
+
+@pytest.fixture(scope="module")
+def snapshot_dir(tiny_model, tiny_marketplace, tmp_path_factory):
+    d = tmp_path_factory.mktemp("snapshot") / "model"
+    categories = {
+        e.entity_id: e.category_id for e in tiny_marketplace.catalog.entities
+    }
+    save_model(tiny_model, d, entity_categories=categories)
+    return d
+
+
+@pytest.fixture(scope="module")
+def loaded_model(snapshot_dir):
+    return load_model(snapshot_dir)
+
+
+@pytest.fixture(scope="module")
+def services(tiny_model, tiny_marketplace, snapshot_dir):
+    """(in-memory service, snapshot-loaded service) built identically."""
+    categories = {
+        e.entity_id: e.category_id for e in tiny_marketplace.catalog.entities
+    }
+    in_memory = ShoalService(tiny_model, entity_categories=categories)
+    from_disk = ShoalService.from_snapshot(snapshot_dir)
+    return in_memory, from_disk
+
+
+class TestModelRoundtrip:
+    def test_config_identical(self, tiny_model, loaded_model):
+        assert loaded_model.config == tiny_model.config
+
+    def test_config_dict_roundtrip_standalone(self, tiny_model):
+        payload = json.loads(json.dumps(config_to_dict(tiny_model.config)))
+        assert config_from_dict(payload) == tiny_model.config
+
+    def test_taxonomy_identical(self, tiny_model, loaded_model):
+        assert len(loaded_model.taxonomy) == len(tiny_model.taxonomy)
+        for t in tiny_model.taxonomy:
+            r = loaded_model.taxonomy.topic(t.topic_id)
+            assert r.entity_ids == t.entity_ids
+            assert r.category_ids == t.category_ids
+            assert r.parent_id == t.parent_id
+            assert r.child_ids == t.child_ids
+            assert r.level == t.level
+            assert r.descriptions == t.descriptions
+
+    def test_embeddings_identical(self, tiny_model, loaded_model):
+        assert np.array_equal(
+            loaded_model.embeddings.matrix, tiny_model.embeddings.matrix
+        )
+        assert (
+            loaded_model.embeddings.vocabulary.words
+            == tiny_model.embeddings.vocabulary.words
+        )
+
+    def test_bipartite_identical(self, tiny_model, loaded_model):
+        assert list(loaded_model.bipartite.edges()) == list(
+            tiny_model.bipartite.edges()
+        )
+        assert (
+            loaded_model.bipartite.total_clicks
+            == tiny_model.bipartite.total_clicks
+        )
+
+    def test_entity_graph_identical(self, tiny_model, loaded_model):
+        assert (
+            loaded_model.entity_graph.edge_list()
+            == tiny_model.entity_graph.edge_list()
+        )
+        assert (
+            loaded_model.entity_graph.vertices()
+            == tiny_model.entity_graph.vertices()
+        )
+
+    def test_clustering_identical(self, tiny_model, loaded_model):
+        assert (
+            loaded_model.clustering.dendrogram.merges
+            == tiny_model.clustering.dendrogram.merges
+        )
+        assert loaded_model.clustering.rounds == tiny_model.clustering.rounds
+        assert (
+            loaded_model.clustering.dendrogram.root_partition()
+            == tiny_model.clustering.dendrogram.root_partition()
+        )
+
+    def test_descriptions_identical(self, tiny_model, loaded_model):
+        assert loaded_model.descriptions == tiny_model.descriptions
+
+    def test_correlations_identical(self, tiny_model, loaded_model):
+        assert (
+            loaded_model.correlations.pairs() == tiny_model.correlations.pairs()
+        )
+        assert (
+            loaded_model.correlations.min_strength
+            == tiny_model.correlations.min_strength
+        )
+
+    def test_texts_and_timings_identical(self, tiny_model, loaded_model):
+        assert loaded_model.titles == tiny_model.titles
+        assert loaded_model.query_texts == tiny_model.query_texts
+        assert loaded_model.stage_seconds == tiny_model.stage_seconds
+
+    def test_model_save_load_methods(self, tiny_model, tmp_path):
+        tiny_model.save(tmp_path / "m")
+        assert len(ShoalModel.load(tmp_path / "m").taxonomy) == len(
+            tiny_model.taxonomy
+        )
+
+
+class TestSnapshotFormat:
+    def test_manifest_written_and_versioned(self, snapshot_dir):
+        manifest = read_manifest(snapshot_dir)
+        assert manifest["kind"] == "shoal-model"
+        assert manifest["format_version"] == SNAPSHOT_FORMAT_VERSION
+        for name in manifest["artifacts"]:
+            assert (snapshot_dir / name).is_file()
+
+    def test_unsupported_version_rejected(self, tiny_model, tmp_path):
+        d = tmp_path / "m"
+        save_model(tiny_model, d)
+        manifest = json.loads((d / "MANIFEST.json").read_text())
+        manifest["format_version"] = 999
+        (d / "MANIFEST.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="format version"):
+            load_model(d)
+
+    def test_wrong_kind_rejected(self, tiny_model, tmp_path):
+        d = tmp_path / "m"
+        save_model(tiny_model, d)
+        manifest = json.loads((d / "MANIFEST.json").read_text())
+        manifest["kind"] = "something-else"
+        (d / "MANIFEST.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="kind"):
+            load_model(d)
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="manifest"):
+            load_model(tmp_path)
+
+    def test_no_pickle_anywhere(self, snapshot_dir):
+        """Every NPZ loads under numpy's safe default allow_pickle=False,
+        and every JSON file is strict standard JSON."""
+        for p in snapshot_dir.iterdir():
+            if p.suffix == ".npz":
+                with np.load(p) as z:  # allow_pickle defaults to False
+                    for key in z.files:
+                        assert z[key].dtype != object
+            elif p.suffix == ".json":
+                json.loads(p.read_text(), parse_constant=pytest.fail)
+
+    def test_entity_categories_sidecar(self, snapshot_dir, tiny_marketplace):
+        cats = load_entity_categories(snapshot_dir)
+        assert cats == {
+            e.entity_id: e.category_id
+            for e in tiny_marketplace.catalog.entities
+        }
+
+    def test_entity_categories_optional(self, tiny_model, tmp_path):
+        save_model(tiny_model, tmp_path / "m")
+        assert load_entity_categories(tmp_path / "m") is None
+
+    def test_resave_drops_stale_sidecar(self, tiny_model, tmp_path):
+        """Overwriting a snapshot without the category sidecar must not
+        leave the previous save's sidecar behind."""
+        d = tmp_path / "m"
+        save_model(tiny_model, d, entity_categories={0: 1})
+        assert load_entity_categories(d) == {0: 1}
+        save_model(tiny_model, d)  # no sidecar this time
+        assert load_entity_categories(d) is None
+        assert not (d / "entity_categories.json").exists()
+
+    def test_metadata_recorded(self, tiny_model, tmp_path):
+        save_model(tiny_model, tmp_path / "m", metadata={"profile": "tiny"})
+        assert read_manifest(tmp_path / "m")["metadata"] == {"profile": "tiny"}
+
+
+class TestServingIdentity:
+    """from_snapshot must be indistinguishable from the fitting process."""
+
+    def test_search_identical_on_real_queries(self, services, tiny_marketplace):
+        in_memory, from_disk = services
+        queries = [q.text for q in tiny_marketplace.query_log.queries]
+        assert from_disk.search_topics_batch(queries, k=5) == \
+            in_memory.search_topics_batch(queries, k=5)
+
+    def test_recommend_batch_identical(self, services, tiny_marketplace):
+        in_memory, from_disk = services
+        queries = [q.text for q in tiny_marketplace.query_log.queries[:80]]
+        assert from_disk.recommend_batch(queries) == \
+            in_memory.recommend_batch(queries)
+
+    def test_related_topics_identical(self, services, tiny_model):
+        in_memory, from_disk = services
+        for t in tiny_model.taxonomy:
+            mem = [(x.topic_id, s) for x, s in in_memory.related_topics(t.topic_id)]
+            disk = [(x.topic_id, s) for x, s in from_disk.related_topics(t.topic_id)]
+            assert mem == disk
+
+    def test_related_categories_identical(self, services, tiny_model):
+        in_memory, from_disk = services
+        for c in tiny_model.correlations.categories():
+            assert from_disk.related_categories(c) == \
+                in_memory.related_categories(c)
+
+    def test_scenario_c_identical(self, services, tiny_model):
+        in_memory, from_disk = services
+        for t in tiny_model.taxonomy.root_topics():
+            for c in t.category_ids:
+                assert (
+                    from_disk.entities_of_topic_category(t.topic_id, c)
+                    == in_memory.entities_of_topic_category(t.topic_id, c)
+                )
+
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        query=st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz0123456789 ", max_size=40
+        ),
+        k=st.integers(min_value=1, max_value=10),
+    )
+    def test_search_identical_property(self, services, query, k):
+        """Arbitrary queries — including garbage — score identically."""
+        in_memory, from_disk = services
+        assert from_disk.search_topics(query, k) == \
+            in_memory.search_topics(query, k)

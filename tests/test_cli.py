@@ -75,3 +75,66 @@ class TestABTestCommand:
         out = capsys.readouterr().out
         assert rc == 0
         assert "uplift" in out
+
+
+class TestSnapshotFlow:
+    """fit --save followed by --load on the serving commands: the
+    offline-fit → online-serving handoff, end to end from the CLI."""
+
+    @pytest.fixture(scope="class")
+    def snapshot(self, tmp_path_factory):
+        d = tmp_path_factory.mktemp("cli") / "snap"
+        rc = main(["fit", "--profile", "tiny", "--save", str(d)])
+        assert rc == 0
+        return d
+
+    def test_fit_save_writes_snapshot(self, snapshot, capsys):
+        assert (snapshot / "MANIFEST.json").is_file()
+        assert (snapshot / "entity_categories.json").is_file()
+
+    def test_search_load_serves_from_disk(self, snapshot, capsys):
+        rc = main(["search", "--load", str(snapshot)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "query:" in out
+        assert "topic" in out  # the default demo query matches its topic
+
+    def test_search_load_explicit_query(self, snapshot, capsys):
+        rc = main(["search", "--load", str(snapshot), "zzzz qqqq"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no matching topics" in out
+
+    def test_evaluate_load_skips_fit(self, snapshot, capsys):
+        rc = main(["evaluate", "--profile", "tiny", "--load", str(snapshot)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "precision:" in out
+
+    def test_abtest_load(self, snapshot, capsys):
+        rc = main([
+            "abtest", "--profile", "tiny", "--impressions", "1500",
+            "--load", str(snapshot),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "uplift" in out
+
+    def test_fit_load_reprints_without_refitting(self, snapshot, capsys):
+        rc = main(["fit", "--profile", "tiny", "--load", str(snapshot)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ShoalModel(" in out
+
+    def test_load_with_mismatched_world_rejected(self, snapshot, capsys):
+        """A snapshot fitted on one profile/seed must not be scored
+        against a different regenerated world."""
+        with pytest.raises(SystemExit, match="--profile tiny"):
+            main(["evaluate", "--profile", "small", "--load", str(snapshot)])
+        with pytest.raises(SystemExit, match="--seed 0"):
+            main(["evaluate", "--profile", "tiny", "--seed", "7",
+                  "--load", str(snapshot)])
+
+    def test_load_with_alpha_rejected(self, snapshot, capsys):
+        with pytest.raises(SystemExit, match="alpha"):
+            main(["search", "--load", str(snapshot), "--alpha", "0.5"])
