@@ -20,6 +20,7 @@ Subpackages:
 * ``repro.pregel`` — vertex-centric BSP engine (ODPS substitute)
 * ``repro.clustering`` — sequential HAC and Parallel HAC
 * ``repro.core`` — the SHOAL pipeline, taxonomy and serving scenarios
+* ``repro.serving`` — sharded cluster serving and traffic replay
 * ``repro.eval`` — precision protocol, A/B CTR simulator, metrics
 * ``repro.baselines`` — ontology recommender, TaxoGen-style, k-means
 """
@@ -34,6 +35,7 @@ from repro.data.marketplace import (
     PROFILES,
     generate_marketplace,
 )
+from repro.serving import ClusterRouter, ShardPlanner, TrafficReplayer
 
 __version__ = "1.0.0"
 
@@ -43,6 +45,9 @@ __all__ = [
     "ShoalModel",
     "ShoalService",
     "CacheStats",
+    "ClusterRouter",
+    "ShardPlanner",
+    "TrafficReplayer",
     "Taxonomy",
     "Topic",
     "Marketplace",

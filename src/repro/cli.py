@@ -11,7 +11,14 @@ system would be driven:
   modularity scoring against ground truth;
 * ``python -m repro.cli search`` — answer keyword queries from the
   command line (demo scenario A);
-* ``python -m repro.cli abtest`` — run the paired CTR experiment.
+* ``python -m repro.cli abtest`` — run the paired CTR experiment;
+* ``python -m repro.cli serve-cluster`` — shard the model behind a
+  cluster router, answer queries through it, and optionally write the
+  per-shard snapshot directory (``--save-shards``);
+* ``python -m repro.cli replay`` — replay a Zipf-skewed traffic
+  workload (steady/bursty/drifting/adversarial) against the single
+  service, the sharded cluster, or both, reporting QPS and p50/p95/p99
+  latencies.
 
 All subcommands accept ``--profile`` (tiny/small/default/large/xlarge)
 and ``--seed`` so results are reproducible from the shell, plus
@@ -75,26 +82,33 @@ def _check_load_flags(args) -> None:
         )
 
 
-def _check_snapshot_world(args) -> None:
-    """Fail fast when a snapshot is paired with the wrong marketplace.
+def _check_world_metadata(meta: dict, location: str, args) -> None:
+    """Fail fast when a saved artifact mismatches the regenerated world.
 
-    Ground truth (evaluate) and the CTR simulation (abtest) come from
-    the regenerated world, so the snapshot must have been fitted on the
-    same --profile/--seed. 'fit --save' records both in the manifest.
+    Ground truth (evaluate), the CTR simulation (abtest) and replay
+    workloads come from the regenerated marketplace, so the artifact
+    must have been built on the same --profile/--seed. The CLI records
+    both in the manifest metadata on every save.
     """
-    from repro.store.persistence import read_manifest
-
-    meta = read_manifest(args.load).get("metadata", {})
     profile, seed = meta.get("profile"), meta.get("seed")
     if profile is None:
-        return  # snapshot not written by the CLI; trust the operator
+        return  # artifact not written by the CLI; trust the operator
     if profile != args.profile or seed != args.seed:
         raise SystemExit(
-            f"snapshot at {args.load} was fitted on --profile {profile} "
-            f"--seed {seed}, but this command runs against --profile "
-            f"{args.profile} --seed {args.seed}; rerun with the "
-            "snapshot's flags"
+            f"{location} was built on --profile {profile} --seed {seed}, "
+            f"but this command runs against --profile {args.profile} "
+            f"--seed {args.seed}; rerun with the artifact's flags"
         )
+
+
+def _check_snapshot_world(args) -> None:
+    from repro.store.persistence import read_manifest
+
+    _check_world_metadata(
+        read_manifest(args.load).get("metadata", {}),
+        f"snapshot at {args.load}",
+        args,
+    )
 
 
 def _build(args) -> tuple:
@@ -194,6 +208,140 @@ def _cmd_search(args) -> int:
     return 0
 
 
+def _entity_categories(market) -> dict:
+    return {e.entity_id: e.category_id for e in market.catalog.entities}
+
+
+def _cmd_serve_cluster(args) -> int:
+    from repro.serving import ClusterRouter, ShardPlanner
+
+    market, model = _build(args)
+    cats = _entity_categories(market)
+    # Partition once; the router and --save-shards share the shard set.
+    shard_set = ShardPlanner(args.shards).partition(model, cats)
+    router = ClusterRouter(shard_set, n_replicas=args.replicas)
+    print(model.summary())
+    print(router.plan_summary)
+    names = {c.category_id: c.name for c in market.ontology}
+    queries = args.queries or [
+        q.text
+        for q in market.query_log.queries
+        if q.intent_kind == "scenario"
+    ][:3]
+    for query, hits in zip(queries, router.search_topics_batch(queries, k=args.k)):
+        print(f"query: {query!r}")
+        if not hits:
+            print("  (no matching topics)")
+            continue
+        for h in hits:
+            cats_of = router.categories_of_topic(h.topic_id)
+            cat_names = ", ".join(names.get(c, str(c)) for c in cats_of[:4])
+            print(
+                f"  topic {h.topic_id}  score={h.score:7.2f}  \"{h.label}\""
+                f"  [{cat_names}]"
+            )
+    print(router.cluster_stats().summary())
+    if args.save_shards:
+        ShardPlanner.save_shard_set(
+            shard_set,
+            args.save_shards,
+            metadata={"profile": args.profile, "seed": args.seed},
+        )
+        print(f"cluster snapshot written to {args.save_shards}")
+    return 0
+
+
+def _check_cluster_world(args) -> None:
+    from repro.serving import ShardPlanner
+
+    _check_world_metadata(
+        ShardPlanner.read_cluster_manifest(args.cluster_dir).get(
+            "metadata", {}
+        ),
+        f"cluster snapshot at {args.cluster_dir}",
+        args,
+    )
+
+
+def _cmd_replay(args) -> int:
+    from repro.core.serving import ShoalService
+    from repro.serving import (
+        ClusterRouter,
+        TrafficReplayer,
+        WorkloadConfig,
+        build_workload,
+    )
+
+    if args.cluster_dir:
+        if args.load:
+            raise SystemExit(
+                "--cluster-dir and --load are mutually exclusive: the "
+                "cluster snapshot already contains the sharded model"
+            )
+        _check_load_flags(args)
+        _check_cluster_world(args)
+        market = generate_marketplace(
+            PROFILES[args.profile].with_seed(args.seed)
+        )
+        model = None
+        router = ClusterRouter.from_snapshot(
+            args.cluster_dir, n_replicas=args.replicas
+        )
+    else:
+        market, model = _build(args)
+        router = None
+
+    workload = build_workload(
+        market.query_log.queries,
+        market.scenarios,
+        WorkloadConfig(
+            n_requests=args.requests,
+            profile=args.traffic,
+            zipf_exponent=args.zipf,
+            pool_variants=args.variants,
+            seed=args.seed,
+        ),
+    )
+    warmup = args.warmup if args.warmup is not None else args.requests // 10
+    print(
+        f"replaying {len(workload)} '{args.traffic}' requests "
+        f"({warmup} warm-up) ..."
+    )
+
+    reports = {}
+    if args.target in ("single", "both"):
+        if model is None:
+            raise SystemExit(
+                "--target single/both needs a fitted or --load model; "
+                "--cluster-dir only carries the sharded form"
+            )
+        service = ShoalService(
+            model, entity_categories=_entity_categories(market)
+        )
+        reports["single"] = TrafficReplayer(service, k=args.k).replay(
+            workload, profile=args.traffic, warmup=warmup
+        )
+    if args.target in ("cluster", "both"):
+        if router is None:
+            router = ClusterRouter.from_model(
+                model,
+                args.shards,
+                n_replicas=args.replicas,
+                entity_categories=_entity_categories(market),
+            )
+        reports["cluster"] = TrafficReplayer(router, k=args.k).replay(
+            workload, profile=args.traffic, warmup=warmup
+        )
+        print(router.plan_summary)
+
+    for name, report in reports.items():
+        print(f"{name:>8}: {report.summary()}")
+    if len(reports) == 2:
+        speedup = reports["cluster"].qps / max(reports["single"].qps, 1e-9)
+        print(f"cluster/single QPS ratio: {speedup:.2f}x")
+    return 0
+
+
 def _cmd_abtest(args) -> int:
     market, model = _build(args)
     service = ShoalService(model)
@@ -249,6 +397,56 @@ def build_parser() -> argparse.ArgumentParser:
     p_ab.add_argument("--impressions", type=int, default=5000)
     p_ab.add_argument("--slate", type=int, default=8)
     p_ab.set_defaults(func=_cmd_abtest)
+
+    p_cluster = sub.add_parser(
+        "serve-cluster", help="shard the model and serve through a router"
+    )
+    _add_common(p_cluster)
+    p_cluster.add_argument("queries", nargs="*", help="queries to run")
+    p_cluster.add_argument("-k", type=int, default=5)
+    p_cluster.add_argument(
+        "--shards", type=int, default=2, help="number of shards"
+    )
+    p_cluster.add_argument(
+        "--replicas", type=int, default=1, help="replicas per shard"
+    )
+    p_cluster.add_argument(
+        "--save-shards", default=None, metavar="DIR",
+        help="write a per-shard cluster snapshot directory",
+    )
+    p_cluster.set_defaults(func=_cmd_serve_cluster)
+
+    p_replay = sub.add_parser(
+        "replay", help="replay a traffic workload against service/cluster"
+    )
+    _add_common(p_replay)
+    p_replay.add_argument("--requests", type=int, default=1000)
+    p_replay.add_argument(
+        "--traffic", default="bursty",
+        choices=["steady", "bursty", "drifting", "adversarial"],
+        help="workload profile",
+    )
+    p_replay.add_argument("--zipf", type=float, default=1.1)
+    p_replay.add_argument(
+        "--variants", type=int, default=1,
+        help="distinct textual variants per base query",
+    )
+    p_replay.add_argument(
+        "--warmup", type=int, default=None,
+        help="unrecorded warm-up requests (default: requests/10)",
+    )
+    p_replay.add_argument("-k", type=int, default=5)
+    p_replay.add_argument("--shards", type=int, default=2)
+    p_replay.add_argument("--replicas", type=int, default=1)
+    p_replay.add_argument(
+        "--cluster-dir", default=None, metavar="DIR",
+        help="load the cluster from a 'serve-cluster --save-shards' dir",
+    )
+    p_replay.add_argument(
+        "--target", default="cluster", choices=["single", "cluster", "both"],
+        help="what to replay against",
+    )
+    p_replay.set_defaults(func=_cmd_replay)
 
     return parser
 

@@ -91,6 +91,7 @@ class IncrementalShoal:
         self._fits_since_retrain = 0
         self._last_model: Optional[ShoalModel] = None
         self._service: Optional[ShoalService] = None
+        self._cluster = None  # Optional[repro.serving.router.ClusterRouter]
 
     @property
     def model(self) -> Optional[ShoalModel]:
@@ -112,6 +113,43 @@ class IncrementalShoal:
                 self._last_model, entity_categories=self._categories
             )
         return self._service
+
+    def cluster(
+        self,
+        n_shards: int = 2,
+        n_replicas: int = 1,
+        cache_size: int = 4096,
+    ):
+        """A persistent sharded cluster router over the latest model.
+
+        The same :class:`~repro.serving.router.ClusterRouter` instance
+        is returned across window slides; each :meth:`advance`
+        re-partitions the new model into it and rebuilds **only the
+        affected shards** — a shard whose pruned content and global
+        corpus statistics are unchanged keeps its replicas and warm
+        caches. Calling again with a different shape builds a fresh
+        router (the old one keeps serving whoever holds it).
+        """
+        if self._last_model is None:
+            raise RuntimeError("no model yet; call advance() first")
+        # Imported lazily: repro.serving depends on this package.
+        from repro.serving.router import ClusterRouter
+
+        c = self._cluster
+        if (
+            c is None
+            or c.n_shards != n_shards
+            or c.n_replicas != n_replicas
+            or c.cache_size != cache_size
+        ):
+            self._cluster = ClusterRouter.from_model(
+                self._last_model,
+                n_shards,
+                n_replicas=n_replicas,
+                entity_categories=self._categories,
+                cache_size=cache_size,
+            )
+        return self._cluster
 
     # -- embedding lifecycle -----------------------------------------------
 
@@ -247,6 +285,8 @@ class IncrementalShoal:
         self._fits_since_retrain += 1
         if self._service is not None:
             self._service.refresh(model, entity_categories=self._categories)
+        if self._cluster is not None:
+            self._cluster.refresh(model, entity_categories=self._categories)
         return WindowUpdate(
             last_day=last_day,
             first_day=first_day,

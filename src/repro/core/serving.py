@@ -36,10 +36,12 @@ per day":
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import (
     Any,
+    Callable,
     Dict,
     FrozenSet,
     Hashable,
@@ -52,10 +54,16 @@ from typing import (
 from repro.core.correlation import CorrelationGraph
 from repro.core.pipeline import ShoalModel
 from repro.core.taxonomy import Taxonomy, Topic
-from repro.text.bm25 import BM25
+from repro.text.bm25 import BM25, CollectionStats
 from repro.text.tokenizer import Tokenizer
 
-__all__ = ["TopicHit", "CategoryHit", "CacheStats", "ShoalService"]
+__all__ = [
+    "TopicHit",
+    "CategoryHit",
+    "CacheStats",
+    "ShoalService",
+    "build_topic_documents",
+]
 
 
 @dataclass(frozen=True)
@@ -101,10 +109,16 @@ class CacheStats:
 
 
 class _LRUCache:
-    """Bounded LRU map with hit/miss counters.
+    """Bounded, thread-safe LRU map with hit/miss counters.
 
     ``max_size == 0`` disables caching entirely (every get misses,
     every put is a no-op) — useful for cold-path benchmarking.
+
+    All operations take the internal lock: the serving tier is hammered
+    from thread pools, and an unlocked ``get`` races ``clear``/eviction
+    on the underlying ``OrderedDict`` (``move_to_end`` of a key another
+    thread just dropped raises ``KeyError``) while unlocked counter
+    increments silently lose updates.
     """
 
     _MISS = object()
@@ -116,40 +130,74 @@ class _LRUCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self._lock = threading.Lock()
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def get(self, key: Hashable) -> Any:
-        value = self._data.get(key, self._MISS)
-        if value is self._MISS:
-            self.misses += 1
-            return self._MISS
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            value = self._data.get(key, self._MISS)
+            if value is self._MISS:
+                self.misses += 1
+                return self._MISS
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         if self.max_size == 0:
             return
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.max_size:
-            self._data.popitem(last=False)
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.max_size:
+                self._data.popitem(last=False)
 
     def clear(self) -> None:
-        self._data.clear()
-        self.invalidations += 1
+        with self._lock:
+            self._data.clear()
+            self.invalidations += 1
 
     def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self.hits,
-            misses=self.misses,
-            size=len(self._data),
-            max_size=self.max_size,
-            invalidations=self.invalidations,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                size=len(self._data),
+                max_size=self.max_size,
+                invalidations=self.invalidations,
+            )
+
+
+def build_topic_documents(
+    topics: Sequence[Topic],
+    titles: Dict[int, str],
+    tokenize: Callable[[str], List[str]],
+) -> Tuple[List[List[str]], List[FrozenSet[str]]]:
+    """The retrieval document of each topic, plus its description-token set.
+
+    One document per topic: its descriptions (boosted by repetition)
+    followed by its entity titles. This is THE definition of the serving
+    corpus — :class:`ShoalService` indexes exactly these documents, and
+    the shard planner computes global collection statistics over them,
+    so both must build documents through this one function or sharded
+    scores drift from the unsharded ones.
+    """
+    docs: List[List[str]] = []
+    token_sets: List[FrozenSet[str]] = []
+    for t in topics:
+        desc_tokens: List[str] = []
+        for d in t.descriptions:
+            desc_tokens.extend(tokenize(d))
+        doc = desc_tokens * 3
+        for e in t.entity_ids:
+            doc.extend(tokenize(titles.get(e, "")))
+        docs.append(doc)
+        token_sets.append(frozenset(desc_tokens))
+    return docs, token_sets
 
 
 class ShoalService:
@@ -159,6 +207,12 @@ class ShoalService:
     ``entity_categories`` installs the authoritative entity → category
     map up front; without it the map is derived from single-category
     topics (see :meth:`set_entity_categories`).
+
+    ``collection_stats`` scores this service's BM25 index against the
+    statistics of a larger corpus it is a partition of — the mechanism
+    a sharded cluster uses to keep per-shard scores identical to the
+    unsharded service (see :mod:`repro.serving`). Leave it ``None`` for
+    a standalone service.
     """
 
     def __init__(
@@ -168,10 +222,11 @@ class ShoalService:
         *,
         cache_size: int = 4096,
         entity_categories: Optional[Dict[int, int]] = None,
+        collection_stats: Optional[CollectionStats] = None,
     ):
         self._tokenizer = tokenizer or Tokenizer()
         self._cache = _LRUCache(cache_size)
-        self._install_model(model, entity_categories)
+        self._install_model(model, entity_categories, collection_stats)
 
     @classmethod
     def from_snapshot(
@@ -206,6 +261,7 @@ class ShoalService:
         self,
         model: ShoalModel,
         entity_categories: Optional[Dict[int, int]] = None,
+        collection_stats: Optional[CollectionStats] = None,
     ) -> None:
         """Build every serving index for ``model``; called once per model."""
         tokenize = self._tokenizer.tokenize
@@ -216,23 +272,18 @@ class ShoalService:
         }
 
         # Retrieval index: one document per topic = its descriptions
-        # (boosted by repetition) plus its entity titles.
-        docs: List[List[str]] = []
-        # Per-topic description token sets and category sets, used by
-        # related_topics; tokenised once here instead of per call.
-        self._topic_tokens: List[FrozenSet[str]] = []
-        self._topic_categories: List[FrozenSet[int]] = []
-        for t in self._topics:
-            desc_tokens: List[str] = []
-            for d in t.descriptions:
-                desc_tokens.extend(tokenize(d))
-            doc = desc_tokens * 3
-            for e in t.entity_ids:
-                doc.extend(tokenize(model.titles.get(e, "")))
-            docs.append(doc)
-            self._topic_tokens.append(frozenset(desc_tokens))
-            self._topic_categories.append(frozenset(t.category_ids))
-        self._index = BM25(docs) if docs else None
+        # (boosted by repetition) plus its entity titles; the
+        # description-token sets feed related_topics, tokenised once
+        # here instead of per call.
+        docs, self._topic_tokens = build_topic_documents(
+            self._topics, model.titles, tokenize
+        )
+        self._topic_categories: List[FrozenSet[int]] = [
+            frozenset(t.category_ids) for t in self._topics
+        ]
+        self._index = (
+            BM25(docs, collection_stats=collection_stats) if docs else None
+        )
 
         # Inverted indexes for related_topics candidate pruning.
         self._positions_with_token: Dict[str, List[int]] = {}
@@ -271,6 +322,7 @@ class ShoalService:
         self,
         model: ShoalModel,
         entity_categories: Optional[Dict[int, int]] = None,
+        collection_stats: Optional[CollectionStats] = None,
     ) -> None:
         """Swap in a freshly fitted model.
 
@@ -278,8 +330,51 @@ class ShoalService:
         cache: results computed against the previous window must never
         be served against the new one.
         """
-        self._install_model(model, entity_categories)
+        self._install_model(model, entity_categories, collection_stats)
         self._cache.clear()
+
+    def update_collection_stats(self, stats: CollectionStats) -> None:
+        """Re-score against new corpus-wide statistics, keeping the index.
+
+        The cheap refresh path for a shard whose own documents did not
+        change while a sibling shard's did: postings and term
+        frequencies are reused as-is, only IDF and the length norm are
+        rebound. The query cache is invalidated — cached scores were
+        computed against the old statistics.
+        """
+        if self._index is not None:
+            self._index.rebind_collection_stats(stats)
+        self._cache.clear()
+
+    def replica(self, cache_size: Optional[int] = None) -> "ShoalService":
+        """A serving replica sharing this service's precomputed indexes.
+
+        Replicas model the N-processes-per-shard deployment: the
+        immutable index structures (BM25 postings, inverted indexes,
+        subtree sets) are shared read-only, while each replica gets its
+        own query-result cache — exactly like separate processes warm
+        their caches independently. ``cache_size`` defaults to this
+        service's cache capacity.
+        """
+        twin = object.__new__(ShoalService)
+        twin.__dict__.update(self.__dict__)
+        size = self._cache.max_size if cache_size is None else cache_size
+        twin._cache = _LRUCache(size)
+        return twin
+
+    def posting_tokens(self) -> FrozenSet[str]:
+        """Tokens in this service's BM25 posting lists.
+
+        A query sharing no token with this set cannot match any topic
+        here; a cluster router uses this to skip the shard outright.
+        """
+        if self._index is None:
+            return frozenset()
+        return self._index.indexed_tokens()
+
+    def collection_stats(self) -> Optional[CollectionStats]:
+        """The corpus statistics the BM25 index scores against."""
+        return None if self._index is None else self._index.collection_stats
 
     @property
     def model(self) -> ShoalModel:
@@ -304,6 +399,16 @@ class ShoalService:
     def search_topics(self, query: str, k: int = 5) -> List[TopicHit]:
         """Topics relevant to a keyword query, best first."""
         return self._search_tokens(tuple(self._tokenizer.tokenize(query)), k)
+
+    def search_tokens(
+        self, tokens: Sequence[str], k: int = 5
+    ) -> List[TopicHit]:
+        """Like :meth:`search_topics` over already-tokenised terms.
+
+        The cluster router tokenises a query once and fans the token
+        tuple out to candidate shards through this entry point.
+        """
+        return self._search_tokens(tuple(tokens), k)
 
     def _search_tokens(self, tokens: Tuple[str, ...], k: int) -> List[TopicHit]:
         """Cached BM25 search over pre-tokenised query terms."""

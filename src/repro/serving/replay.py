@@ -1,0 +1,272 @@
+"""Traffic replay: load-testing a service or cluster with real workloads.
+
+Production query streams are not uniform: a few head queries dominate
+(Zipf), traffic arrives in bursts, the head drifts as trends move, and
+some of the stream is adversarial to caches. :class:`TrafficReplayer`
+replays such workloads — built from the marketplace's own query set
+(:mod:`repro.data.queries`) and scenario structure
+(:mod:`repro.data.scenarios`) — against anything exposing
+``search_topics(query, k)``: a single
+:class:`~repro.core.serving.ShoalService` or a
+:class:`~repro.serving.router.ClusterRouter`.
+
+Workload profiles:
+
+``steady``
+    i.i.d. Zipf-skewed draws over the query pool — the baseline shape.
+``bursty``
+    the same Zipf head, but each drawn query repeats for a burst
+    (trending queries hammer the tier in runs, the cache-friendliest
+    real pattern).
+``drifting``
+    the Zipf rank order rotates every ``drift_every`` requests, so the
+    hot head moves through the pool — yesterday's tail is today's
+    trend, stressing cache eviction.
+``adversarial``
+    cache-hostile: every request is a distinct query string. Odd
+    requests are real queries salted with their own tokens (so they
+    still retrieve, but never repeat); even requests are nonsense
+    scenario-flavoured tokens that match nothing — the worst case for
+    both the result cache and the token → shard index.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro._util import ensure_rng
+from repro.core.serving import CacheStats
+from repro.data.queries import Query
+from repro.data.scenarios import Scenario
+from repro.data.zipf import zipf_weights
+from repro.serving.stats import LatencySummary, RequestStats
+
+__all__ = [
+    "WorkloadConfig",
+    "ReplayReport",
+    "TrafficReplayer",
+    "build_workload",
+    "WORKLOAD_PROFILES",
+]
+
+WORKLOAD_PROFILES = ("steady", "bursty", "drifting", "adversarial")
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape of a replay workload.
+
+    ``pool_variants`` expands the distinct-query pool: each base query
+    spawns that many textual variants built by repeating its own first
+    token (``"beach dress"`` → ``"beach dress beach"``, …). A variant
+    introduces no new term, so shard routing and the candidate set
+    stay exactly those of the base query, while cache keys multiply —
+    the many-distinct-strings, few-distinct-intents shape of a real
+    query log.
+    """
+
+    n_requests: int = 1000
+    profile: str = "steady"
+    zipf_exponent: float = 1.1
+    burst_length: int = 16
+    drift_every: int = 200
+    pool_variants: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.profile not in WORKLOAD_PROFILES:
+            raise ValueError(
+                f"unknown workload profile {self.profile!r}; "
+                f"expected one of {WORKLOAD_PROFILES}"
+            )
+        if self.n_requests < 1:
+            raise ValueError("n_requests must be >= 1")
+        if self.burst_length < 1:
+            raise ValueError("burst_length must be >= 1")
+        if self.drift_every < 1:
+            raise ValueError("drift_every must be >= 1")
+        if self.pool_variants < 1:
+            raise ValueError("pool_variants must be >= 1")
+
+
+def _query_pool(
+    queries: Sequence[Query], variants: int, rng
+) -> List[str]:
+    """Distinct query strings, optionally expanded with salted variants."""
+    base = sorted({q.text for q in queries})
+    if variants == 1:
+        pool = list(base)
+    else:
+        pool = []
+        for text in base:
+            first = text.split()[0]
+            pool.append(text)
+            for r in range(1, variants):
+                pool.append(text + (" " + first) * r)
+    # Shuffle so Zipf rank is not correlated with query id order.
+    order = rng.permutation(len(pool))
+    return [pool[i] for i in order]
+
+
+def build_workload(
+    queries: Sequence[Query],
+    scenarios: Sequence[Scenario] = (),
+    config: WorkloadConfig = WorkloadConfig(),
+) -> List[str]:
+    """The request stream: ``config.n_requests`` query strings in order."""
+    rng = ensure_rng(config.seed)
+    pool = _query_pool(queries, config.pool_variants, rng)
+    if not pool and config.profile != "adversarial":
+        raise ValueError("cannot build a workload from an empty query set")
+    n = config.n_requests
+
+    if config.profile == "steady":
+        weights = zipf_weights(len(pool), config.zipf_exponent)
+        picks = rng.choice(len(pool), size=n, p=weights)
+        return [pool[i] for i in picks]
+
+    if config.profile == "bursty":
+        weights = zipf_weights(len(pool), config.zipf_exponent)
+        out: List[str] = []
+        while len(out) < n:
+            q = pool[int(rng.choice(len(pool), p=weights))]
+            burst = 1 + int(rng.integers(config.burst_length))
+            out.extend([q] * burst)
+        return out[:n]
+
+    if config.profile == "drifting":
+        weights = zipf_weights(len(pool), config.zipf_exponent)
+        out = []
+        offset = 0
+        for start in range(0, n, config.drift_every):
+            count = min(config.drift_every, n - start)
+            picks = rng.choice(len(pool), size=count, p=weights)
+            out.extend(pool[(int(i) + offset) % len(pool)] for i in picks)
+            # Rotate the rank order: a new head becomes hot.
+            offset += max(1, len(pool) // 7)
+        return out
+
+    # adversarial: unique strings only — real-but-salted and pure-miss.
+    names = [s.name for s in scenarios] or ["probe"]
+    out = []
+    for i in range(n):
+        if i % 2 and pool:
+            text = pool[int(rng.integers(len(pool)))]
+            out.append(f"{text} {text.split()[0]}{i}x")
+        else:
+            name = names[int(rng.integers(len(names)))]
+            out.append(f"{name}-miss-{i}-zzq")
+    return out
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Outcome of one replay run."""
+
+    profile: str
+    n_requests: int
+    n_empty: int
+    latency: LatencySummary
+    cache_before: Optional[CacheStats]
+    cache_after: Optional[CacheStats]
+
+    @property
+    def qps(self) -> float:
+        return self.latency.qps
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache-*lookup* hit rate over exactly this replay's requests.
+
+        Computed from the target's aggregate cache counters, so for a
+        :class:`ClusterRouter` one request can record several lookups
+        (a front-cache miss followed by a probe at each candidate
+        shard). That makes the rate a property of the cache *tiers*,
+        not of requests — compare it across runs on the same target,
+        not between a cluster and a single service.
+        """
+        if self.cache_before is None or self.cache_after is None:
+            return 0.0
+        hits = self.cache_after.hits - self.cache_before.hits
+        misses = self.cache_after.misses - self.cache_before.misses
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def summary(self) -> str:
+        cache = (
+            f", cache hit rate {self.hit_rate:.1%}"
+            if self.cache_before is not None
+            else ""
+        )
+        return (
+            f"[{self.profile}] {self.latency.summary()}, "
+            f"{self.n_empty} empty results{cache}"
+        )
+
+
+class TrafficReplayer:
+    """Replays a workload against a serving target.
+
+    ``target`` is anything with ``search_topics(query, k)`` — a
+    :class:`ShoalService` or a :class:`ClusterRouter`. ``concurrency``
+    drives the target from a thread pool (wall-clock QPS is measured
+    either way; per-request latency always is).
+    """
+
+    def __init__(self, target, *, k: int = 5, concurrency: int = 1):
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        self._target = target
+        self._k = k
+        self._concurrency = concurrency
+
+    def _cache_stats(self) -> Optional[CacheStats]:
+        probe = getattr(self._target, "cache_stats", None)
+        return probe() if callable(probe) else None
+
+    def replay(
+        self,
+        workload: Sequence[str],
+        *,
+        profile: str = "custom",
+        warmup: int = 0,
+    ) -> ReplayReport:
+        """Issue every workload query in order; return the report.
+
+        ``warmup`` first replays that many leading requests without
+        recording them — the warm-tier measurement every serving bench
+        should report (cold-start is a separate, one-off cost).
+        """
+        target, k = self._target, self._k
+        for q in workload[:warmup]:
+            target.search_topics(q, k)
+
+        stats = RequestStats()
+        measured = workload[warmup:] if warmup else workload
+        cache_before = self._cache_stats()
+        n_empty = 0
+
+        def issue(query: str) -> int:
+            t0 = time.perf_counter()
+            hits = target.search_topics(query, k)
+            stats.record(time.perf_counter() - t0)
+            return 0 if hits else 1
+
+        if self._concurrency == 1:
+            for q in measured:
+                n_empty += issue(q)
+        else:
+            with ThreadPoolExecutor(self._concurrency) as pool:
+                n_empty = sum(pool.map(issue, measured))
+
+        return ReplayReport(
+            profile=profile,
+            n_requests=len(measured),
+            n_empty=n_empty,
+            latency=stats.summary(),
+            cache_before=cache_before,
+            cache_after=self._cache_stats(),
+        )

@@ -11,14 +11,14 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence
 
 import numpy as np
 
 from repro._util import check_positive
 
-__all__ = ["BM25Config", "BM25"]
+__all__ = ["BM25Config", "BM25", "CollectionStats"]
 
 
 @dataclass(frozen=True)
@@ -34,18 +34,72 @@ class BM25Config:
             raise ValueError(f"b must be in [0, 1], got {self.b!r}")
 
 
+@dataclass(frozen=True)
+class CollectionStats:
+    """Corpus-level BM25 statistics, detachable from any single index.
+
+    Every score a BM25 index produces depends on three collection-wide
+    quantities: the document count ``n_documents`` (for IDF), the
+    per-token document frequencies (for IDF), and the average document
+    length (for length normalisation). A *partition* of a collection —
+    e.g. one shard of a sharded serving cluster — must score its local
+    documents against the statistics of the **whole** collection, or
+    its scores drift from the unsharded index and merged top-k lists
+    stop being answer-transparent. This dataclass carries exactly those
+    statistics so they can be exported from a full index, persisted as
+    JSON, and injected into per-shard indexes.
+    """
+
+    n_documents: int
+    average_document_length: float
+    document_frequencies: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_documents(
+        cls, documents: Sequence[Sequence[str]]
+    ) -> "CollectionStats":
+        """Compute collection statistics exactly as :class:`BM25` does."""
+        df: Dict[str, int] = {}
+        lengths: List[int] = []
+        for doc in documents:
+            lengths.append(len(doc))
+            for tok in set(doc):
+                df[tok] = df.get(tok, 0) + 1
+        n = len(lengths)
+        return cls(
+            n_documents=n,
+            average_document_length=(sum(lengths) / n) if n else 0.0,
+            document_frequencies=df,
+        )
+
+    def idf(self) -> Dict[str, float]:
+        """Smoothed IDF table derived from these statistics."""
+        n = self.n_documents
+        return {
+            tok: math.log(1.0 + (n - d + 0.5) / (d + 0.5))
+            for tok, d in self.document_frequencies.items()
+        }
+
+
 class BM25:
     """Okapi BM25 index over a fixed collection of tokenised documents.
 
     IDF uses the standard smoothed formulation
     ``log(1 + (N - df + 0.5) / (df + 0.5))`` which is always positive,
     avoiding the negative-IDF pathology for very common terms.
+
+    ``collection_stats`` optionally scores the local documents against
+    the statistics of a larger collection this index is a partition of
+    (see :class:`CollectionStats`); postings and term frequencies stay
+    local, only IDF and the length norm come from the global numbers.
     """
 
     def __init__(
         self,
         documents: Sequence[Sequence[str]],
         config: BM25Config = BM25Config(),
+        *,
+        collection_stats: Optional[CollectionStats] = None,
     ):
         self._config = config
         self._doc_freqs: List[Dict[str, int]] = []
@@ -62,11 +116,34 @@ class BM25:
                 df[tok] = df.get(tok, 0) + 1
                 self._postings.setdefault(tok, []).append(doc_index)
         n = len(self._doc_freqs)
-        self._n_docs = n
-        self._avg_len = (sum(self._doc_lengths) / n) if n else 0.0
-        self._idf: Dict[str, float] = {
-            tok: math.log(1.0 + (n - d + 0.5) / (d + 0.5)) for tok, d in df.items()
-        }
+        if collection_stats is None:
+            collection_stats = CollectionStats(
+                n_documents=n,
+                average_document_length=(
+                    (sum(self._doc_lengths) / n) if n else 0.0
+                ),
+                document_frequencies=df,
+            )
+        self._bind_collection_stats(collection_stats)
+
+    def _bind_collection_stats(self, stats: CollectionStats) -> None:
+        # Local document count stays local (bounds checks, scores());
+        # the global count only enters through the IDF table.
+        self._stats = stats
+        self._n_docs = len(self._doc_freqs)
+        self._avg_len = stats.average_document_length
+        self._idf: Dict[str, float] = stats.idf()
+
+    def rebind_collection_stats(self, stats: CollectionStats) -> None:
+        """Swap in new collection statistics without re-tokenising.
+
+        Used when a sibling partition of the collection changed: this
+        index's documents (and therefore postings and term frequencies)
+        are untouched, but IDF and the length norm must follow the
+        collection. Any cached scores computed against the old
+        statistics are stale after this call.
+        """
+        self._bind_collection_stats(stats)
 
     # -- accessors ----------------------------------------------------------
 
@@ -77,6 +154,19 @@ class BM25:
     @property
     def average_document_length(self) -> float:
         return self._avg_len
+
+    @property
+    def collection_stats(self) -> CollectionStats:
+        """The collection statistics this index scores against."""
+        return self._stats
+
+    def indexed_tokens(self) -> FrozenSet[str]:
+        """Tokens with a non-empty local posting list.
+
+        A query sharing no token with this set scores zero against
+        every local document, so a router may skip this index entirely.
+        """
+        return frozenset(self._postings)
 
     def idf(self, token: str) -> float:
         """Smoothed IDF of a token (0.0 for unseen tokens)."""

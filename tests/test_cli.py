@@ -138,3 +138,77 @@ class TestSnapshotFlow:
     def test_load_with_alpha_rejected(self, snapshot, capsys):
         with pytest.raises(SystemExit, match="alpha"):
             main(["search", "--load", str(snapshot), "--alpha", "0.5"])
+
+
+class TestClusterCommands:
+    """serve-cluster + replay: the scale-out handoff from the CLI."""
+
+    @pytest.fixture(scope="class")
+    def cluster_dir(self, tmp_path_factory):
+        d = tmp_path_factory.mktemp("cli-cluster") / "cluster"
+        rc = main([
+            "serve-cluster", "--profile", "tiny", "--shards", "2",
+            "--save-shards", str(d),
+        ])
+        assert rc == 0
+        return d
+
+    def test_serve_cluster_prints_plan_and_answers(self, capsys):
+        rc = main([
+            "serve-cluster", "--profile", "tiny", "--shards", "2",
+            "--replicas", "2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "shard 0:" in out
+        assert "shard 1:" in out
+        assert "query:" in out
+        assert "2 shards x 2 replicas" in out
+
+    def test_save_shards_layout(self, cluster_dir, capsys):
+        assert (cluster_dir / "CLUSTER_MANIFEST.json").is_file()
+        assert (cluster_dir / "collection_stats.json").is_file()
+        assert (cluster_dir / "shard-0000" / "MANIFEST.json").is_file()
+
+    def test_replay_against_cluster_dir(self, cluster_dir, capsys):
+        rc = main([
+            "replay", "--profile", "tiny", "--cluster-dir",
+            str(cluster_dir), "--requests", "200", "--traffic", "bursty",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cluster:" in out
+        assert "qps" in out
+
+    def test_replay_both_targets(self, capsys):
+        rc = main([
+            "replay", "--profile", "tiny", "--target", "both",
+            "--requests", "150", "--traffic", "drifting", "--shards", "2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "single:" in out
+        assert "cluster:" in out
+        assert "QPS ratio" in out
+
+    def test_replay_every_traffic_profile(self, capsys):
+        for traffic in ("steady", "bursty", "drifting", "adversarial"):
+            rc = main([
+                "replay", "--profile", "tiny", "--requests", "80",
+                "--traffic", traffic, "--shards", "2", "--warmup", "10",
+            ])
+            assert rc == 0
+
+    def test_cluster_dir_world_mismatch_rejected(self, cluster_dir, capsys):
+        with pytest.raises(SystemExit, match="--profile tiny"):
+            main([
+                "replay", "--profile", "small", "--cluster-dir",
+                str(cluster_dir), "--requests", "50",
+            ])
+
+    def test_cluster_dir_and_load_conflict(self, cluster_dir, capsys):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main([
+                "replay", "--profile", "tiny", "--cluster-dir",
+                str(cluster_dir), "--load", "/nope", "--requests", "50",
+            ])
