@@ -9,24 +9,29 @@ also sweep to show the mechanism is robust, not tuned).
 
 
 from repro._util import format_table
+from repro.api import RecommendRequest, ServiceBackend
 from repro.baselines.ontology_rec import OntologyRecommender, OntologyRecommenderConfig
-from repro.core.serving import ShoalService
 from repro.eval.abtest import ABTestConfig, ABTestSimulator
 
 PAPER_UPLIFT = 0.05
 
 
 def _arms(bench_model, bench_marketplace, slate: int = 8):
-    service = ShoalService(bench_model)
-    service.set_entity_categories(
-        {e.entity_id: e.category_id for e in bench_marketplace.catalog.entities}
+    backend = ServiceBackend.from_model(
+        bench_model,
+        entity_categories={
+            e.entity_id: e.category_id
+            for e in bench_marketplace.catalog.entities
+        },
     )
     control = OntologyRecommender(
         bench_marketplace.ontology,
         bench_marketplace.catalog,
         OntologyRecommenderConfig(slate_size=slate),
     )
-    treatment = lambda uid, q: service.recommend_entities_for_query(q, slate)
+    treatment = lambda uid, q: list(
+        backend.recommend(RecommendRequest(query=q, k=slate)).entity_ids
+    )
     return control.recommend, treatment
 
 

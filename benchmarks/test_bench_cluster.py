@@ -32,8 +32,8 @@ from typing import List
 
 import pytest
 
+from repro.api import ClusterBackend
 from repro.serving import (
-    ClusterRouter,
     ReplayReport,
     TrafficReplayer,
     WorkloadConfig,
@@ -81,9 +81,10 @@ def _aggregate_qps(
     return report.n_requests / wall if wall > 0 else 0.0
 
 
-def _measure(router: ClusterRouter, workload, n_shards: int):
+def _measure(backend: ClusterBackend, workload, n_shards: int):
     """Warm every cache tier, then best-of-N replay the rest."""
-    replayer = TrafficReplayer(router, k=TOP_K)
+    router = backend.router
+    replayer = TrafficReplayer(backend, k=TOP_K)
     replayer.replay(workload[:WARMUP], profile="warmup")
     best_aggregate = 0.0
     best_wall = 0.0
@@ -108,13 +109,13 @@ def test_bench_cluster_shard_scaling(
     aggregate = {}
     rows = []
     for n_shards in SHARD_COUNTS:
-        router = ClusterRouter.from_model(
+        backend = ClusterBackend.from_model(
             bench_model,
             n_shards,
             entity_categories=entity_categories,
             cache_size=CACHE_SIZE,
         )
-        agg, wall, report = _measure(router, workload, n_shards)
+        agg, wall, report = _measure(backend, workload, n_shards)
         aggregate[n_shards] = agg
         rows.append(
             f"shards={n_shards}: aggregate={agg:>10,.0f} qps "
@@ -139,15 +140,15 @@ def test_bench_cluster_replicas_share_load(
     bench_model, entity_categories, workload
 ):
     """Replicas split a shard's traffic via least-loaded placement."""
-    router = ClusterRouter.from_model(
+    backend = ClusterBackend.from_model(
         bench_model,
         2,
         n_replicas=3,
         entity_categories=entity_categories,
         cache_size=0,  # force every request through replica pick
     )
-    TrafficReplayer(router, k=TOP_K).replay(workload[:1000], profile="steady")
-    for shard in router.shards():
+    TrafficReplayer(backend, k=TOP_K).replay(workload[:1000], profile="steady")
+    for shard in backend.router.shards():
         counts = shard.replica_request_counts()
         served = sum(counts)
         if served < 30:

@@ -9,8 +9,8 @@ bench corpus.
 
 import pytest
 
+from repro.api import ServiceBackend
 from repro.core.pipeline import ShoalModel, ShoalPipeline
-from repro.core.serving import ShoalService
 
 
 @pytest.fixture(scope="module")
@@ -46,5 +46,5 @@ def test_bench_snapshot_load(benchmark, snapshot_dir, bench_model):
 
 def test_bench_service_from_snapshot(benchmark, snapshot_dir):
     """Disk → ready-to-serve read tier, indexes included."""
-    service = benchmark(ShoalService.from_snapshot, snapshot_dir)
-    assert len(service.taxonomy) > 0
+    backend = benchmark(ServiceBackend.from_snapshot, snapshot_dir)
+    assert len(backend.service.taxonomy) > 0

@@ -10,16 +10,20 @@ claim can be sanity-checked against the simulated serving stack.
 import pytest
 
 from repro._util import format_table
-from repro.core.serving import ShoalService
+from repro.api import ServiceBackend
 
 
 @pytest.fixture(scope="module")
 def service(bench_model, bench_marketplace):
-    svc = ShoalService(bench_model)
-    svc.set_entity_categories(
-        {e.entity_id: e.category_id for e in bench_marketplace.catalog.entities}
-    )
-    return svc
+    # These benches time the raw engine behind the gateway adapter;
+    # gateway dispatch overhead is gated in test_bench_api.py.
+    return ServiceBackend.from_model(
+        bench_model,
+        entity_categories={
+            e.entity_id: e.category_id
+            for e in bench_marketplace.catalog.entities
+        },
+    ).service
 
 
 @pytest.fixture(scope="module")
@@ -40,10 +44,14 @@ def test_bench_scenario_a_query_to_topic(benchmark, service, scenario_query):
 def test_bench_scenario_a_cold(benchmark, bench_model, bench_marketplace,
                                scenario_query):
     """Uncached search — inverted-index pruning without the LRU cache."""
-    cold = ShoalService(bench_model, cache_size=0)
-    cold.set_entity_categories(
-        {e.entity_id: e.category_id for e in bench_marketplace.catalog.entities}
-    )
+    cold = ServiceBackend.from_model(
+        bench_model,
+        cache_size=0,
+        entity_categories={
+            e.entity_id: e.category_id
+            for e in bench_marketplace.catalog.entities
+        },
+    ).service
     hits = benchmark(cold.search_topics, scenario_query, 5)
     assert hits
     assert cold.cache_stats().hits == 0
@@ -76,7 +84,7 @@ def test_bench_related_topics(benchmark, service):
 
 def test_bench_related_topics_cold(benchmark, bench_model):
     """Uncached related-topics — precomputed token sets + candidate pruning."""
-    cold = ShoalService(bench_model, cache_size=0)
+    cold = ServiceBackend.from_model(bench_model, cache_size=0).service
     root = cold.taxonomy.root_topics()[0]
     benchmark(cold.related_topics, root.topic_id, 6)
 

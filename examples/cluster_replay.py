@@ -16,12 +16,11 @@ Run:  PYTHONPATH=src python examples/cluster_replay.py
 
 import tempfile
 
+from repro.api import ClusterBackend, SearchRequest, ServiceBackend
 from repro.core.config import ShoalConfig
 from repro.core.pipeline import ShoalPipeline
-from repro.core.serving import ShoalService
 from repro.data.marketplace import PROFILES, generate_marketplace
 from repro.serving import (
-    ClusterRouter,
     ShardPlanner,
     TrafficReplayer,
     WorkloadConfig,
@@ -37,17 +36,20 @@ def main() -> None:
     }
     print(model.summary())
 
-    service = ShoalService(model, entity_categories=categories)
-    router = ClusterRouter.from_model(
+    # Both tiers behind the same gateway-API contract: callers switch
+    # between single-service and sharded serving without code changes.
+    service = ServiceBackend.from_model(model, entity_categories=categories)
+    cluster = ClusterBackend.from_model(
         model, 4, n_replicas=2, entity_categories=categories
     )
     print("\n-- cluster plan " + "-" * 44)
-    print(router.plan_summary)
+    print(cluster.router.plan_summary)
 
     print("\n-- answer transparency " + "-" * 37)
     sample = [q.text for q in market.query_log.queries[:50]]
     agreements = sum(
-        router.search_topics(q, 5) == service.search_topics(q, 5)
+        cluster.search(SearchRequest(query=q, k=5))
+        == service.search(SearchRequest(query=q, k=5))
         for q in sample
     )
     print(f"cluster == single service on {agreements}/{len(sample)} queries")
@@ -60,22 +62,25 @@ def main() -> None:
             n_requests=3000, profile="bursty", zipf_exponent=1.0, seed=3
         ),
     )
-    for name, target in (("single", service), ("cluster", router)):
+    for name, target in (("single", service), ("cluster", cluster)):
         report = TrafficReplayer(target, k=5).replay(
             workload, profile="bursty", warmup=300
         )
         print(f"{name:>8}: {report.summary()}")
-    print(router.cluster_stats().summary())
+    print(cluster.router.cluster_stats().summary())
 
     print("\n-- per-shard snapshots " + "-" * 37)
     with tempfile.TemporaryDirectory() as tmp:
         ShardPlanner(4).save(
             model, tmp, entity_categories=categories
         )
-        warm = ClusterRouter.from_snapshot(tmp, n_replicas=2)
+        # The URI form a deployment would use: cluster:DIR.
+        warm = ClusterBackend.from_snapshot(tmp, n_replicas=2)
         q = sample[0]
-        print(f"disk-loaded cluster agrees on {q!r}: "
-              f"{warm.search_topics(q, 3) == service.search_topics(q, 3)}")
+        agree = warm.search(SearchRequest(query=q, k=3)) == service.search(
+            SearchRequest(query=q, k=3)
+        )
+        print(f"disk-loaded cluster agrees on {q!r}: {agree}")
 
 
 if __name__ == "__main__":

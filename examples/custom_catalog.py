@@ -13,7 +13,8 @@ through ``fit_raw`` and prints the topics SHOAL recovers.
 Run:  python examples/custom_catalog.py
 """
 
-from repro import ShoalConfig, ShoalPipeline, ShoalService
+from repro import ShoalConfig, ShoalPipeline
+from repro.api import BatchRequest, ServiceBackend
 from repro.data.queries import Query, QueryEvent, QueryLog
 
 # -- 1. the catalog: 10 item entities across 5 categories ----------------
@@ -104,9 +105,12 @@ def main() -> None:
             print(f"    {TITLES[e]}")
         print()
 
-    service = ShoalService(model)
+    backend = ServiceBackend.from_model(model)
     probes = ["beach", "camping cold"]
-    for probe, hits in zip(probes, service.search_topics_batch(probes, k=1)):
+    response = backend.batch(
+        BatchRequest(queries=tuple(probes), k=1, kind="search")
+    )
+    for probe, hits in zip(probes, response.results):
         if hits:
             print(f"query {probe!r} -> topic {hits[0].topic_id} "
                   f"(\"{hits[0].label}\")")

@@ -8,17 +8,23 @@ D — Category→Category:    related categories from Eq. 5 correlations.
 Run:  python examples/explore_taxonomy.py
 """
 
-from repro import ShoalConfig, ShoalPipeline, ShoalService, generate_marketplace
+from repro import ShoalConfig, ShoalPipeline, generate_marketplace
+from repro.api import SearchRequest, ServiceBackend
 from repro.data.marketplace import PROFILES
 
 
 def main() -> None:
     market = generate_marketplace(PROFILES["small"])
     model = ShoalPipeline(ShoalConfig()).fit(market)
-    service = ShoalService(model)
-    service.set_entity_categories(
-        {e.entity_id: e.category_id for e in market.catalog.entities}
+    # Scenario A goes through the typed gateway API; the hierarchy
+    # navigation scenarios (B/C/D) use the engine behind the adapter.
+    backend = ServiceBackend.from_model(
+        model,
+        entity_categories={
+            e.entity_id: e.category_id for e in market.catalog.entities
+        },
     )
+    service = backend.service
 
     # A realistic entry point: a user's scenario query ("beach dress").
     query = next(
@@ -26,7 +32,7 @@ def main() -> None:
     )
 
     print(f"=== (A) Query -> Topic: searching {query!r} ===")
-    hits = service.search_topics(query, k=4)
+    hits = backend.search(SearchRequest(query=query, k=4)).hits
     for h in hits:
         print(f"  topic {h.topic_id}  score={h.score:6.2f}  "
               f"\"{h.label}\"  ({h.n_entities} entities, "
@@ -71,8 +77,8 @@ def main() -> None:
         print(f"  topic {other.topic_id}  sim={score:.3f}  \"{other.label()}\"")
 
     # The engine caches query results; a second identical search hits.
-    service.search_topics(query, k=4)
-    print(f"\n{service.cache_stats().summary()}")
+    backend.search(SearchRequest(query=query, k=4))
+    print(f"\n{backend.cache_stats().summary()}")
 
 
 if __name__ == "__main__":

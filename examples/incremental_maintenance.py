@@ -11,6 +11,7 @@ Run:  python examples/incremental_maintenance.py
 
 import dataclasses
 
+from repro.api import SearchRequest
 from repro.core.config import ShoalConfig
 from repro.core.incremental import IncrementalShoal
 from repro.core.report import compute_stats, render_tree
@@ -43,13 +44,15 @@ def main() -> None:
     print("sliding the 7-day window nightly:\n")
     for day in range(6, 12):
         update = maintainer.advance(market.query_log, last_day=day)
-        # The persistent serving engine is refreshed on every slide:
+        # The persistent gateway backend is refreshed on every slide:
         # indexes rebuilt, query cache invalidated, stats cumulative.
-        hits = maintainer.service().search_topics(probe, k=1)
+        hits = maintainer.backend().search(
+            SearchRequest(query=probe, k=1)
+        ).hits
         top = f"top topic for {probe!r}: {hits[0].topic_id}" if hits else "no hit"
         print(f"  {update.summary()}  ({top})")
 
-    print(f"\n{maintainer.service().cache_stats().summary()}")
+    print(f"\n{maintainer.backend().cache_stats().summary()}")
 
     model = maintainer.model
     assert model is not None

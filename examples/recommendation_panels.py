@@ -7,7 +7,8 @@ Then the paper's Sec. 3 experiment: a paired CTR A/B simulation.
 Run:  python examples/recommendation_panels.py
 """
 
-from repro import ShoalConfig, ShoalPipeline, ShoalService, generate_marketplace
+from repro import ShoalConfig, ShoalPipeline, generate_marketplace
+from repro.api import BatchRequest, RecommendRequest, ServiceBackend
 from repro.baselines.ontology_rec import (
     OntologyRecommender,
     OntologyRecommenderConfig,
@@ -31,9 +32,11 @@ def main() -> None:
     market = generate_marketplace(PROFILES["small"])
     model = ShoalPipeline(ShoalConfig()).fit(market)
 
-    service = ShoalService(model)
-    service.set_entity_categories(
-        {e.entity_id: e.category_id for e in market.catalog.entities}
+    backend = ServiceBackend.from_model(
+        model,
+        entity_categories={
+            e.entity_id: e.category_id for e in market.catalog.entities
+        },
     )
     control = OntologyRecommender(
         market.ontology, market.catalog, OntologyRecommenderConfig(slate_size=8)
@@ -51,16 +54,22 @@ def main() -> None:
     print_panel("Fig. 4a control: category recommendation", market,
                 control.recommend(0, query.text))
     print()
-    # recommend_batch amortises tokenisation when a page renders many
+    # A batch request amortises tokenisation when a page renders many
     # panels at once; with one query it degrades to the single path.
-    [slate] = service.recommend_batch([query.text], 8)
-    print_panel("Fig. 4b experiment: SHOAL topic recommendation", market, slate)
+    response = backend.batch(
+        BatchRequest(queries=(query.text,), k=8, kind="recommend")
+    )
+    [slate] = response.results
+    print_panel("Fig. 4b experiment: SHOAL topic recommendation", market,
+                list(slate))
 
     print("\nRunning the paired A/B simulation (paper Sec. 3)...")
     sim = ABTestSimulator(market, ABTestConfig(n_impressions=6000, seed=0))
     report = sim.run(
         control.recommend,
-        lambda uid, q: service.recommend_entities_for_query(q, 8),
+        lambda uid, q: list(
+            backend.recommend(RecommendRequest(query=q, k=8)).entity_ids
+        ),
     )
     print(f"  {report.summary()}")
     print("  paper reported: +5% CTR with 3M users on Taobao")

@@ -7,9 +7,9 @@ This example walks that handoff:
 
 1. fit on the small profile and ``model.save()`` a versioned snapshot
    (JSON for inspectable structures, NPZ for arrays, no pickle);
-2. ``ShoalService.from_snapshot()`` — construct the read tier purely
-   from disk and verify its answers are identical to the in-memory
-   service;
+2. ``open_backend("snapshot:DIR")`` — construct the read tier purely
+   from disk, behind the gateway-API contract, and verify its answers
+   are identical to the in-memory backend;
 3. ``IncrementalShoal.checkpoint()`` / ``resume()`` — sliding-window
    maintenance surviving a process restart.
 
@@ -20,7 +20,8 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro import ShoalPipeline, ShoalService, generate_marketplace
+from repro import ShoalPipeline, generate_marketplace
+from repro.api import BatchRequest, SearchRequest, ServiceBackend, open_backend
 from repro.core.incremental import IncrementalShoal
 from repro.data.marketplace import PROFILES
 
@@ -48,25 +49,29 @@ def main() -> None:
 
         # 2. Warm-start the read tier from disk and cross-check answers.
         t0 = time.perf_counter()
-        served = ShoalService.from_snapshot(snap)
+        served = open_backend(f"snapshot:{snap}")
         load_seconds = time.perf_counter() - t0
         print(
             f"\nwarm start: {load_seconds:.2f}s "
             f"({fit_seconds / max(load_seconds, 1e-9):.0f}x faster than refit)"
         )
 
-        in_memory = ShoalService(model, entity_categories=categories)
-        sample = [q.text for q in market.query_log.queries[:100]]
-        assert served.search_topics_batch(sample) == in_memory.search_topics_batch(sample)
-        assert served.recommend_batch(sample) == in_memory.recommend_batch(sample)
-        print("served answers are identical to the in-memory service")
+        in_memory = ServiceBackend.from_model(
+            model, entity_categories=categories
+        )
+        sample = tuple(q.text for q in market.query_log.queries[:100])
+        search = BatchRequest(queries=sample, k=5, kind="search")
+        slates = BatchRequest(queries=sample, k=10, kind="recommend")
+        assert served.batch(search) == in_memory.batch(search)
+        assert served.batch(slates) == in_memory.batch(slates)
+        print("served answers are identical to the in-memory backend")
 
         demo = next(
             q.text for q in market.query_log.queries
             if q.intent_kind == "scenario"
         )
         print(f"\nquery: {demo!r}")
-        for hit in served.search_topics(demo, k=3):
+        for hit in served.search(SearchRequest(query=demo, k=3)).hits:
             print(f"  {hit.score:7.2f}  {hit.label}")
 
         # 3. Sliding-window maintenance across a "restart".

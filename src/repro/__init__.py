@@ -21,10 +21,25 @@ Subpackages:
 * ``repro.clustering`` — sequential HAC and Parallel HAC
 * ``repro.core`` — the SHOAL pipeline, taxonomy and serving scenarios
 * ``repro.serving`` — sharded cluster serving and traffic replay
+* ``repro.api`` — the one public serving API: typed request/response
+  contract, pluggable backends, gateway middleware, HTTP edge
 * ``repro.eval`` — precision protocol, A/B CTR simulator, metrics
 * ``repro.baselines`` — ontology recommender, TaxoGen-style, k-means
+
+Serving should go through the gateway API::
+
+    from repro.api import Gateway, SearchRequest, ServiceBackend
+
+    backend = ServiceBackend.from_model(model)
+    response = Gateway(backend).search(SearchRequest(query="beach dress"))
 """
 
+from repro.api.backends import (
+    ClusterBackend,
+    ServiceBackend,
+    ShoalBackend,
+    open_backend,
+)
 from repro.core.config import ShoalConfig
 from repro.core.pipeline import ShoalModel, ShoalPipeline
 from repro.core.serving import CacheStats, ShoalService
@@ -37,7 +52,7 @@ from repro.data.marketplace import (
 )
 from repro.serving import ClusterRouter, ShardPlanner, TrafficReplayer
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ShoalConfig",
@@ -48,6 +63,10 @@ __all__ = [
     "ClusterRouter",
     "ShardPlanner",
     "TrafficReplayer",
+    "ShoalBackend",
+    "ServiceBackend",
+    "ClusterBackend",
+    "open_backend",
     "Taxonomy",
     "Topic",
     "Marketplace",

@@ -1,0 +1,417 @@
+"""Pluggable serving backends behind one typed contract.
+
+:class:`ShoalBackend` is the single serving interface of the repo:
+``search`` / ``recommend`` / ``batch`` over the typed dataclasses of
+:mod:`repro.api.contract`. Concrete adapters wrap each read tier —
+
+* :class:`ServiceBackend` — a single in-process
+  :class:`~repro.core.serving.ShoalService` (built from a model or a
+  snapshot directory);
+* :class:`ClusterBackend` — a sharded
+  :class:`~repro.serving.router.ClusterRouter` (built from a model, a
+  shard set, or a cluster snapshot directory);
+* :class:`~repro.api.http.ShoalClient` — the same contract over HTTP
+  or delegating in-process (lives in :mod:`repro.api.http`).
+
+so frontends never construct or dispatch on a concrete tier.
+:func:`open_backend` turns a backend URI into the right adapter::
+
+    open_backend("snapshot:/path/to/model-snapshot")   # single service
+    open_backend("local:/path/to/model-snapshot")      # alias of snapshot:
+    open_backend("cluster:/path/to/cluster-snapshot")  # sharded router
+    open_backend("http://10.0.0.7:8080")               # remote gateway
+    open_backend("/path/to/either-kind-of-dir")        # sniffed from MANIFEST
+
+**Deprecated thin delegates.** The pre-gateway method names
+(``search_topics``, ``search_topics_batch``,
+``recommend_entities_for_query``, ``recommend_batch``) remain on every
+backend for one release as thin wrappers over the typed contract; new
+code should construct requests and call ``search``/``recommend``/
+``batch`` directly.
+"""
+
+from __future__ import annotations
+
+import abc
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.api.contract import (
+    SCHEMA_VERSION,
+    ApiError,
+    BatchRequest,
+    BatchResponse,
+    RecommendRequest,
+    RecommendResponse,
+    SearchRequest,
+    SearchResponse,
+)
+from repro.core.serving import ShoalService, TopicHit
+
+__all__ = [
+    "ShoalBackend",
+    "ServiceBackend",
+    "ClusterBackend",
+    "open_backend",
+]
+
+
+class ShoalBackend(abc.ABC):
+    """The one serving contract every read tier is served through.
+
+    Subclasses implement the three typed entry points; the legacy
+    convenience names are provided here as thin deprecated delegates so
+    pre-gateway call sites keep working for one release.
+    """
+
+    #: Stable adapter identifier reported by :meth:`health`/:meth:`stats`.
+    kind: str = "abstract"
+
+    # -- typed contract ------------------------------------------------------
+
+    @abc.abstractmethod
+    def search(self, request: SearchRequest) -> SearchResponse:
+        """Ranked topics for one query (scenario A)."""
+
+    @abc.abstractmethod
+    def recommend(self, request: RecommendRequest) -> RecommendResponse:
+        """Topic-matched entity slate for one query (Fig. 4b)."""
+
+    @abc.abstractmethod
+    def batch(self, request: BatchRequest) -> BatchResponse:
+        """One search/recommend result per query, in order."""
+
+    # -- operational surface -------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness + identity; cheap enough for a poll loop."""
+        return {
+            "status": "ok",
+            "backend": self.kind,
+            "version": SCHEMA_VERSION,
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational counters (cache tiers, latency) as JSON-able data."""
+        return {"backend": self.kind}
+
+    def close(self) -> None:
+        """Release transport/engine resources (idempotent)."""
+
+    def __enter__(self) -> "ShoalBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- deprecated thin delegates (one release) -----------------------------
+
+    def search_topics(self, query: str, k: int = 5) -> List[TopicHit]:
+        """Deprecated: build a :class:`SearchRequest` and call ``search``."""
+        return list(self.search(SearchRequest(query=query, k=k)).hits)
+
+    def search_topics_batch(
+        self, queries: Sequence[str], k: int = 5
+    ) -> List[List[TopicHit]]:
+        """Deprecated: build a :class:`BatchRequest` and call ``batch``."""
+        response = self.batch(
+            BatchRequest(queries=tuple(queries), k=k, kind="search")
+        )
+        return [list(hits) for hits in response.results]
+
+    def recommend_entities_for_query(
+        self, query: str, k: int = 10
+    ) -> List[int]:
+        """Deprecated: build a :class:`RecommendRequest`, call ``recommend``."""
+        return list(
+            self.recommend(RecommendRequest(query=query, k=k)).entity_ids
+        )
+
+    def recommend_batch(
+        self, queries: Sequence[str], k: int = 10
+    ) -> List[List[int]]:
+        """Deprecated: build a :class:`BatchRequest` and call ``batch``."""
+        response = self.batch(
+            BatchRequest(queries=tuple(queries), k=k, kind="recommend")
+        )
+        return [list(ids) for ids in response.results]
+
+
+class _EngineBackend(ShoalBackend):
+    """Adapter over an in-process tier exposing the engine method quartet.
+
+    Both :class:`~repro.core.serving.ShoalService` and
+    :class:`~repro.serving.router.ClusterRouter` expose ``search_topics``
+    / ``search_topics_batch`` / ``recommend_entities_for_query`` /
+    ``recommend_batch`` with identical signatures (a contract test pins
+    that), so one adapter body serves both tiers.
+    """
+
+    def __init__(self, engine):
+        self._engine = engine
+
+    def search(self, request: SearchRequest) -> SearchResponse:
+        request.validate()
+        try:
+            hits = self._engine.search_topics(request.query, request.k)
+        except ApiError:
+            raise
+        except Exception as exc:
+            raise ApiError("backend_error", f"{self.kind} search failed: {exc}")
+        return SearchResponse(hits=tuple(hits))
+
+    def recommend(self, request: RecommendRequest) -> RecommendResponse:
+        request.validate()
+        try:
+            ids = self._engine.recommend_entities_for_query(
+                request.query, request.k
+            )
+        except ApiError:
+            raise
+        except Exception as exc:
+            raise ApiError(
+                "backend_error", f"{self.kind} recommend failed: {exc}"
+            )
+        return RecommendResponse(entity_ids=tuple(ids))
+
+    def batch(self, request: BatchRequest) -> BatchResponse:
+        request.validate()
+        try:
+            if request.kind == "search":
+                rows = self._engine.search_topics_batch(
+                    list(request.queries), request.k
+                )
+            else:
+                rows = self._engine.recommend_batch(
+                    list(request.queries), request.k
+                )
+        except ApiError:
+            raise
+        except Exception as exc:
+            raise ApiError("backend_error", f"{self.kind} batch failed: {exc}")
+        return BatchResponse(
+            kind=request.kind, results=tuple(tuple(r) for r in rows)
+        )
+
+    def categories_of_topic(self, topic_id: int) -> List[int]:
+        """Engine extension (not part of the wire contract): the
+        ontology categories of one topic, for rich CLI/example output."""
+        return self._engine.categories_of_topic(topic_id)
+
+    def cache_stats(self):
+        """Engine extension: aggregate :class:`CacheStats` of the tier
+        (the replayer's hit-rate reporting probes this)."""
+        return self._engine.cache_stats()
+
+    def invalidate_cache(self) -> None:
+        """Engine extension: drop every cached result in the tier."""
+        invalidate = getattr(self._engine, "invalidate_cache", None)
+        if invalidate is None:  # ClusterRouter names it invalidate_caches
+            self._engine.invalidate_caches()
+        else:
+            invalidate()
+
+    def stats(self) -> Dict[str, Any]:
+        out = super().stats()
+        out["cache"] = self._engine.cache_stats().to_dict()
+        return out
+
+
+class ServiceBackend(_EngineBackend):
+    """The single-process read tier behind the gateway contract."""
+
+    kind = "local"
+
+    def __init__(self, service: ShoalService):
+        super().__init__(service)
+
+    @classmethod
+    def from_model(
+        cls,
+        model,
+        *,
+        entity_categories: Optional[Dict[int, int]] = None,
+        cache_size: int = 4096,
+        tokenizer=None,
+        collection_stats=None,
+    ) -> "ServiceBackend":
+        """Stand up a fresh :class:`ShoalService` over a fitted model."""
+        return cls(
+            ShoalService(
+                model,
+                tokenizer,
+                cache_size=cache_size,
+                entity_categories=entity_categories,
+                collection_stats=collection_stats,
+            )
+        )
+
+    @classmethod
+    def from_snapshot(
+        cls, directory: Union[str, Path], *, cache_size: int = 4096
+    ) -> "ServiceBackend":
+        """Warm-start from a ``fit --save`` model snapshot directory."""
+        return cls(
+            ShoalService.from_snapshot(directory, cache_size=cache_size)
+        )
+
+    @property
+    def service(self) -> ShoalService:
+        """The wrapped engine, for engine-level scenarios (B/C/D) and
+        benches that compare gateway dispatch against the raw tier."""
+        return self._engine
+
+
+class ClusterBackend(_EngineBackend):
+    """The sharded read tier behind the same gateway contract."""
+
+    kind = "cluster"
+
+    def __init__(self, router):
+        super().__init__(router)
+
+    @classmethod
+    def from_model(
+        cls,
+        model,
+        n_shards: int,
+        *,
+        n_replicas: int = 1,
+        entity_categories: Optional[Dict[int, int]] = None,
+        cache_size: int = 4096,
+        tokenizer=None,
+    ) -> "ClusterBackend":
+        from repro.serving.router import ClusterRouter
+
+        return cls(
+            ClusterRouter.from_model(
+                model,
+                n_shards,
+                n_replicas=n_replicas,
+                entity_categories=entity_categories,
+                cache_size=cache_size,
+                tokenizer=tokenizer,
+            )
+        )
+
+    @classmethod
+    def from_shard_set(
+        cls,
+        shard_set,
+        *,
+        n_replicas: int = 1,
+        cache_size: int = 4096,
+        tokenizer=None,
+    ) -> "ClusterBackend":
+        from repro.serving.router import ClusterRouter
+
+        return cls(
+            ClusterRouter(
+                shard_set,
+                n_replicas=n_replicas,
+                cache_size=cache_size,
+                tokenizer=tokenizer,
+            )
+        )
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        directory: Union[str, Path],
+        *,
+        n_replicas: int = 1,
+        cache_size: int = 4096,
+        tokenizer=None,
+    ) -> "ClusterBackend":
+        """Warm-start from a ``serve-cluster --save-shards`` directory."""
+        from repro.serving.router import ClusterRouter
+
+        return cls(
+            ClusterRouter.from_snapshot(
+                directory,
+                n_replicas=n_replicas,
+                cache_size=cache_size,
+                tokenizer=tokenizer,
+            )
+        )
+
+    @property
+    def router(self):
+        """The wrapped :class:`ClusterRouter`, for plan/stat inspection."""
+        return self._engine
+
+    def stats(self) -> Dict[str, Any]:
+        out = super().stats()
+        router = self._engine
+        out["n_shards"] = router.n_shards
+        out["n_replicas"] = router.n_replicas
+        latency = router.request_stats()
+        out["latency"] = {
+            "count": latency.count,
+            "qps": latency.qps,
+            "p50_ms": latency.p50_ms,
+            "p95_ms": latency.p95_ms,
+            "p99_ms": latency.p99_ms,
+        }
+        return out
+
+
+def _sniff_directory(path: Path) -> str:
+    """Which snapshot family a bare directory path holds."""
+    if (path / "CLUSTER_MANIFEST.json").is_file():
+        return "cluster"
+    if (path / "MANIFEST.json").is_file():
+        return "snapshot"
+    raise ApiError(
+        "invalid_argument",
+        f"{path} has neither MANIFEST.json nor CLUSTER_MANIFEST.json; "
+        "pass an explicit 'snapshot:DIR' or 'cluster:DIR' URI",
+    )
+
+
+def open_backend(
+    uri: str,
+    *,
+    cache_size: int = 4096,
+    n_replicas: int = 1,
+    timeout: float = 10.0,
+) -> ShoalBackend:
+    """One front door from a backend URI to a ready adapter.
+
+    Supported schemes: ``snapshot:DIR`` (alias ``local:DIR``) for a
+    single-service model snapshot, ``cluster:DIR`` for a sharded
+    cluster snapshot, ``http://`` / ``https://`` for a remote gateway,
+    and a bare directory path whose manifest decides between the first
+    two. Raises :class:`ApiError` (``invalid_argument``) for anything
+    else.
+    """
+    if not isinstance(uri, str) or not uri:
+        raise ApiError("invalid_argument", f"not a backend URI: {uri!r}")
+    if uri.startswith(("http://", "https://")):
+        from repro.api.http import ShoalClient
+
+        return ShoalClient(uri, timeout=timeout)
+    for scheme in ("snapshot:", "local:"):
+        if uri.startswith(scheme):
+            return ServiceBackend.from_snapshot(
+                uri[len(scheme):], cache_size=cache_size
+            )
+    if uri.startswith("cluster:"):
+        return ClusterBackend.from_snapshot(
+            uri[len("cluster:"):],
+            n_replicas=n_replicas,
+            cache_size=cache_size,
+        )
+    path = Path(uri)
+    if path.is_dir():
+        if _sniff_directory(path) == "cluster":
+            return ClusterBackend.from_snapshot(
+                path, n_replicas=n_replicas, cache_size=cache_size
+            )
+        return ServiceBackend.from_snapshot(path, cache_size=cache_size)
+    raise ApiError(
+        "invalid_argument",
+        f"cannot open backend {uri!r}: expected 'snapshot:DIR', "
+        "'local:DIR', 'cluster:DIR', an http(s):// URL, or an existing "
+        "snapshot directory",
+    )

@@ -1,0 +1,119 @@
+"""The one shared, locked LRU cache of the serving stack.
+
+Before the gateway API existed, :mod:`repro.core.serving` and
+:mod:`repro.serving.router` each carried their own result-cache plumbing
+around the same private class; this module is the single home for both.
+Every cache tier — the engine's query-result cache, the cluster
+router's front cache, and the gateway's :class:`CacheMiddleware` — is
+an instance of :class:`LRUCache`, so locking semantics, eviction order,
+and the :class:`CacheStats` counters are defined exactly once.
+
+``max_size == 0`` disables caching entirely (every get misses, every
+put is a no-op) — useful for cold-path benchmarking.
+
+All operations take the internal lock: the serving tier is hammered
+from thread pools, and an unlocked ``get`` races ``clear``/eviction on
+the underlying ``OrderedDict`` (``move_to_end`` of a key another thread
+just dropped raises ``KeyError``) while unlocked counter increments
+silently lose updates.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+__all__ = ["CacheStats", "LRUCache", "MISS"]
+
+#: Sentinel returned by :meth:`LRUCache.get` on a miss, so ``None`` can
+#: be cached like any other value.
+MISS = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time counters of a query-result cache."""
+
+    hits: int
+    misses: int
+    size: int
+    max_size: int
+    invalidations: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"cache: {self.hits} hits / {self.misses} misses "
+            f"(rate={self.hit_rate:.2%}), {self.size}/{self.max_size} "
+            f"entries, {self.invalidations} invalidations"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": self.size,
+            "max_size": self.max_size,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LRUCache:
+    """Bounded, thread-safe LRU map with hit/miss counters."""
+
+    _MISS = MISS  # class-level alias kept for legacy call sites
+
+    def __init__(self, max_size: int):
+        if max_size < 0:
+            raise ValueError(f"cache size must be >= 0, got {max_size}")
+        self.max_size = max_size
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self._lock = threading.Lock()
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def get(self, key: Hashable) -> Any:
+        with self._lock:
+            value = self._data.get(key, MISS)
+            if value is MISS:
+                self.misses += 1
+                return MISS
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.max_size == 0:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.max_size:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.invalidations += 1
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                size=len(self._data),
+                max_size=self.max_size,
+                invalidations=self.invalidations,
+            )

@@ -1,0 +1,528 @@
+"""The gateway API contract: typed requests, responses, and errors.
+
+Every frontend — CLI, examples, benches, the traffic replayer, the
+HTTP edge — talks to the serving stack through the dataclasses in this
+module. The contract is versioned (``SCHEMA_VERSION``), validated on
+both construction-from-wire and dispatch, and JSON-codable: each type
+carries ``to_dict`` / ``from_dict`` such that
+``from_dict(to_dict(x)) == x`` exactly (floats survive because JSON
+round-trips Python's shortest ``repr``).
+
+Errors are :class:`ApiError` values with *stable* machine-readable
+codes (see ``ERROR_CODES``) and a deterministic HTTP status mapping,
+so a client can branch on ``err.code`` regardless of which backend or
+transport produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.serving import TopicHit
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "MAX_K",
+    "MAX_QUERY_CHARS",
+    "MAX_BATCH_QUERIES",
+    "ERROR_CODES",
+    "ApiError",
+    "SearchRequest",
+    "SearchResponse",
+    "RecommendRequest",
+    "RecommendResponse",
+    "BatchRequest",
+    "BatchResponse",
+    "request_from_dict",
+    "topic_hit_to_dict",
+    "topic_hit_from_dict",
+]
+
+#: Version stamped into every wire payload. Bump on incompatible
+#: schema changes; servers reject mismatched versions with
+#: ``unsupported_version``.
+SCHEMA_VERSION = 1
+
+#: Validation bounds enforced by :meth:`validate` on every request.
+MAX_K = 100
+MAX_QUERY_CHARS = 1024
+MAX_BATCH_QUERIES = 256
+
+#: code -> HTTP status. The set of codes is part of the contract.
+ERROR_CODES: Dict[str, int] = {
+    "bad_request": 400,        # malformed payload / wrong field types
+    "invalid_argument": 400,   # well-formed but out-of-bounds values
+    "unsupported_version": 400,
+    "not_found": 404,          # unknown endpoint or resource
+    "rate_limited": 429,
+    "deadline_exceeded": 504,
+    "backend_error": 500,      # the tier behind the gateway failed
+    "unavailable": 502,        # transport could not reach the backend
+}
+
+
+class ApiError(Exception):
+    """A contract-level failure with a stable, machine-readable code."""
+
+    def __init__(self, code: str, message: str):
+        if code not in ERROR_CODES:
+            raise ValueError(
+                f"unknown error code {code!r}; expected one of "
+                f"{sorted(ERROR_CODES)}"
+            )
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+    @property
+    def http_status(self) -> int:
+        return ERROR_CODES[self.code]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": SCHEMA_VERSION,
+            "error": {"code": self.code, "message": self.message},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ApiError":
+        err = payload.get("error")
+        if not isinstance(err, Mapping) or "code" not in err:
+            raise ApiError(
+                "bad_request", f"not an error payload: {payload!r}"
+            )
+        code = err["code"]
+        if code not in ERROR_CODES:
+            code = "backend_error"
+        return cls(code, str(err.get("message", "")))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ApiError(code={self.code!r}, message={self.message!r})"
+
+
+# -- field validators --------------------------------------------------------
+
+
+def _check_version(version: Any) -> None:
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise ApiError(
+            "bad_request", f"'version' must be an integer, got {version!r}"
+        )
+    if version != SCHEMA_VERSION:
+        raise ApiError(
+            "unsupported_version",
+            f"schema version {version} is not supported "
+            f"(this server speaks version {SCHEMA_VERSION})",
+        )
+
+
+def _check_query(query: Any, *, name: str = "query") -> None:
+    if not isinstance(query, str):
+        raise ApiError(
+            "bad_request", f"{name!r} must be a string, got {type(query).__name__}"
+        )
+    if not query.strip():
+        raise ApiError("invalid_argument", f"{name!r} must not be empty")
+    if len(query) > MAX_QUERY_CHARS:
+        raise ApiError(
+            "invalid_argument",
+            f"{name!r} is {len(query)} characters; the limit is "
+            f"{MAX_QUERY_CHARS}",
+        )
+
+
+def _check_k(k: Any) -> None:
+    if not isinstance(k, int) or isinstance(k, bool):
+        raise ApiError("bad_request", f"'k' must be an integer, got {k!r}")
+    if not 1 <= k <= MAX_K:
+        raise ApiError(
+            "invalid_argument", f"'k' must be in [1, {MAX_K}], got {k}"
+        )
+
+
+def _check_timeout(timeout_ms: Any) -> None:
+    if timeout_ms is None:
+        return
+    if isinstance(timeout_ms, bool) or not isinstance(timeout_ms, (int, float)):
+        raise ApiError(
+            "bad_request",
+            f"'timeout_ms' must be a number or null, got {timeout_ms!r}",
+        )
+    if timeout_ms <= 0:
+        raise ApiError(
+            "invalid_argument", f"'timeout_ms' must be > 0, got {timeout_ms}"
+        )
+
+
+def _take(
+    payload: Mapping[str, Any], allowed: Sequence[str], kind: str
+) -> Dict[str, Any]:
+    """The payload's fields, rejecting non-mappings and unknown keys."""
+    if not isinstance(payload, Mapping):
+        raise ApiError(
+            "bad_request",
+            f"{kind} payload must be a JSON object, got "
+            f"{type(payload).__name__}",
+        )
+    unknown = sorted(set(payload) - set(allowed))
+    if unknown:
+        raise ApiError(
+            "bad_request", f"unknown {kind} field(s): {', '.join(unknown)}"
+        )
+    return dict(payload)
+
+
+# -- topic hits on the wire --------------------------------------------------
+
+
+def topic_hit_to_dict(hit: TopicHit) -> Dict[str, Any]:
+    return {
+        "topic_id": hit.topic_id,
+        "score": hit.score,
+        "label": hit.label,
+        "n_entities": hit.n_entities,
+        "n_categories": hit.n_categories,
+    }
+
+
+def topic_hit_from_dict(payload: Mapping[str, Any]) -> TopicHit:
+    fields = _take(
+        payload,
+        ("topic_id", "score", "label", "n_entities", "n_categories"),
+        "topic hit",
+    )
+    try:
+        return TopicHit(
+            topic_id=int(fields["topic_id"]),
+            score=float(fields["score"]),
+            label=str(fields["label"]),
+            n_entities=int(fields["n_entities"]),
+            n_categories=int(fields["n_categories"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ApiError("bad_request", f"malformed topic hit: {exc}")
+
+
+# -- requests ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """Scenario A (Query → Topic) over the gateway."""
+
+    query: str
+    k: int = 5
+    timeout_ms: Optional[float] = None
+    version: int = SCHEMA_VERSION
+
+    def validate(self) -> "SearchRequest":
+        _check_version(self.version)
+        _check_query(self.query)
+        _check_k(self.k)
+        _check_timeout(self.timeout_ms)
+        return self
+
+    def cache_key(self) -> Tuple:
+        """Result-cache identity: everything that can change the answer."""
+        return ("search", self.query, self.k)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "version": self.version, "query": self.query, "k": self.k,
+        }
+        if self.timeout_ms is not None:
+            out["timeout_ms"] = self.timeout_ms
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SearchRequest":
+        fields = _take(
+            payload, ("version", "query", "k", "timeout_ms"), "search"
+        )
+        if "query" not in fields:
+            raise ApiError("bad_request", "missing required field 'query'")
+        return cls(
+            query=fields["query"],
+            k=fields.get("k", 5),
+            timeout_ms=fields.get("timeout_ms"),
+            version=fields.get("version", SCHEMA_VERSION),
+        ).validate()
+
+
+@dataclass(frozen=True)
+class RecommendRequest:
+    """Topic-matched entity recommendation (the Fig. 4b slate)."""
+
+    query: str
+    k: int = 10
+    timeout_ms: Optional[float] = None
+    version: int = SCHEMA_VERSION
+
+    def validate(self) -> "RecommendRequest":
+        _check_version(self.version)
+        _check_query(self.query)
+        _check_k(self.k)
+        _check_timeout(self.timeout_ms)
+        return self
+
+    def cache_key(self) -> Tuple:
+        return ("recommend", self.query, self.k)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "version": self.version, "query": self.query, "k": self.k,
+        }
+        if self.timeout_ms is not None:
+            out["timeout_ms"] = self.timeout_ms
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RecommendRequest":
+        fields = _take(
+            payload, ("version", "query", "k", "timeout_ms"), "recommend"
+        )
+        if "query" not in fields:
+            raise ApiError("bad_request", "missing required field 'query'")
+        return cls(
+            query=fields["query"],
+            k=fields.get("k", 10),
+            timeout_ms=fields.get("timeout_ms"),
+            version=fields.get("version", SCHEMA_VERSION),
+        ).validate()
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """A panel of queries answered in one round trip.
+
+    ``kind`` selects the per-query operation: ``"search"`` returns one
+    topic-hit list per query, ``"recommend"`` one entity slate per
+    query. ``k`` applies to every query in the batch.
+    """
+
+    queries: Tuple[str, ...]
+    k: int = 5
+    kind: str = "search"
+    timeout_ms: Optional[float] = None
+    version: int = SCHEMA_VERSION
+
+    def __post_init__(self):
+        # Tolerate list input from direct construction; the wire codec
+        # and dataclass equality both want tuples.
+        if not isinstance(self.queries, tuple):
+            object.__setattr__(self, "queries", tuple(self.queries))
+
+    def validate(self) -> "BatchRequest":
+        _check_version(self.version)
+        if self.kind not in ("search", "recommend"):
+            raise ApiError(
+                "invalid_argument",
+                f"batch 'kind' must be 'search' or 'recommend', "
+                f"got {self.kind!r}",
+            )
+        if not self.queries:
+            raise ApiError("invalid_argument", "batch has no queries")
+        if len(self.queries) > MAX_BATCH_QUERIES:
+            raise ApiError(
+                "invalid_argument",
+                f"batch of {len(self.queries)} queries exceeds the limit "
+                f"of {MAX_BATCH_QUERIES}",
+            )
+        for i, q in enumerate(self.queries):
+            _check_query(q, name=f"queries[{i}]")
+        _check_k(self.k)
+        _check_timeout(self.timeout_ms)
+        return self
+
+    def cache_key(self) -> Tuple:
+        return ("batch", self.kind, self.queries, self.k)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "version": self.version,
+            "kind": self.kind,
+            "queries": list(self.queries),
+            "k": self.k,
+        }
+        if self.timeout_ms is not None:
+            out["timeout_ms"] = self.timeout_ms
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "BatchRequest":
+        fields = _take(
+            payload,
+            ("version", "kind", "queries", "k", "timeout_ms"),
+            "batch",
+        )
+        queries = fields.get("queries")
+        if queries is None:
+            raise ApiError("bad_request", "missing required field 'queries'")
+        if isinstance(queries, str) or not isinstance(queries, Sequence):
+            raise ApiError(
+                "bad_request", "'queries' must be an array of strings"
+            )
+        return cls(
+            queries=tuple(queries),
+            k=fields.get("k", 5),
+            kind=fields.get("kind", "search"),
+            timeout_ms=fields.get("timeout_ms"),
+            version=fields.get("version", SCHEMA_VERSION),
+        ).validate()
+
+
+# -- responses ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SearchResponse:
+    """Ranked topic hits for one query."""
+
+    hits: Tuple[TopicHit, ...]
+    version: int = SCHEMA_VERSION
+
+    def __post_init__(self):
+        if not isinstance(self.hits, tuple):
+            object.__setattr__(self, "hits", tuple(self.hits))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "hits": [topic_hit_to_dict(h) for h in self.hits],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SearchResponse":
+        fields = _take(payload, ("version", "hits"), "search response")
+        hits = fields.get("hits")
+        if not isinstance(hits, Sequence) or isinstance(hits, str):
+            raise ApiError("bad_request", "'hits' must be an array")
+        version = fields.get("version", SCHEMA_VERSION)
+        _check_version(version)
+        return cls(
+            hits=tuple(topic_hit_from_dict(h) for h in hits),
+            version=version,
+        )
+
+
+@dataclass(frozen=True)
+class RecommendResponse:
+    """An entity slate for one query."""
+
+    entity_ids: Tuple[int, ...]
+    version: int = SCHEMA_VERSION
+
+    def __post_init__(self):
+        if not isinstance(self.entity_ids, tuple):
+            object.__setattr__(self, "entity_ids", tuple(self.entity_ids))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"version": self.version, "entity_ids": list(self.entity_ids)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RecommendResponse":
+        fields = _take(
+            payload, ("version", "entity_ids"), "recommend response"
+        )
+        ids = fields.get("entity_ids")
+        if not isinstance(ids, Sequence) or isinstance(ids, str):
+            raise ApiError("bad_request", "'entity_ids' must be an array")
+        version = fields.get("version", SCHEMA_VERSION)
+        _check_version(version)
+        try:
+            entity_ids = tuple(int(e) for e in ids)
+        except (TypeError, ValueError) as exc:
+            raise ApiError("bad_request", f"malformed entity id: {exc}")
+        return cls(entity_ids=entity_ids, version=version)
+
+
+@dataclass(frozen=True)
+class BatchResponse:
+    """Per-query results of a :class:`BatchRequest`, in request order.
+
+    For ``kind == "search"`` each element of ``results`` is a tuple of
+    :class:`TopicHit`; for ``kind == "recommend"`` a tuple of entity
+    ids.
+    """
+
+    kind: str
+    results: Tuple[Tuple, ...] = field(default_factory=tuple)
+    version: int = SCHEMA_VERSION
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "results", tuple(tuple(r) for r in self.results)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        if self.kind == "search":
+            results = [
+                [topic_hit_to_dict(h) for h in hits] for hits in self.results
+            ]
+        else:
+            results = [list(ids) for ids in self.results]
+        return {"version": self.version, "kind": self.kind, "results": results}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "BatchResponse":
+        fields = _take(
+            payload, ("version", "kind", "results"), "batch response"
+        )
+        kind = fields.get("kind")
+        if kind not in ("search", "recommend"):
+            raise ApiError(
+                "bad_request",
+                f"batch response 'kind' must be 'search' or 'recommend', "
+                f"got {kind!r}",
+            )
+        results = fields.get("results")
+        if not isinstance(results, Sequence) or isinstance(results, str):
+            raise ApiError("bad_request", "'results' must be an array")
+        version = fields.get("version", SCHEMA_VERSION)
+        _check_version(version)
+        rows: list = []
+        for row in results:
+            if not isinstance(row, Sequence) or isinstance(row, str):
+                raise ApiError(
+                    "bad_request", "each batch result must be an array"
+                )
+            if kind == "search":
+                rows.append(tuple(topic_hit_from_dict(h) for h in row))
+            else:
+                try:
+                    rows.append(tuple(int(e) for e in row))
+                except (TypeError, ValueError) as exc:
+                    raise ApiError(
+                        "bad_request", f"malformed entity id: {exc}"
+                    )
+        return cls(kind=kind, results=tuple(rows), version=version)
+
+
+#: Wire-endpoint name -> request codec, shared by the HTTP server and
+#: the in-process client transport.
+REQUEST_TYPES = {
+    "search": SearchRequest,
+    "recommend": RecommendRequest,
+    "batch": BatchRequest,
+}
+
+RESPONSE_TYPES = {
+    "search": SearchResponse,
+    "recommend": RecommendResponse,
+    "batch": BatchResponse,
+}
+
+
+def request_from_dict(endpoint: str, payload: Mapping[str, Any]):
+    """Decode + validate a wire payload for ``endpoint``.
+
+    Raises :class:`ApiError` with ``not_found`` for unknown endpoints,
+    ``bad_request`` / ``invalid_argument`` / ``unsupported_version``
+    for payload problems.
+    """
+    try:
+        cls = REQUEST_TYPES[endpoint]
+    except KeyError:
+        raise ApiError("not_found", f"unknown endpoint {endpoint!r}")
+    return cls.from_dict(payload)

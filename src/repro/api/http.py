@@ -1,0 +1,414 @@
+"""The network edge: a stdlib JSON gateway server and its client.
+
+:class:`ShoalHttpServer` exposes any
+:class:`~repro.api.backends.ShoalBackend` (usually a
+:class:`~repro.api.middleware.Gateway`) over HTTP using only
+``http.server`` — no third-party web framework. The wire format is the
+:mod:`repro.api.contract` JSON codec, so answers are byte-identical to
+the in-process backend:
+
+* ``POST /v1/search``     — :class:`SearchRequest` → :class:`SearchResponse`
+* ``POST /v1/recommend``  — :class:`RecommendRequest` → :class:`RecommendResponse`
+* ``POST /v1/batch``      — :class:`BatchRequest` → :class:`BatchResponse`
+* ``GET  /v1/health``     — liveness + backend identity
+* ``GET  /v1/stats``      — cache/latency/error counters
+
+Errors are :class:`ApiError` payloads with the contract's stable codes
+and status mapping (400/404/429/504/500).
+
+:class:`ShoalClient` speaks the same typed contract either over HTTP
+(pass a URL) or in-process (pass any backend). The in-process mode
+still routes every request and response through the JSON codecs, so a
+client cannot accidentally depend on behaviour the wire would not
+carry.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Union
+
+from repro.api.backends import ShoalBackend
+from repro.api.contract import (
+    ApiError,
+    BatchRequest,
+    BatchResponse,
+    RecommendRequest,
+    RecommendResponse,
+    RESPONSE_TYPES,
+    SearchRequest,
+    SearchResponse,
+    request_from_dict,
+)
+
+__all__ = ["ShoalHttpServer", "ShoalClient", "API_PREFIX"]
+
+API_PREFIX = "/v1"
+
+#: Bound on accepted request bodies; a contract-sized payload is a few
+#: KiB, so anything near this is abuse, not traffic.
+MAX_BODY_BYTES = 1 << 20
+
+
+def _json_bytes(payload: Dict[str, Any]) -> bytes:
+    return json.dumps(payload, ensure_ascii=False, allow_nan=False).encode(
+        "utf-8"
+    )
+
+
+class _GatewayHandler(BaseHTTPRequestHandler):
+    """Routes /v1/* onto the server's backend; everything JSON."""
+
+    server_version = "ShoalHttp/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # Set by ShoalHttpServer on the handler subclass it builds.
+    backend: ShoalBackend = None  # type: ignore[assignment]
+    quiet: bool = True
+
+    def log_message(self, fmt: str, *args) -> None:  # noqa: A003
+        if not self.quiet:
+            super().log_message(fmt, *args)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+        body = _json_bytes(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, err: ApiError) -> None:
+        self._send(err.http_status, err.to_dict())
+
+    def _read_body(self) -> Dict[str, Any]:
+        """Parse the JSON request body.
+
+        Every failure path either consumes the declared body or marks
+        the connection for close first: this handler speaks HTTP/1.1
+        keep-alive, and unread body bytes would otherwise be parsed as
+        the *next* request line, desyncing the connection.
+        """
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self.close_connection = True  # cannot know how much to drain
+            raise ApiError("bad_request", "malformed Content-Length header")
+        if length <= 0:
+            raise ApiError("bad_request", "request body is required")
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True  # refuse to drain abuse-sized bodies
+            raise ApiError(
+                "invalid_argument",
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit",
+            )
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ApiError("bad_request", f"body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ApiError("bad_request", "body must be a JSON object")
+        return payload
+
+    def _endpoint(self) -> str:
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if not path.startswith(API_PREFIX + "/"):
+            raise ApiError("not_found", f"no such path: {self.path}")
+        return path[len(API_PREFIX) + 1:]
+
+    # -- verbs ---------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            # Consume the body BEFORE routing: a 404 (or any error sent
+            # with the body still unread) would leave those bytes to be
+            # misparsed as the next request on this keep-alive
+            # connection. _read_body marks the connection for close on
+            # the paths where draining is impossible.
+            try:
+                payload = self._read_body()
+            except ApiError as body_error:
+                self._endpoint()  # prefer not_found for unknown paths
+                raise body_error
+            endpoint = self._endpoint()
+            request = request_from_dict(endpoint, payload)
+            if isinstance(request, SearchRequest):
+                response = self.backend.search(request)
+            elif isinstance(request, RecommendRequest):
+                response = self.backend.recommend(request)
+            else:
+                response = self.backend.batch(request)
+            self._send(200, response.to_dict())
+        except ApiError as err:
+            self._send_error(err)
+        except BrokenPipeError:  # client went away mid-write
+            pass
+        except Exception as exc:  # never leak a traceback onto the wire
+            self._send_error(ApiError("backend_error", str(exc)))
+
+    def _drain_unexpected_body(self) -> None:
+        """Consume a body a GET should not have (keep-alive hygiene)."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self.close_connection = True
+            return
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+        elif length > 0:
+            self.rfile.read(length)
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._drain_unexpected_body()
+        try:
+            endpoint = self._endpoint()
+            if endpoint == "health":
+                self._send(200, self.backend.health())
+            elif endpoint == "stats":
+                self._send(200, self.backend.stats())
+            else:
+                raise ApiError("not_found", f"no such path: {self.path}")
+        except ApiError as err:
+            self._send_error(err)
+        except BrokenPipeError:
+            pass
+        except Exception as exc:
+            self._send_error(ApiError("backend_error", str(exc)))
+
+
+class ShoalHttpServer:
+    """Serve a backend over HTTP from a thread-per-request stdlib server.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port`` /
+    ``.url``) — the pattern tests and examples use. :meth:`start` runs
+    the accept loop on a daemon thread; :meth:`serve_forever` blocks
+    (the CLI path). Both are shut down by :meth:`shutdown`, which also
+    closes the wrapped backend.
+    """
+
+    def __init__(
+        self,
+        backend: ShoalBackend,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        *,
+        quiet: bool = True,
+    ):
+        self._backend = backend
+        handler = type(
+            "_BoundGatewayHandler",
+            (_GatewayHandler,),
+            {"backend": backend, "quiet": quiet},
+        )
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def backend(self) -> ShoalBackend:
+        return self._backend
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ShoalHttpServer":
+        """Serve on a background daemon thread; returns self."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"shoal-http-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` / Ctrl-C."""
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._backend.close()
+
+    def __enter__(self) -> "ShoalHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+class ShoalClient(ShoalBackend):
+    """The typed contract over HTTP — or in-process, same semantics.
+
+    ``target`` is either a gateway base URL (``"http://host:port"``) or
+    any :class:`ShoalBackend`. Both transports serialize the request to
+    the wire dict and parse the response back through the contract
+    codecs, so switching a frontend between in-process and remote
+    serving changes exactly one constructor argument and nothing else.
+    """
+
+    kind = "client"
+
+    def __init__(
+        self, target: Union[str, ShoalBackend], *, timeout: float = 10.0
+    ):
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0 seconds, got {timeout}")
+        self._timeout = timeout
+        if isinstance(target, str):
+            if not target.startswith(("http://", "https://")):
+                raise ApiError(
+                    "invalid_argument",
+                    f"client target must be an http(s) URL or a backend, "
+                    f"got {target!r}",
+                )
+            self._base_url: Optional[str] = target.rstrip("/")
+            self._inner: Optional[ShoalBackend] = None
+        elif isinstance(target, ShoalBackend):
+            self._base_url = None
+            self._inner = target
+        else:
+            raise ApiError(
+                "invalid_argument",
+                f"client target must be an http(s) URL or a backend, "
+                f"got {type(target).__name__}",
+            )
+
+    @property
+    def base_url(self) -> Optional[str]:
+        """The remote gateway URL, or None for an in-process client."""
+        return self._base_url
+
+    # -- transports ----------------------------------------------------------
+
+    def _http(
+        self, method: str, endpoint: str, payload: Optional[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        url = f"{self._base_url}{API_PREFIX}/{endpoint}"
+        data = None if payload is None else _json_bytes(payload)
+        req = urllib.request.Request(
+            url,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json; charset=utf-8"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self._timeout) as resp:
+                body = resp.read()
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            parsed = None
+            try:
+                parsed = ApiError.from_dict(json.loads(raw.decode("utf-8")))
+            except (UnicodeDecodeError, json.JSONDecodeError, ValueError,
+                    ApiError):
+                # Not a contract error payload (a proxy/LB answered for
+                # the gateway, or the body is garbage): classify by the
+                # HTTP status class instead of trusting the body.
+                pass
+            if parsed is not None:
+                raise parsed
+            code = (
+                "unavailable" if exc.code in (502, 503)
+                else "deadline_exceeded" if exc.code == 504
+                else "rate_limited" if exc.code == 429
+                else "backend_error" if exc.code >= 500
+                else "bad_request"
+            )
+            raise ApiError(
+                code, f"HTTP {exc.code} from {url}: {raw[:200]!r}"
+            )
+        except urllib.error.URLError as exc:
+            raise ApiError("unavailable", f"cannot reach {url}: {exc.reason}")
+        try:
+            parsed = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ApiError(
+                "backend_error", f"non-JSON response from {url}: {exc}"
+            )
+        if not isinstance(parsed, dict):
+            raise ApiError(
+                "backend_error", f"non-object response from {url}"
+            )
+        return parsed
+
+    def _roundtrip(self, endpoint: str, request) -> Dict[str, Any]:
+        """request → wire dict → transport → wire dict, validated."""
+        request.validate()
+        if self._base_url is not None:
+            return self._http("POST", endpoint, request.to_dict())
+        # In-process: exercise the same codecs the wire would.
+        inner_request = request_from_dict(endpoint, request.to_dict())
+        if endpoint == "search":
+            response = self._inner.search(inner_request)
+        elif endpoint == "recommend":
+            response = self._inner.recommend(inner_request)
+        else:
+            response = self._inner.batch(inner_request)
+        return response.to_dict()
+
+    # -- typed contract ------------------------------------------------------
+
+    def search(self, request: SearchRequest) -> SearchResponse:
+        return SearchResponse.from_dict(self._roundtrip("search", request))
+
+    def recommend(self, request: RecommendRequest) -> RecommendResponse:
+        return RecommendResponse.from_dict(
+            self._roundtrip("recommend", request)
+        )
+
+    def batch(self, request: BatchRequest) -> BatchResponse:
+        response = BatchResponse.from_dict(self._roundtrip("batch", request))
+        if response.kind != request.kind:
+            raise ApiError(
+                "backend_error",
+                f"batch response kind {response.kind!r} does not match "
+                f"request kind {request.kind!r}",
+            )
+        return response
+
+    # -- operational surface -------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        if self._base_url is not None:
+            return self._http("GET", "health", None)
+        return self._inner.health()
+
+    def stats(self) -> Dict[str, Any]:
+        if self._base_url is not None:
+            return self._http("GET", "stats", None)
+        return self._inner.stats()
+
+    def close(self) -> None:
+        if self._inner is not None:
+            self._inner.close()
+
+
+def _assert_response_types_registered() -> None:
+    """Guard: the endpoint tables of contract and client must agree."""
+    assert set(RESPONSE_TYPES) == {"search", "recommend", "batch"}
+
+
+_assert_response_types_registered()

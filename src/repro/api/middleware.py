@@ -1,0 +1,378 @@
+"""Composable middleware around any :class:`~repro.api.backends.ShoalBackend`.
+
+A :class:`Gateway` wraps a backend with an ordered middleware stack and
+is itself a backend, so stacks compose and every frontend (CLI, HTTP
+edge, replayer, benches) gets the same cross-cutting behaviour from one
+place:
+
+* :class:`MetricsMiddleware` — per-endpoint p50/p95/p99 latency (the
+  same :class:`~repro.serving.stats.RequestStats` recorders the cluster
+  router uses) plus error counts by stable code;
+* :class:`RateLimitMiddleware` — token-bucket admission control,
+  rejecting excess traffic with ``rate_limited`` before it costs any
+  backend work;
+* :class:`DeadlineMiddleware` — per-request deadlines: a request's own
+  ``timeout_ms`` (or the configured default) turns overruns into
+  ``deadline_exceeded``;
+* :class:`CacheMiddleware` — a gateway-level result LRU (the shared
+  :class:`~repro.api.cache.LRUCache`) keyed on each request's
+  ``cache_key()``.
+
+**Ordering.** :func:`default_middlewares` composes
+``metrics → rate-limit → deadline → cache`` outermost-first: metrics
+must observe rejections, the rate limiter must reject before any work
+is done, the deadline must cover cache misses *and* hits, and the cache
+sits innermost so a hit costs one locked dict probe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.api.backends import ShoalBackend
+from repro.api.cache import MISS, CacheStats, LRUCache
+from repro.api.contract import (
+    ApiError,
+    BatchRequest,
+    BatchResponse,
+    RecommendRequest,
+    RecommendResponse,
+    SearchRequest,
+    SearchResponse,
+)
+from repro.serving.stats import LatencySummary, RequestStats
+
+__all__ = [
+    "Middleware",
+    "CacheMiddleware",
+    "RateLimitMiddleware",
+    "DeadlineMiddleware",
+    "MetricsMiddleware",
+    "Gateway",
+    "default_middlewares",
+]
+
+Request = Union[SearchRequest, RecommendRequest, BatchRequest]
+Response = Union[SearchResponse, RecommendResponse, BatchResponse]
+Handler = Callable[[Request], Response]
+
+
+class Middleware:
+    """One layer of the stack: observe/short-circuit, then ``call_next``."""
+
+    def handle(self, request: Request, call_next: Handler) -> Response:
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-able counters merged into :meth:`Gateway.stats`."""
+        return {}
+
+
+class CacheMiddleware(Middleware):
+    """Gateway-level result cache over the shared locked LRU module."""
+
+    def __init__(self, max_size: int = 4096):
+        self._cache = LRUCache(max_size)
+
+    def handle(self, request: Request, call_next: Handler) -> Response:
+        key = request.cache_key()
+        cached = self._cache.get(key)
+        if cached is not MISS:
+            return cached
+        response = call_next(request)
+        self._cache.put(key, response)
+        return response
+
+    def invalidate(self) -> None:
+        self._cache.clear()
+
+    def cache_stats(self) -> CacheStats:
+        return self._cache.stats()
+
+    def stats(self) -> Dict[str, Any]:
+        return {"gateway_cache": self._cache.stats().to_dict()}
+
+
+class RateLimitMiddleware(Middleware):
+    """Token-bucket admission control.
+
+    ``rate`` tokens/second refill a bucket of ``burst`` capacity; each
+    request spends one token or is rejected with ``rate_limited``.
+    ``clock`` is injectable (monotonic seconds) so tests can drive time.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[int] = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0 req/s, got {rate}")
+        self._rate = float(rate)
+        self._capacity = float(burst if burst is not None else max(rate, 1))
+        if self._capacity < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self._clock = clock
+        self._tokens = self._capacity
+        self._refilled_at = clock()
+        self._rejected = 0
+        self._admitted = 0
+        self._lock = threading.Lock()
+
+    def handle(self, request: Request, call_next: Handler) -> Response:
+        now = self._clock()
+        with self._lock:
+            elapsed = max(now - self._refilled_at, 0.0)
+            self._tokens = min(
+                self._capacity, self._tokens + elapsed * self._rate
+            )
+            self._refilled_at = now
+            if self._tokens < 1.0:
+                self._rejected += 1
+                raise ApiError(
+                    "rate_limited",
+                    f"rate limit of {self._rate:g} req/s exceeded",
+                )
+            self._tokens -= 1.0
+            self._admitted += 1
+        return call_next(request)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "rate_limit": {
+                    "rate_per_s": self._rate,
+                    "burst": self._capacity,
+                    "admitted": self._admitted,
+                    "rejected": self._rejected,
+                }
+            }
+
+
+class DeadlineMiddleware(Middleware):
+    """Per-request deadline enforcement.
+
+    The effective deadline is the request's ``timeout_ms`` when set,
+    else ``default_timeout_ms`` (``None`` disables). A synchronous
+    backend cannot be preempted, so an overrun is detected when the
+    call returns and surfaced as ``deadline_exceeded`` — the answer is
+    dropped exactly as a real edge would have closed the connection.
+    """
+
+    def __init__(
+        self,
+        default_timeout_ms: Optional[float] = None,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        if default_timeout_ms is not None and default_timeout_ms <= 0:
+            raise ValueError(
+                f"default_timeout_ms must be > 0, got {default_timeout_ms}"
+            )
+        self._default_ms = default_timeout_ms
+        self._clock = clock
+        self._expired = 0
+        self._lock = threading.Lock()
+
+    def handle(self, request: Request, call_next: Handler) -> Response:
+        limit_ms = (
+            request.timeout_ms
+            if request.timeout_ms is not None
+            else self._default_ms
+        )
+        if limit_ms is None:
+            return call_next(request)
+        t0 = self._clock()
+        response = call_next(request)
+        elapsed_ms = (self._clock() - t0) * 1000.0
+        if elapsed_ms > limit_ms:
+            with self._lock:
+                self._expired += 1
+            raise ApiError(
+                "deadline_exceeded",
+                f"request took {elapsed_ms:.1f}ms; deadline was "
+                f"{limit_ms:g}ms",
+            )
+        return response
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "deadline": {
+                    "default_timeout_ms": self._default_ms,
+                    "expired": self._expired,
+                }
+            }
+
+
+_ENDPOINT_OF = {
+    SearchRequest: "search",
+    RecommendRequest: "recommend",
+    BatchRequest: "batch",
+}
+
+
+class MetricsMiddleware(Middleware):
+    """Unified request metrics: per-endpoint latency + errors by code."""
+
+    def __init__(self):
+        self._stats: Dict[str, RequestStats] = {
+            name: RequestStats() for name in ("search", "recommend", "batch")
+        }
+        self._errors: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def handle(self, request: Request, call_next: Handler) -> Response:
+        endpoint = _ENDPOINT_OF.get(type(request), "search")
+        t0 = time.perf_counter()
+        try:
+            response = call_next(request)
+        except ApiError as exc:
+            with self._lock:
+                self._errors[exc.code] = self._errors.get(exc.code, 0) + 1
+            self._stats[endpoint].record(time.perf_counter() - t0)
+            raise
+        self._stats[endpoint].record(time.perf_counter() - t0)
+        return response
+
+    def latency(self, endpoint: str) -> LatencySummary:
+        return self._stats[endpoint].summary()
+
+    def error_counts(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._errors)
+
+    def stats(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"errors": self.error_counts()}
+        latencies = {}
+        for name, recorder in self._stats.items():
+            summary = recorder.summary()
+            if summary.count == 0:
+                continue
+            latencies[name] = {
+                "count": summary.count,
+                "qps": summary.qps,
+                "mean_ms": summary.mean_ms,
+                "p50_ms": summary.p50_ms,
+                "p95_ms": summary.p95_ms,
+                "p99_ms": summary.p99_ms,
+                "max_ms": summary.max_ms,
+            }
+        out["latency"] = latencies
+        return out
+
+
+def default_middlewares(
+    *,
+    cache_size: int = 4096,
+    rate_limit: Optional[float] = None,
+    burst: Optional[int] = None,
+    deadline_ms: Optional[float] = None,
+) -> List[Middleware]:
+    """The canonical stack, outermost first (see module docstring)."""
+    stack: List[Middleware] = [MetricsMiddleware()]
+    if rate_limit is not None:
+        stack.append(RateLimitMiddleware(rate_limit, burst))
+    if deadline_ms is not None:
+        stack.append(DeadlineMiddleware(deadline_ms))
+    if cache_size > 0:
+        stack.append(CacheMiddleware(cache_size))
+    return stack
+
+
+class Gateway(ShoalBackend):
+    """A backend wrapped in a middleware stack — and itself a backend.
+
+    ``middlewares`` is ordered outermost-first; ``None`` installs
+    :func:`default_middlewares` with its standard cache + metrics.
+    """
+
+    kind = "gateway"
+
+    def __init__(
+        self,
+        backend: ShoalBackend,
+        middlewares: Optional[Sequence[Middleware]] = None,
+    ):
+        self._backend = backend
+        self._middlewares: List[Middleware] = list(
+            default_middlewares() if middlewares is None else middlewares
+        )
+
+        def terminal(request: Request) -> Response:
+            if isinstance(request, SearchRequest):
+                return self._backend.search(request)
+            if isinstance(request, RecommendRequest):
+                return self._backend.recommend(request)
+            if isinstance(request, BatchRequest):
+                return self._backend.batch(request)
+            raise ApiError(
+                "bad_request", f"not an API request: {type(request).__name__}"
+            )
+
+        chain: Handler = terminal
+        for mw in reversed(self._middlewares):
+            chain = _bind(mw, chain)
+        self._chain = chain
+
+    @property
+    def backend(self) -> ShoalBackend:
+        return self._backend
+
+    @property
+    def middlewares(self) -> List[Middleware]:
+        return list(self._middlewares)
+
+    def handle(self, request: Request) -> Response:
+        """Dispatch any typed request through the full stack."""
+        request.validate()
+        return self._chain(request)
+
+    def search(self, request: SearchRequest) -> SearchResponse:
+        return self.handle(request)
+
+    def recommend(self, request: RecommendRequest) -> RecommendResponse:
+        return self.handle(request)
+
+    def batch(self, request: BatchRequest) -> BatchResponse:
+        return self.handle(request)
+
+    def health(self) -> Dict[str, Any]:
+        inner = self._backend.health()
+        inner["backend"] = f"gateway({inner.get('backend', '?')})"
+        return inner
+
+    def stats(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"backend": self.kind}
+        for mw in self._middlewares:
+            out.update(mw.stats())
+        out["inner"] = self._backend.stats()
+        return out
+
+    def invalidate_cache(self) -> None:
+        """Drop every gateway-level cached result."""
+        for mw in self._middlewares:
+            if isinstance(mw, CacheMiddleware):
+                mw.invalidate()
+
+    def cache_stats(self) -> Optional[CacheStats]:
+        """The gateway-level result-cache counters (None if no cache
+        middleware is installed); the replayer probes this."""
+        for mw in self._middlewares:
+            if isinstance(mw, CacheMiddleware):
+                return mw.cache_stats()
+        return None
+
+    def close(self) -> None:
+        self._backend.close()
+
+
+def _bind(mw: Middleware, call_next: Handler) -> Handler:
+    def bound(request: Request) -> Response:
+        return mw.handle(request, call_next)
+
+    return bound

@@ -15,10 +15,19 @@ system would be driven:
 * ``python -m repro.cli serve-cluster`` — shard the model behind a
   cluster router, answer queries through it, and optionally write the
   per-shard snapshot directory (``--save-shards``);
+* ``python -m repro.cli serve-http`` — expose a snapshot or cluster
+  snapshot over the JSON gateway API (``repro.api``) on a stdlib HTTP
+  server, with the standard middleware stack (metrics, optional rate
+  limit and deadline, result cache);
 * ``python -m repro.cli replay`` — replay a Zipf-skewed traffic
   workload (steady/bursty/drifting/adversarial) against the single
-  service, the sharded cluster, or both, reporting QPS and p50/p95/p99
-  latencies.
+  service, the sharded cluster, both, or any ``--backend`` URI
+  (``snapshot:DIR`` / ``cluster:DIR`` / ``http://host:port``),
+  reporting QPS and p50/p95/p99 latencies.
+
+All serving paths go through the typed gateway API in
+:mod:`repro.api`; this module never constructs a concrete read tier
+directly (a contract test enforces that).
 
 All subcommands accept ``--profile`` (tiny/small/default/large/xlarge)
 and ``--seed`` so results are reproducible from the shell, plus
@@ -34,11 +43,11 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.api import BatchRequest, RecommendRequest, ServiceBackend, open_backend
 from repro.baselines.ontology_rec import OntologyRecommender, OntologyRecommenderConfig
 from repro.core.config import ShoalConfig
 from repro.core.pipeline import ShoalModel, ShoalPipeline
 from repro.core.report import compute_stats, render_tree
-from repro.core.serving import ShoalService
 from repro.data.marketplace import PROFILES, generate_marketplace
 from repro.eval.abtest import ABTestConfig, ABTestSimulator
 from repro.eval.precision import PrecisionConfig, SamplingPrecisionEvaluator
@@ -162,12 +171,29 @@ def _cmd_evaluate(args) -> int:
     return 0 if (report.precision >= 0.9 and q > 0.3) else 1
 
 
-def _default_snapshot_query(service: ShoalService) -> str:
+def _default_snapshot_query(service) -> str:
     """A demo query when serving from disk: a topic's own description."""
     for topic in service.taxonomy.root_topics():
         if topic.descriptions:
             return topic.descriptions[0]
     return "example"
+
+
+def _print_hits(backend, queries, results, names) -> None:
+    """Shared hit renderer for search/serve-cluster."""
+    categories_of = getattr(backend, "categories_of_topic", None)
+    for query, hits in zip(queries, results):
+        print(f"query: {query!r}")
+        if not hits:
+            print("  (no matching topics)")
+            continue
+        for h in hits:
+            cats = categories_of(h.topic_id) if categories_of else []
+            cat_names = ", ".join(names.get(c, str(c)) for c in cats[:4])
+            print(
+                f"  topic {h.topic_id}  score={h.score:7.2f}  \"{h.label}\""
+                f"  [{cat_names}]"
+            )
 
 
 def _cmd_search(args) -> int:
@@ -176,14 +202,13 @@ def _cmd_search(args) -> int:
         # Pure warm-start: the read tier comes entirely from the
         # snapshot — no marketplace generation, no fitting. (No world
         # consistency check needed: nothing here uses the marketplace.)
-        service = ShoalService.from_snapshot(args.load)
+        backend = open_backend(f"snapshot:{args.load}")
         names = {}
-        queries = args.queries or [_default_snapshot_query(service)]
+        queries = args.queries or [_default_snapshot_query(backend.service)]
     else:
         market, model = _build(args)
-        service = ShoalService(model)
-        service.set_entity_categories(
-            {e.entity_id: e.category_id for e in market.catalog.entities}
+        backend = ServiceBackend.from_model(
+            model, entity_categories=_entity_categories(market)
         )
         names = {c.category_id: c.name for c in market.ontology}
         queries = args.queries or [
@@ -192,19 +217,10 @@ def _cmd_search(args) -> int:
                 if q.intent_kind == "scenario"
             )
         ]
-    batched = service.search_topics_batch(queries, k=args.k)
-    for query, hits in zip(queries, batched):
-        print(f"query: {query!r}")
-        if not hits:
-            print("  (no matching topics)")
-            continue
-        for h in hits:
-            cats = service.categories_of_topic(h.topic_id)
-            cat_names = ", ".join(names.get(c, str(c)) for c in cats[:4])
-            print(
-                f"  topic {h.topic_id}  score={h.score:7.2f}  \"{h.label}\""
-                f"  [{cat_names}]"
-            )
+    response = backend.batch(
+        BatchRequest(queries=tuple(queries), k=args.k, kind="search")
+    )
+    _print_hits(backend, queries, response.results, names)
     return 0
 
 
@@ -213,34 +229,29 @@ def _entity_categories(market) -> dict:
 
 
 def _cmd_serve_cluster(args) -> int:
-    from repro.serving import ClusterRouter, ShardPlanner
+    from repro.api import ClusterBackend
+    from repro.serving import ShardPlanner
 
     market, model = _build(args)
     cats = _entity_categories(market)
-    # Partition once; the router and --save-shards share the shard set.
+    # Partition once; the backend and --save-shards share the shard set.
     shard_set = ShardPlanner(args.shards).partition(model, cats)
-    router = ClusterRouter(shard_set, n_replicas=args.replicas)
+    backend = ClusterBackend.from_shard_set(
+        shard_set, n_replicas=args.replicas
+    )
     print(model.summary())
-    print(router.plan_summary)
+    print(backend.router.plan_summary)
     names = {c.category_id: c.name for c in market.ontology}
     queries = args.queries or [
         q.text
         for q in market.query_log.queries
         if q.intent_kind == "scenario"
     ][:3]
-    for query, hits in zip(queries, router.search_topics_batch(queries, k=args.k)):
-        print(f"query: {query!r}")
-        if not hits:
-            print("  (no matching topics)")
-            continue
-        for h in hits:
-            cats_of = router.categories_of_topic(h.topic_id)
-            cat_names = ", ".join(names.get(c, str(c)) for c in cats_of[:4])
-            print(
-                f"  topic {h.topic_id}  score={h.score:7.2f}  \"{h.label}\""
-                f"  [{cat_names}]"
-            )
-    print(router.cluster_stats().summary())
+    response = backend.batch(
+        BatchRequest(queries=tuple(queries), k=args.k, kind="search")
+    )
+    _print_hits(backend, queries, response.results, names)
+    print(backend.router.cluster_stats().summary())
     if args.save_shards:
         ShardPlanner.save_shard_set(
             shard_set,
@@ -263,16 +274,57 @@ def _check_cluster_world(args) -> None:
     )
 
 
+def _check_backend_world(args) -> None:
+    """World check for local `--backend` URIs (same guard as --load /
+    --cluster-dir). Remote http(s) backends own their snapshot — there
+    is nothing local to compare."""
+    from pathlib import Path
+
+    uri = args.backend
+    if uri.startswith(("http://", "https://")):
+        return
+    path = uri
+    for scheme in ("snapshot:", "local:", "cluster:"):
+        if uri.startswith(scheme):
+            path = uri[len(scheme):]
+            break
+    path = Path(path)
+    if (path / "CLUSTER_MANIFEST.json").is_file():
+        from repro.serving import ShardPlanner
+
+        meta = ShardPlanner.read_cluster_manifest(path).get("metadata", {})
+    elif (path / "MANIFEST.json").is_file():
+        from repro.store.persistence import read_manifest
+
+        meta = read_manifest(path).get("metadata", {})
+    else:
+        return  # open_backend will produce the real error
+    _check_world_metadata(meta, f"backend at {uri}", args)
+
+
 def _cmd_replay(args) -> int:
-    from repro.core.serving import ShoalService
+    from repro.api import ClusterBackend
     from repro.serving import (
-        ClusterRouter,
         TrafficReplayer,
         WorkloadConfig,
         build_workload,
     )
 
-    if args.cluster_dir:
+    backend = None
+    if args.backend:
+        if args.cluster_dir or args.load:
+            raise SystemExit(
+                "--backend is mutually exclusive with --cluster-dir/--load: "
+                "the URI names the serving tier"
+            )
+        _check_load_flags(args)
+        _check_backend_world(args)
+        market = generate_marketplace(
+            PROFILES[args.profile].with_seed(args.seed)
+        )
+        model = None
+        backend = open_backend(args.backend, n_replicas=args.replicas)
+    elif args.cluster_dir:
         if args.load:
             raise SystemExit(
                 "--cluster-dir and --load are mutually exclusive: the "
@@ -284,12 +336,11 @@ def _cmd_replay(args) -> int:
             PROFILES[args.profile].with_seed(args.seed)
         )
         model = None
-        router = ClusterRouter.from_snapshot(
+        backend = ClusterBackend.from_snapshot(
             args.cluster_dir, n_replicas=args.replicas
         )
     else:
         market, model = _build(args)
-        router = None
 
     workload = build_workload(
         market.query_log.queries,
@@ -309,30 +360,35 @@ def _cmd_replay(args) -> int:
     )
 
     reports = {}
-    if args.target in ("single", "both"):
-        if model is None:
-            raise SystemExit(
-                "--target single/both needs a fitted or --load model; "
-                "--cluster-dir only carries the sharded form"
-            )
-        service = ShoalService(
-            model, entity_categories=_entity_categories(market)
-        )
-        reports["single"] = TrafficReplayer(service, k=args.k).replay(
+    if args.backend:
+        reports["backend"] = TrafficReplayer(backend, k=args.k).replay(
             workload, profile=args.traffic, warmup=warmup
         )
-    if args.target in ("cluster", "both"):
-        if router is None:
-            router = ClusterRouter.from_model(
-                model,
-                args.shards,
-                n_replicas=args.replicas,
-                entity_categories=_entity_categories(market),
+    else:
+        if args.target in ("single", "both"):
+            if model is None:
+                raise SystemExit(
+                    "--target single/both needs a fitted or --load model; "
+                    "--cluster-dir only carries the sharded form"
+                )
+            single = ServiceBackend.from_model(
+                model, entity_categories=_entity_categories(market)
             )
-        reports["cluster"] = TrafficReplayer(router, k=args.k).replay(
-            workload, profile=args.traffic, warmup=warmup
-        )
-        print(router.plan_summary)
+            reports["single"] = TrafficReplayer(single, k=args.k).replay(
+                workload, profile=args.traffic, warmup=warmup
+            )
+        if args.target in ("cluster", "both"):
+            if backend is None:
+                backend = ClusterBackend.from_model(
+                    model,
+                    args.shards,
+                    n_replicas=args.replicas,
+                    entity_categories=_entity_categories(market),
+                )
+            reports["cluster"] = TrafficReplayer(backend, k=args.k).replay(
+                workload, profile=args.traffic, warmup=warmup
+            )
+            print(backend.router.plan_summary)
 
     for name, report in reports.items():
         print(f"{name:>8}: {report.summary()}")
@@ -344,9 +400,8 @@ def _cmd_replay(args) -> int:
 
 def _cmd_abtest(args) -> int:
     market, model = _build(args)
-    service = ShoalService(model)
-    service.set_entity_categories(
-        {e.entity_id: e.category_id for e in market.catalog.entities}
+    backend = ServiceBackend.from_model(
+        model, entity_categories=_entity_categories(market)
     )
     control = OntologyRecommender(
         market.ontology, market.catalog,
@@ -357,11 +412,60 @@ def _cmd_abtest(args) -> int:
     )
     report = sim.run(
         control.recommend,
-        lambda uid, q: service.recommend_entities_for_query(q, args.slate),
+        lambda uid, q: list(
+            backend.recommend(
+                RecommendRequest(query=q, k=args.slate)
+            ).entity_ids
+        ),
     )
     print(report.summary())
     print("paper reported: +5% CTR (3M users, Taobao)")
     return 0 if report.relative_uplift > 0 else 1
+
+
+def _cmd_serve_http(args) -> int:
+    from repro.api import Gateway, ShoalHttpServer, default_middlewares
+
+    if bool(args.load) == bool(args.cluster_dir):
+        raise SystemExit(
+            "serve-http needs exactly one of --load DIR or --cluster-dir DIR"
+        )
+    # When the gateway result cache is on it absorbs every repeat, so a
+    # same-size engine cache behind it would only hold duplicate
+    # entries; disable it and let one tier do the caching.
+    engine_cache = 0 if args.cache_size > 0 else 4096
+    if args.load:
+        backend = open_backend(
+            f"snapshot:{args.load}", cache_size=engine_cache
+        )
+    else:
+        backend = open_backend(
+            f"cluster:{args.cluster_dir}",
+            cache_size=engine_cache,
+            n_replicas=args.replicas,
+        )
+    gateway = Gateway(
+        backend,
+        default_middlewares(
+            cache_size=args.cache_size,
+            rate_limit=args.rate_limit,
+            deadline_ms=args.deadline_ms,
+        ),
+    )
+    server = ShoalHttpServer(gateway, args.host, args.port, quiet=args.quiet)
+    print(
+        f"serving {backend.kind} backend on {server.url} "
+        f"(POST /v1/search /v1/recommend /v1/batch, "
+        f"GET /v1/health /v1/stats; Ctrl-C to stop)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.shutdown()
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -416,6 +520,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cluster.set_defaults(func=_cmd_serve_cluster)
 
+    p_http = sub.add_parser(
+        "serve-http",
+        help="serve the typed gateway API over HTTP from a snapshot",
+    )
+    p_http.add_argument(
+        "--load", default=None, metavar="DIR",
+        help="model snapshot directory (from 'fit --save')",
+    )
+    p_http.add_argument(
+        "--cluster-dir", default=None, metavar="DIR",
+        help="cluster snapshot directory (from 'serve-cluster --save-shards')",
+    )
+    p_http.add_argument("--host", default="127.0.0.1")
+    p_http.add_argument(
+        "--port", type=int, default=8080, help="0 picks an ephemeral port"
+    )
+    p_http.add_argument(
+        "--replicas", type=int, default=1,
+        help="replicas per shard (cluster backends only)",
+    )
+    p_http.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="gateway result-cache entries (0 disables)",
+    )
+    p_http.add_argument(
+        "--rate-limit", type=float, default=None, metavar="QPS",
+        help="token-bucket admission rate (default: unlimited)",
+    )
+    p_http.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="default per-request deadline in milliseconds",
+    )
+    p_http.add_argument(
+        "--quiet", action="store_true", default=False,
+        help="suppress per-request access logging",
+    )
+    p_http.set_defaults(func=_cmd_serve_http)
+
     p_replay = sub.add_parser(
         "replay", help="replay a traffic workload against service/cluster"
     )
@@ -441,6 +583,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay.add_argument(
         "--cluster-dir", default=None, metavar="DIR",
         help="load the cluster from a 'serve-cluster --save-shards' dir",
+    )
+    p_replay.add_argument(
+        "--backend", default=None, metavar="URI",
+        help="replay against a backend URI: snapshot:DIR, cluster:DIR, "
+             "or http://host:port (overrides --target)",
     )
     p_replay.add_argument(
         "--target", default="cluster", choices=["single", "cluster", "both"],

@@ -91,6 +91,7 @@ class IncrementalShoal:
         self._fits_since_retrain = 0
         self._last_model: Optional[ShoalModel] = None
         self._service: Optional[ShoalService] = None
+        self._backend = None  # Optional[repro.api.backends.ServiceBackend]
         self._cluster = None  # Optional[repro.serving.router.ClusterRouter]
 
     @property
@@ -105,6 +106,11 @@ class IncrementalShoal:
         window slides; each :meth:`advance` refreshes its indexes and
         invalidates its query cache, so stale window results are never
         served while cache hit/miss counters stay cumulative.
+
+        Deprecated for external callers: frontends should serve through
+        :meth:`backend`, which wraps this engine in the gateway-API
+        contract (:mod:`repro.api`). The raw engine remains available
+        for scenario-B/C/D navigation.
         """
         if self._last_model is None:
             raise RuntimeError("no model yet; call advance() first")
@@ -113,6 +119,23 @@ class IncrementalShoal:
                 self._last_model, entity_categories=self._categories
             )
         return self._service
+
+    def backend(self):
+        """The gateway-API view of the maintained read tier.
+
+        Returns a persistent
+        :class:`~repro.api.backends.ServiceBackend` over the same
+        engine :meth:`service` maintains, so window slides refresh the
+        backend's answers too. This is the supported serving surface
+        for frontends; construct requests from :mod:`repro.api` and
+        call ``search`` / ``recommend`` / ``batch`` on it.
+        """
+        if self._backend is None:
+            # Imported lazily: repro.api adapters depend on this package.
+            from repro.api.backends import ServiceBackend
+
+            self._backend = ServiceBackend(self.service())
+        return self._backend
 
     def cluster(
         self,

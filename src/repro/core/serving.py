@@ -36,21 +36,22 @@ per day":
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import (
-    Any,
     Callable,
     Dict,
     FrozenSet,
-    Hashable,
     List,
     Optional,
     Sequence,
     Tuple,
 )
 
+# The query-result cache lives in the shared, locked repro.api.cache
+# module (one implementation for the engine, the cluster router's
+# front cache, and the gateway middleware). `_LRUCache` is the
+# pre-gateway private name, kept as an alias for one release.
+from repro.api.cache import CacheStats, LRUCache as _LRUCache
 from repro.core.correlation import CorrelationGraph
 from repro.core.pipeline import ShoalModel
 from repro.core.taxonomy import Taxonomy, Topic
@@ -83,93 +84,6 @@ class CategoryHit:
 
     category_id: int
     strength: int
-
-
-@dataclass(frozen=True)
-class CacheStats:
-    """Point-in-time counters of the query-result cache."""
-
-    hits: int
-    misses: int
-    size: int
-    max_size: int
-    invalidations: int
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-    def summary(self) -> str:
-        return (
-            f"cache: {self.hits} hits / {self.misses} misses "
-            f"(rate={self.hit_rate:.2%}), {self.size}/{self.max_size} "
-            f"entries, {self.invalidations} invalidations"
-        )
-
-
-class _LRUCache:
-    """Bounded, thread-safe LRU map with hit/miss counters.
-
-    ``max_size == 0`` disables caching entirely (every get misses,
-    every put is a no-op) — useful for cold-path benchmarking.
-
-    All operations take the internal lock: the serving tier is hammered
-    from thread pools, and an unlocked ``get`` races ``clear``/eviction
-    on the underlying ``OrderedDict`` (``move_to_end`` of a key another
-    thread just dropped raises ``KeyError``) while unlocked counter
-    increments silently lose updates.
-    """
-
-    _MISS = object()
-
-    def __init__(self, max_size: int):
-        if max_size < 0:
-            raise ValueError(f"cache size must be >= 0, got {max_size}")
-        self.max_size = max_size
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
-        self._lock = threading.Lock()
-        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._data)
-
-    def get(self, key: Hashable) -> Any:
-        with self._lock:
-            value = self._data.get(key, self._MISS)
-            if value is self._MISS:
-                self.misses += 1
-                return self._MISS
-            self._data.move_to_end(key)
-            self.hits += 1
-            return value
-
-    def put(self, key: Hashable, value: Any) -> None:
-        if self.max_size == 0:
-            return
-        with self._lock:
-            self._data[key] = value
-            self._data.move_to_end(key)
-            while len(self._data) > self.max_size:
-                self._data.popitem(last=False)
-
-    def clear(self) -> None:
-        with self._lock:
-            self._data.clear()
-            self.invalidations += 1
-
-    def stats(self) -> CacheStats:
-        with self._lock:
-            return CacheStats(
-                hits=self.hits,
-                misses=self.misses,
-                size=len(self._data),
-                max_size=self.max_size,
-                invalidations=self.invalidations,
-            )
 
 
 def build_topic_documents(

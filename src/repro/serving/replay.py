@@ -6,9 +6,15 @@ some of the stream is adversarial to caches. :class:`TrafficReplayer`
 replays such workloads — built from the marketplace's own query set
 (:mod:`repro.data.queries`) and scenario structure
 (:mod:`repro.data.scenarios`) — against anything exposing
-``search_topics(query, k)``: a single
-:class:`~repro.core.serving.ShoalService` or a
-:class:`~repro.serving.router.ClusterRouter`.
+``search_topics(query, k)``: a gateway-API backend
+(:class:`~repro.api.backends.ShoalBackend` — the preferred target,
+including :class:`~repro.api.http.ShoalClient` for a remote gateway),
+a raw :class:`~repro.core.serving.ShoalService`, or a
+:class:`~repro.serving.router.ClusterRouter`. A string target is
+treated as a backend URI and resolved through
+:func:`repro.api.open_backend` (``snapshot:DIR`` / ``cluster:DIR`` /
+``http://host:port``), so one replayer drives every tier, local or
+remote.
 
 Workload profiles:
 
@@ -211,14 +217,22 @@ class TrafficReplayer:
     """Replays a workload against a serving target.
 
     ``target`` is anything with ``search_topics(query, k)`` — a
-    :class:`ShoalService` or a :class:`ClusterRouter`. ``concurrency``
-    drives the target from a thread pool (wall-clock QPS is measured
-    either way; per-request latency always is).
+    gateway-API backend, a :class:`ShoalService`, or a
+    :class:`ClusterRouter` — or a backend URI string (``snapshot:DIR``,
+    ``cluster:DIR``, ``http://host:port``) resolved through
+    :func:`repro.api.open_backend`. ``concurrency`` drives the target
+    from a thread pool (wall-clock QPS is measured either way;
+    per-request latency always is).
     """
 
     def __init__(self, target, *, k: int = 5, concurrency: int = 1):
         if concurrency < 1:
             raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        if isinstance(target, str):
+            # Imported lazily: repro.api adapters import this package.
+            from repro.api import open_backend
+
+            target = open_backend(target)
         self._target = target
         self._k = k
         self._concurrency = concurrency

@@ -34,14 +34,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
+from repro.api.cache import CacheStats, LRUCache as _LRUCache
 from repro.core.correlation import CorrelationGraph
 from repro.core.pipeline import ShoalModel
 from repro.core.serving import (
-    CacheStats,
     CategoryHit,
     ShoalService,
     TopicHit,
-    _LRUCache,
 )
 from repro.core.taxonomy import Topic
 from repro.serving.sharding import (

@@ -1,0 +1,34 @@
+"""Shared fixtures for the gateway-API suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ServiceBackend
+
+
+@pytest.fixture(scope="session")
+def tiny_categories(tiny_marketplace):
+    return {
+        e.entity_id: e.category_id
+        for e in tiny_marketplace.catalog.entities
+    }
+
+
+@pytest.fixture(scope="session")
+def tiny_backend(tiny_model, tiny_categories) -> ServiceBackend:
+    """A ServiceBackend over the session's tiny model."""
+    return ServiceBackend.from_model(
+        tiny_model, entity_categories=tiny_categories
+    )
+
+
+@pytest.fixture(scope="session")
+def scenario_queries(tiny_marketplace):
+    """A handful of real scenario queries from the tiny marketplace."""
+    texts = [
+        q.text
+        for q in tiny_marketplace.query_log.queries
+        if q.intent_kind == "scenario"
+    ]
+    return sorted(set(texts))[:8]

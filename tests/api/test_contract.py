@@ -1,0 +1,291 @@
+"""Contract codecs: round-trip identity and error-code mapping.
+
+The wire format is load-bearing: the HTTP edge and the in-process
+client both run every payload through ``to_dict``/``from_dict``, so
+``from_dict(to_dict(x)) == x`` must hold *exactly* (floats included)
+for answers to stay byte-identical across transports. Hypothesis
+drives the round-trips; the error tests pin each invalid payload to
+its stable :class:`ApiError` code.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    ApiError,
+    BatchRequest,
+    BatchResponse,
+    ERROR_CODES,
+    MAX_BATCH_QUERIES,
+    MAX_K,
+    MAX_QUERY_CHARS,
+    RecommendRequest,
+    RecommendResponse,
+    SCHEMA_VERSION,
+    SearchRequest,
+    SearchResponse,
+    request_from_dict,
+)
+from repro.core.serving import TopicHit
+
+# -- strategies --------------------------------------------------------------
+
+queries = st.text(min_size=1, max_size=40).filter(lambda s: s.strip())
+ks = st.integers(min_value=1, max_value=MAX_K)
+timeouts = st.one_of(
+    st.none(), st.floats(min_value=0.001, max_value=1e6, allow_nan=False)
+)
+scores = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+topic_hits = st.builds(
+    TopicHit,
+    topic_id=st.integers(min_value=0, max_value=10**9),
+    score=scores,
+    label=st.text(max_size=30),
+    n_entities=st.integers(min_value=0, max_value=10**6),
+    n_categories=st.integers(min_value=0, max_value=10**4),
+)
+
+search_requests = st.builds(
+    SearchRequest, query=queries, k=ks, timeout_ms=timeouts
+)
+recommend_requests = st.builds(
+    RecommendRequest, query=queries, k=ks, timeout_ms=timeouts
+)
+batch_requests = st.builds(
+    BatchRequest,
+    queries=st.lists(queries, min_size=1, max_size=8).map(tuple),
+    k=ks,
+    kind=st.sampled_from(["search", "recommend"]),
+    timeout_ms=timeouts,
+)
+search_responses = st.builds(
+    SearchResponse, hits=st.lists(topic_hits, max_size=6).map(tuple)
+)
+recommend_responses = st.builds(
+    RecommendResponse,
+    entity_ids=st.lists(
+        st.integers(min_value=0, max_value=10**9), max_size=10
+    ).map(tuple),
+)
+
+
+def batch_responses():
+    def build(kind):
+        if kind == "search":
+            rows = st.lists(st.lists(topic_hits, max_size=4).map(tuple),
+                            max_size=4).map(tuple)
+        else:
+            rows = st.lists(
+                st.lists(
+                    st.integers(min_value=0, max_value=10**9), max_size=6
+                ).map(tuple),
+                max_size=4,
+            ).map(tuple)
+        return st.builds(BatchResponse, kind=st.just(kind), results=rows)
+
+    return st.sampled_from(["search", "recommend"]).flatmap(build)
+
+
+# -- round-trips -------------------------------------------------------------
+
+
+class TestRoundTrips:
+    """from_dict(to_dict(x)) == x — including through real JSON text."""
+
+    @settings(max_examples=150)
+    @given(search_requests)
+    def test_search_request(self, req):
+        assert SearchRequest.from_dict(req.to_dict()) == req
+        assert (
+            SearchRequest.from_dict(json.loads(json.dumps(req.to_dict())))
+            == req
+        )
+
+    @settings(max_examples=150)
+    @given(recommend_requests)
+    def test_recommend_request(self, req):
+        assert RecommendRequest.from_dict(req.to_dict()) == req
+
+    @settings(max_examples=150)
+    @given(batch_requests)
+    def test_batch_request(self, req):
+        assert BatchRequest.from_dict(req.to_dict()) == req
+        assert (
+            BatchRequest.from_dict(json.loads(json.dumps(req.to_dict())))
+            == req
+        )
+
+    @settings(max_examples=150)
+    @given(search_responses)
+    def test_search_response(self, resp):
+        assert SearchResponse.from_dict(resp.to_dict()) == resp
+        # Float scores must survive actual JSON text, not just dicts.
+        assert (
+            SearchResponse.from_dict(json.loads(json.dumps(resp.to_dict())))
+            == resp
+        )
+
+    @settings(max_examples=150)
+    @given(recommend_responses)
+    def test_recommend_response(self, resp):
+        assert RecommendResponse.from_dict(resp.to_dict()) == resp
+
+    @settings(max_examples=150)
+    @given(batch_responses())
+    def test_batch_response(self, resp):
+        assert BatchResponse.from_dict(resp.to_dict()) == resp
+        assert (
+            BatchResponse.from_dict(json.loads(json.dumps(resp.to_dict())))
+            == resp
+        )
+
+
+# -- invalid payloads → stable error codes -----------------------------------
+
+
+def _code_of(call) -> str:
+    with pytest.raises(ApiError) as excinfo:
+        call()
+    return excinfo.value.code
+
+
+class TestErrorCodes:
+    def test_missing_query_is_bad_request(self):
+        assert _code_of(lambda: SearchRequest.from_dict({"k": 3})) == (
+            "bad_request"
+        )
+
+    def test_non_string_query_is_bad_request(self):
+        payload = {"query": 42}
+        assert _code_of(lambda: SearchRequest.from_dict(payload)) == (
+            "bad_request"
+        )
+
+    def test_empty_query_is_invalid_argument(self):
+        payload = {"query": "   "}
+        assert _code_of(lambda: SearchRequest.from_dict(payload)) == (
+            "invalid_argument"
+        )
+
+    def test_overlong_query_is_invalid_argument(self):
+        payload = {"query": "x" * (MAX_QUERY_CHARS + 1)}
+        assert _code_of(lambda: SearchRequest.from_dict(payload)) == (
+            "invalid_argument"
+        )
+
+    @pytest.mark.parametrize("k", [0, -1, MAX_K + 1])
+    def test_out_of_bounds_k_is_invalid_argument(self, k):
+        payload = {"query": "beach", "k": k}
+        assert _code_of(lambda: SearchRequest.from_dict(payload)) == (
+            "invalid_argument"
+        )
+
+    @pytest.mark.parametrize("k", ["5", 2.5, True, None])
+    def test_non_integer_k_is_bad_request(self, k):
+        payload = {"query": "beach", "k": k}
+        assert _code_of(lambda: SearchRequest.from_dict(payload)) == (
+            "bad_request"
+        )
+
+    def test_unknown_field_is_bad_request(self):
+        payload = {"query": "beach", "limit": 5}
+        assert _code_of(lambda: SearchRequest.from_dict(payload)) == (
+            "bad_request"
+        )
+
+    def test_wrong_version_is_unsupported_version(self):
+        payload = {"query": "beach", "version": SCHEMA_VERSION + 1}
+        assert _code_of(lambda: SearchRequest.from_dict(payload)) == (
+            "unsupported_version"
+        )
+
+    def test_non_integer_version_is_bad_request(self):
+        payload = {"query": "beach", "version": "1"}
+        assert _code_of(lambda: SearchRequest.from_dict(payload)) == (
+            "bad_request"
+        )
+
+    def test_negative_timeout_is_invalid_argument(self):
+        payload = {"query": "beach", "timeout_ms": -5}
+        assert _code_of(lambda: SearchRequest.from_dict(payload)) == (
+            "invalid_argument"
+        )
+
+    def test_empty_batch_is_invalid_argument(self):
+        payload = {"queries": []}
+        assert _code_of(lambda: BatchRequest.from_dict(payload)) == (
+            "invalid_argument"
+        )
+
+    def test_oversize_batch_is_invalid_argument(self):
+        payload = {"queries": ["q"] * (MAX_BATCH_QUERIES + 1)}
+        assert _code_of(lambda: BatchRequest.from_dict(payload)) == (
+            "invalid_argument"
+        )
+
+    def test_batch_with_bad_kind_is_invalid_argument(self):
+        payload = {"queries": ["q"], "kind": "delete"}
+        assert _code_of(lambda: BatchRequest.from_dict(payload)) == (
+            "invalid_argument"
+        )
+
+    def test_batch_queries_not_a_list_is_bad_request(self):
+        payload = {"queries": "beach"}
+        assert _code_of(lambda: BatchRequest.from_dict(payload)) == (
+            "bad_request"
+        )
+
+    def test_batch_blank_member_is_invalid_argument(self):
+        payload = {"queries": ["ok", ""]}
+        assert _code_of(lambda: BatchRequest.from_dict(payload)) == (
+            "invalid_argument"
+        )
+
+    def test_unknown_endpoint_is_not_found(self):
+        assert _code_of(
+            lambda: request_from_dict("delete", {"query": "x"})
+        ) == "not_found"
+
+    def test_non_object_payload_is_bad_request(self):
+        assert _code_of(lambda: SearchRequest.from_dict([1, 2])) == (
+            "bad_request"
+        )
+
+    def test_malformed_response_hits_is_bad_request(self):
+        assert _code_of(
+            lambda: SearchResponse.from_dict({"hits": "nope"})
+        ) == "bad_request"
+
+    def test_malformed_topic_hit_is_bad_request(self):
+        assert _code_of(
+            lambda: SearchResponse.from_dict(
+                {"hits": [{"topic_id": "NaN-ish"}]}
+            )
+        ) == "bad_request"
+
+
+class TestApiErrorType:
+    def test_every_code_has_an_http_status(self):
+        for code, status in ERROR_CODES.items():
+            assert 400 <= ApiError(code, "m").http_status == status < 600
+
+    def test_unknown_code_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            ApiError("teapot", "I'm one")
+
+    def test_error_round_trip(self):
+        err = ApiError("rate_limited", "slow down")
+        parsed = ApiError.from_dict(err.to_dict())
+        assert (parsed.code, parsed.message) == ("rate_limited", "slow down")
+
+    def test_foreign_error_code_degrades_to_backend_error(self):
+        parsed = ApiError.from_dict(
+            {"error": {"code": "mystery", "message": "?"}}
+        )
+        assert parsed.code == "backend_error"

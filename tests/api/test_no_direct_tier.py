@@ -1,0 +1,74 @@
+"""Grep-enforced acceptance: frontends never construct read tiers.
+
+``examples/``, ``cli.py``, ``serving/replay.py``, and ``benchmarks/``
+must go through the :mod:`repro.api` adapters — no ``ShoalService(...)``
+or ``ClusterRouter(...)`` construction (including the ``from_*``
+factory classmethods) outside ``src/repro/api``. Engine *access*
+through an adapter (``backend.service`` / ``backend.router``) is fine;
+standing up a tier is not.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Direct-tier construction: the class name immediately called or used
+#: through a factory classmethod.
+FORBIDDEN = re.compile(
+    r"\b(ShoalService|ClusterRouter)\s*(\(|\.from_\w+\s*\()"
+)
+
+FRONTEND_PATHS = [
+    "examples",
+    "benchmarks",
+    "src/repro/cli.py",
+    "src/repro/serving/replay.py",
+]
+
+
+def _frontend_files():
+    for entry in FRONTEND_PATHS:
+        path = REPO_ROOT / entry
+        if path.is_file():
+            yield path
+        else:
+            yield from sorted(path.rglob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "path", list(_frontend_files()), ids=lambda p: str(p.relative_to(REPO_ROOT))
+)
+def test_frontend_has_no_direct_tier_construction(path):
+    offending = []
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if FORBIDDEN.search(line):
+            offending.append(f"{path.name}:{lineno}: {line.strip()}")
+    assert not offending, (
+        "direct read-tier construction outside repro/api adapters "
+        "(use ServiceBackend/ClusterBackend/open_backend):\n"
+        + "\n".join(offending)
+    )
+
+
+def test_the_guard_itself_still_bites():
+    """The regex must keep matching the patterns it exists to ban."""
+    for snippet in (
+        "service = ShoalService(model)",
+        "svc = ShoalService.from_snapshot(d)",
+        "router = ClusterRouter(shard_set, n_replicas=2)",
+        "router = ClusterRouter.from_model(model, 4)",
+        "warm = ClusterRouter.from_snapshot(tmp)",
+    ):
+        assert FORBIDDEN.search(snippet), snippet
+    for snippet in (
+        "backend = ServiceBackend.from_model(model)",
+        "engine = backend.service",
+        "router = backend.router",
+        "from repro.core.serving import ShoalService",
+    ):
+        assert not FORBIDDEN.search(snippet), snippet

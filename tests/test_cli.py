@@ -199,6 +199,32 @@ class TestClusterCommands:
             ])
             assert rc == 0
 
+    def test_replay_backend_uri_cluster(self, cluster_dir, capsys):
+        rc = main([
+            "replay", "--profile", "tiny", "--backend",
+            f"cluster:{cluster_dir}", "--requests", "100",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "backend:" in out
+        assert "qps" in out
+
+    def test_replay_backend_world_mismatch_rejected(self, cluster_dir, capsys):
+        """--backend must enforce the same world check as --cluster-dir."""
+        with pytest.raises(SystemExit, match="--profile tiny"):
+            main([
+                "replay", "--profile", "small", "--backend",
+                f"cluster:{cluster_dir}", "--requests", "50",
+            ])
+
+    def test_replay_backend_excludes_cluster_dir(self, cluster_dir, capsys):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main([
+                "replay", "--profile", "tiny", "--backend",
+                f"cluster:{cluster_dir}", "--cluster-dir", str(cluster_dir),
+                "--requests", "50",
+            ])
+
     def test_cluster_dir_world_mismatch_rejected(self, cluster_dir, capsys):
         with pytest.raises(SystemExit, match="--profile tiny"):
             main([
