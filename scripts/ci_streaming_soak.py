@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""CI soak gate for the streaming write path.
+
+Replays mixed read+write traffic against a running
+``serve-http --ingest-wal`` gateway for a fixed duration and fails if
+
+* any read or write dies with a 5xx-class :class:`ApiError`
+  (``backend_error`` / ``unavailable`` / ``ingest_unavailable``) —
+  load-shed 429s (``ingest_overloaded`` / ``rate_limited``) are
+  expected behaviour and tracked, not fatal;
+* any admitted event is lost: the updater's ``applied_seq`` scraped
+  from ``GET /metrics`` must reach the last sequence number the client
+  was acknowledged (zero lost events);
+* fewer than ``--min-generations`` generation hot-swaps completed, or
+  any swap failed its health check.
+
+Usage::
+
+    python scripts/ci_streaming_soak.py --url http://127.0.0.1:8472 \
+        --profile small --seed 0 --duration 60 --write-every 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import ApiError, ShoalClient  # noqa: E402
+from repro.data.marketplace import PROFILES, generate_marketplace  # noqa: E402
+from repro.serving import WorkloadConfig, build_workload  # noqa: E402
+from repro.serving.replay import build_write_workload  # noqa: E402
+
+FATAL_READ_CODES = {"backend_error", "unavailable", "deadline_exceeded"}
+FATAL_WRITE_CODES = {"backend_error", "unavailable", "ingest_unavailable"}
+
+
+def wait_healthy(client: ShoalClient, timeout_s: float) -> None:
+    deadline = time.monotonic() + timeout_s
+    last: Exception = RuntimeError("never polled")
+    while time.monotonic() < deadline:
+        try:
+            if client.health().get("status") == "ok":
+                return
+            last = RuntimeError(f"unhealthy: {client.health()}")
+        except ApiError as exc:
+            last = exc
+        time.sleep(0.25)
+    raise SystemExit(f"gateway never became healthy: {last}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", required=True)
+    parser.add_argument("--profile", default="small")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--duration", type=float, default=60.0)
+    parser.add_argument(
+        "--write-every", type=int, default=4,
+        help="one write per this many reads",
+    )
+    parser.add_argument("--min-generations", type=int, default=1)
+    parser.add_argument(
+        "--settle-timeout", type=float, default=120.0,
+        help="how long to wait post-soak for the updater to drain",
+    )
+    args = parser.parse_args(argv)
+
+    market = generate_marketplace(
+        PROFILES[args.profile].with_seed(args.seed)
+    )
+    reads = build_workload(
+        market.query_log.queries,
+        market.scenarios,
+        WorkloadConfig(n_requests=20_000, profile="bursty", seed=args.seed),
+    )
+    last_day = market.query_log.days()[-1]
+    writes = build_write_workload(
+        market.query_log, 5_000, day=last_day + 1, seed=args.seed
+    )
+
+    client = ShoalClient(args.url, timeout=30.0)
+    wait_healthy(client, timeout_s=60.0)
+
+    deadline = time.monotonic() + args.duration
+    n_reads = n_writes = n_shed = 0
+    fatal: list = []
+    last_acked_seq = 0
+    i = 0
+    while time.monotonic() < deadline:
+        query = reads[i % len(reads)]
+        try:
+            client.search_topics(query, 5)
+            n_reads += 1
+        except ApiError as exc:
+            if exc.code in FATAL_READ_CODES:
+                fatal.append(("read", exc.code, str(exc)))
+                break
+        if i % args.write_every == 0:
+            event = writes[(i // args.write_every) % len(writes)]
+            try:
+                ack = client.ingest(event)
+                last_acked_seq = max(last_acked_seq, ack["last_seq"])
+                n_writes += 1
+            except ApiError as exc:
+                if exc.code in FATAL_WRITE_CODES:
+                    fatal.append(("write", exc.code, str(exc)))
+                    break
+                n_shed += 1
+        i += 1
+
+    print(
+        f"soak done: {n_reads} reads, {n_writes} writes "
+        f"({n_shed} shed), last acked seq {last_acked_seq}"
+    )
+    if fatal:
+        print(f"FATAL errors during the soak: {fatal[:5]}")
+        return 1
+
+    # Post-soak settle: the updater must apply every acked event and
+    # have completed at least the minimum number of generation swaps.
+    settle_deadline = time.monotonic() + args.settle_timeout
+    metrics = {}
+    while time.monotonic() < settle_deadline:
+        metrics = client.metrics()
+        updater = metrics.get("updater", {})
+        if (
+            updater.get("applied_seq", 0) >= last_acked_seq
+            and updater.get("generations", 0) >= args.min_generations
+        ):
+            break
+        time.sleep(1.0)
+
+    updater = metrics.get("updater", {})
+    ingest = metrics.get("ingest", {})
+    print(
+        f"updater: applied_seq={updater.get('applied_seq')} "
+        f"generations={updater.get('generations')} "
+        f"swap_failures={updater.get('swap_failures')} "
+        f"duplicates={updater.get('events_duplicate')}; "
+        f"ingest: accepted={ingest.get('accepted')} "
+        f"shed={ingest.get('shed')}"
+    )
+
+    failures = []
+    if updater.get("applied_seq", 0) < last_acked_seq:
+        failures.append(
+            f"lost events: applied_seq {updater.get('applied_seq')} < "
+            f"last acked seq {last_acked_seq}"
+        )
+    if updater.get("events_duplicate", 0) > 0:
+        failures.append(
+            f"double-applied events: {updater.get('events_duplicate')}"
+        )
+    if updater.get("generations", 0) < args.min_generations:
+        failures.append(
+            f"only {updater.get('generations', 0)} generation swap(s) "
+            f"completed (need >= {args.min_generations})"
+        )
+    if updater.get("swap_failures", 0) > 0:
+        failures.append(
+            f"{updater.get('swap_failures')} generation swap(s) failed "
+            "health checks"
+        )
+    if n_writes == 0:
+        failures.append("no write was ever admitted")
+
+    if failures:
+        for f in failures:
+            print(f"GATE FAILED: {f}")
+        return 1
+    print("streaming soak gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

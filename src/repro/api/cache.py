@@ -11,6 +11,14 @@ and the :class:`CacheStats` counters are defined exactly once.
 ``max_size == 0`` disables caching entirely (every get misses, every
 put is a no-op) — useful for cold-path benchmarking.
 
+``ttl_seconds`` bounds entry *age*: an entry older than the TTL is
+treated as a miss, dropped on access, and counted in
+``CacheStats.expirations``. TTL is what lets a result cache drain
+naturally after a generation hot-swap instead of requiring a full
+invalidation — stale answers age out on their own. ``clock`` is
+injectable (monotonic seconds) so tests can drive time
+deterministically.
+
 All operations take the internal lock: the serving tier is hammered
 from thread pools, and an unlocked ``get`` races ``clear``/eviction on
 the underlying ``OrderedDict`` (``move_to_end`` of a key another thread
@@ -21,9 +29,10 @@ silently lose updates.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable, Optional, Tuple
 
 __all__ = ["CacheStats", "LRUCache", "MISS"]
 
@@ -41,6 +50,7 @@ class CacheStats:
     size: int
     max_size: int
     invalidations: int
+    expirations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -48,10 +58,13 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
     def summary(self) -> str:
+        expired = (
+            f", {self.expirations} expired" if self.expirations else ""
+        )
         return (
             f"cache: {self.hits} hits / {self.misses} misses "
             f"(rate={self.hit_rate:.2%}), {self.size}/{self.max_size} "
-            f"entries, {self.invalidations} invalidations"
+            f"entries, {self.invalidations} invalidations{expired}"
         )
 
     def to_dict(self) -> dict:
@@ -61,24 +74,44 @@ class CacheStats:
             "size": self.size,
             "max_size": self.max_size,
             "invalidations": self.invalidations,
+            "expirations": self.expirations,
             "hit_rate": self.hit_rate,
         }
 
 
 class LRUCache:
-    """Bounded, thread-safe LRU map with hit/miss counters."""
+    """Bounded, thread-safe LRU map with hit/miss counters.
+
+    ``ttl_seconds=None`` (the default) keeps entries until eviction or
+    :meth:`clear`; a positive TTL expires entries by age on access.
+    """
 
     _MISS = MISS  # class-level alias kept for legacy call sites
 
-    def __init__(self, max_size: int):
+    def __init__(
+        self,
+        max_size: int,
+        *,
+        ttl_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
         if max_size < 0:
             raise ValueError(f"cache size must be >= 0, got {max_size}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(
+                f"ttl_seconds must be > 0 or None, got {ttl_seconds}"
+            )
         self.max_size = max_size
+        self.ttl_seconds = ttl_seconds
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.expirations = 0
+        self._clock = clock
         self._lock = threading.Lock()
-        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        # Values are (value, stored_at); stored_at is only consulted
+        # when a TTL is configured.
+        self._data: "OrderedDict[Hashable, Tuple[Any, float]]" = OrderedDict()
 
     def __len__(self) -> int:
         with self._lock:
@@ -86,8 +119,17 @@ class LRUCache:
 
     def get(self, key: Hashable) -> Any:
         with self._lock:
-            value = self._data.get(key, MISS)
-            if value is MISS:
+            entry = self._data.get(key, MISS)
+            if entry is MISS:
+                self.misses += 1
+                return MISS
+            value, stored_at = entry
+            if (
+                self.ttl_seconds is not None
+                and self._clock() - stored_at > self.ttl_seconds
+            ):
+                del self._data[key]
+                self.expirations += 1
                 self.misses += 1
                 return MISS
             self._data.move_to_end(key)
@@ -98,10 +140,30 @@ class LRUCache:
         if self.max_size == 0:
             return
         with self._lock:
-            self._data[key] = value
+            self._data[key] = (value, self._clock())
             self._data.move_to_end(key)
             while len(self._data) > self.max_size:
                 self._data.popitem(last=False)
+
+    def purge_expired(self) -> int:
+        """Proactively drop every expired entry; returns how many.
+
+        ``get`` already expires lazily; this is for operational sweeps
+        (metrics endpoints reporting true live size) and tests.
+        """
+        if self.ttl_seconds is None:
+            return 0
+        with self._lock:
+            now = self._clock()
+            dead = [
+                k
+                for k, (_, stored_at) in self._data.items()
+                if now - stored_at > self.ttl_seconds
+            ]
+            for k in dead:
+                del self._data[k]
+            self.expirations += len(dead)
+            return len(dead)
 
     def clear(self) -> None:
         with self._lock:
@@ -116,4 +178,5 @@ class LRUCache:
                 size=len(self._data),
                 max_size=self.max_size,
                 invalidations=self.invalidations,
+                expirations=self.expirations,
             )

@@ -59,6 +59,9 @@ ERROR_CODES: Dict[str, int] = {
     "deadline_exceeded": 504,
     "backend_error": 500,      # the tier behind the gateway failed
     "unavailable": 502,        # transport could not reach the backend
+    # Write-path (streaming ingest) backpressure — see repro.streaming:
+    "ingest_overloaded": 429,  # bounded ingest queue is full (load shed)
+    "ingest_unavailable": 503, # ingest pipe closed / not enabled
 }
 
 

@@ -10,8 +10,15 @@ the in-process backend:
 * ``POST /v1/search``     — :class:`SearchRequest` → :class:`SearchResponse`
 * ``POST /v1/recommend``  — :class:`RecommendRequest` → :class:`RecommendResponse`
 * ``POST /v1/batch``      — :class:`BatchRequest` → :class:`BatchResponse`
+* ``POST /v1/ingest``     — write path: one event or ``{"events": [...]}``
+  into the attached :class:`~repro.streaming.ingest.IngestPipe`
+  (``404 not_found`` when ingest is not enabled; backpressure surfaces
+  as ``429 ingest_overloaded`` / ``503 ingest_unavailable``)
 * ``GET  /v1/health``     — liveness + backend identity
 * ``GET  /v1/stats``      — cache/latency/error counters
+* ``GET  /metrics``       — one JSON scrape point: gateway stats,
+  cache stats, ingest-pipe and updater progress (also at
+  ``/v1/metrics``)
 
 Errors are :class:`ApiError` payloads with the contract's stable codes
 and status mapping (400/404/429/504/500).
@@ -69,6 +76,10 @@ class _GatewayHandler(BaseHTTPRequestHandler):
     # Set by ShoalHttpServer on the handler subclass it builds.
     backend: ShoalBackend = None  # type: ignore[assignment]
     quiet: bool = True
+    #: Optional write path (repro.streaming.IngestPipe) and updater,
+    #: surfaced through POST /v1/ingest and GET /metrics.
+    ingest_pipe = None
+    updater = None
 
     def log_message(self, fmt: str, *args) -> None:  # noqa: A003
         if not self.quiet:
@@ -139,6 +150,9 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                 self._endpoint()  # prefer not_found for unknown paths
                 raise body_error
             endpoint = self._endpoint()
+            if endpoint == "ingest":
+                self._send(200, self._handle_ingest(payload))
+                return
             request = request_from_dict(endpoint, payload)
             if isinstance(request, SearchRequest):
                 response = self.backend.search(request)
@@ -153,6 +167,61 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             pass
         except Exception as exc:  # never leak a traceback onto the wire
             self._send_error(ApiError("backend_error", str(exc)))
+
+    def _handle_ingest(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Admit one event or a small batch into the ingest pipe.
+
+        The whole batch is validated *before* any event is admitted, so
+        a malformed payload can never leave a prefix of the batch
+        durably applied behind a 400 — retries of a rejected-for-shape
+        batch are safe. Mid-batch backpressure can still split a batch
+        (durability is per event by design); the ``ingest_overloaded``
+        error then reports how many events were already admitted so
+        the client can resubmit only the tail.
+        """
+        if self.ingest_pipe is None:
+            raise ApiError(
+                "not_found", "ingest is not enabled on this server"
+            )
+        from repro.streaming.ingest import validate_event_payload
+
+        events = payload.get("events")
+        if events is None:
+            events = [payload]  # single bare event object
+        if isinstance(events, (str, bytes)) or not isinstance(events, list):
+            raise ApiError("bad_request", "'events' must be an array")
+        if not events:
+            raise ApiError("invalid_argument", "no events to ingest")
+        for event in events:  # shape-check everything before admitting
+            validate_event_payload(event)
+        last_seq = 0
+        accepted = 0
+        for event in events:
+            try:
+                admitted = self.ingest_pipe.submit(event)
+            except ApiError as exc:
+                if accepted:
+                    raise ApiError(
+                        exc.code,
+                        f"{exc.message} (the first {accepted} event(s) of "
+                        f"this batch were admitted, last_seq={last_seq}; "
+                        "resubmit only the rest)",
+                    )
+                raise
+            accepted += 1
+            last_seq = admitted.seq
+        return {"accepted": accepted, "last_seq": last_seq}
+
+    def _metrics(self) -> Dict[str, Any]:
+        """The one scrape point: read-path stats + write-path progress."""
+        out: Dict[str, Any] = {
+            "backend": self.backend.stats(),
+        }
+        if self.ingest_pipe is not None:
+            out["ingest"] = self.ingest_pipe.stats()
+        if self.updater is not None:
+            out["updater"] = self.updater.stats_dict()
+        return out
 
     def _drain_unexpected_body(self) -> None:
         """Consume a body a GET should not have (keep-alive hygiene)."""
@@ -169,11 +238,17 @@ class _GatewayHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802
         self._drain_unexpected_body()
         try:
+            bare_path = self.path.split("?", 1)[0].rstrip("/")
+            if bare_path == "/metrics":
+                self._send(200, self._metrics())
+                return
             endpoint = self._endpoint()
             if endpoint == "health":
                 self._send(200, self.backend.health())
             elif endpoint == "stats":
                 self._send(200, self.backend.stats())
+            elif endpoint == "metrics":
+                self._send(200, self._metrics())
             else:
                 raise ApiError("not_found", f"no such path: {self.path}")
         except ApiError as err:
@@ -201,12 +276,21 @@ class ShoalHttpServer:
         port: int = 8080,
         *,
         quiet: bool = True,
+        ingest_pipe=None,
+        updater=None,
     ):
         self._backend = backend
+        self._ingest_pipe = ingest_pipe
+        self._updater = updater
         handler = type(
             "_BoundGatewayHandler",
             (_GatewayHandler,),
-            {"backend": backend, "quiet": quiet},
+            {
+                "backend": backend,
+                "quiet": quiet,
+                "ingest_pipe": ingest_pipe,
+                "updater": updater,
+            },
         )
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
@@ -215,6 +299,11 @@ class ShoalHttpServer:
     @property
     def backend(self) -> ShoalBackend:
         return self._backend
+
+    @property
+    def ingest_pipe(self):
+        """The attached write path (None when ingest is disabled)."""
+        return self._ingest_pipe
 
     @property
     def host(self) -> str:
@@ -245,11 +334,15 @@ class ShoalHttpServer:
         self._httpd.serve_forever()
 
     def shutdown(self) -> None:
+        if self._ingest_pipe is not None:
+            self._ingest_pipe.close()  # refuse writes before the edge dies
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        if self._updater is not None:
+            self._updater.stop(drain=False)
         self._backend.close()
 
     def __enter__(self) -> "ShoalHttpServer":
@@ -389,6 +482,57 @@ class ShoalClient(ShoalBackend):
             )
         return response
 
+    # -- write path ----------------------------------------------------------
+
+    def ingest(self, event: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit one query event to the gateway's write path.
+
+        Returns ``{"accepted": 1, "last_seq": N}``; raises
+        :class:`ApiError` with the write path's stable codes
+        (``ingest_overloaded`` under load shed, ``ingest_unavailable``
+        when the pipe is closed, ``not_found`` when the server has no
+        ingest enabled).
+        """
+        if self._base_url is not None:
+            return self._http("POST", "ingest", dict(event))
+        inner_ingest = getattr(self._inner, "ingest", None)
+        if inner_ingest is None:
+            raise ApiError(
+                "not_found", "ingest is not enabled on this backend"
+            )
+        return inner_ingest(event)
+
+    def ingest_batch(self, events: list) -> Dict[str, Any]:
+        """Submit several events in one round trip.
+
+        Both transports share the server's batch semantics: an empty
+        batch is ``invalid_argument``, and a mid-batch failure reports
+        how many leading events were already admitted (durably), so
+        retry-the-tail logic is transport-independent.
+        """
+        events = list(events)
+        if self._base_url is not None:
+            return self._http("POST", "ingest", {"events": events})
+        if not events:
+            raise ApiError("invalid_argument", "no events to ingest")
+        out = {"accepted": 0, "last_seq": 0}
+        for event in events:
+            try:
+                result = self.ingest(event)
+            except ApiError as exc:
+                if out["accepted"]:
+                    raise ApiError(
+                        exc.code,
+                        f"{exc.message} (the first {out['accepted']} "
+                        f"event(s) of this batch were admitted, "
+                        f"last_seq={out['last_seq']}; resubmit only the "
+                        "rest)",
+                    )
+                raise
+            out["accepted"] += result.get("accepted", 1)
+            out["last_seq"] = result.get("last_seq", out["last_seq"])
+        return out
+
     # -- operational surface -------------------------------------------------
 
     def health(self) -> Dict[str, Any]:
@@ -400,6 +544,12 @@ class ShoalClient(ShoalBackend):
         if self._base_url is not None:
             return self._http("GET", "stats", None)
         return self._inner.stats()
+
+    def metrics(self) -> Dict[str, Any]:
+        """The gateway's one-stop JSON scrape point (GET /metrics)."""
+        if self._base_url is not None:
+            return self._http("GET", "metrics", None)
+        return {"backend": self._inner.stats()}
 
     def close(self) -> None:
         if self._inner is not None:

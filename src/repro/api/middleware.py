@@ -71,13 +71,31 @@ class Middleware:
 
 
 class CacheMiddleware(Middleware):
-    """Gateway-level result cache over the shared locked LRU module."""
+    """Gateway-level result cache over the shared locked LRU module.
 
-    def __init__(self, max_size: int = 4096):
-        self._cache = LRUCache(max_size)
+    ``ttl_seconds`` ages entries out (see :class:`~repro.api.cache.LRUCache`)
+    so the gateway cache drains naturally after a generation hot-swap
+    instead of requiring a full invalidation; ``clock`` is injectable
+    for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        max_size: int = 4096,
+        *,
+        ttl_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._cache = LRUCache(max_size, ttl_seconds=ttl_seconds, clock=clock)
+        # Epoch-stamped keys make invalidation race-proof: a request
+        # that computed its response against the pre-invalidation
+        # backend finishes its put under the OLD epoch, where no new
+        # lookup can ever find it — the same stale-put defence the
+        # serving engine's version-stamped state keys provide.
+        self._epoch = 0
 
     def handle(self, request: Request, call_next: Handler) -> Response:
-        key = request.cache_key()
+        key = (self._epoch, request.cache_key())
         cached = self._cache.get(key)
         if cached is not MISS:
             return cached
@@ -86,6 +104,7 @@ class CacheMiddleware(Middleware):
         return response
 
     def invalidate(self) -> None:
+        self._epoch += 1
         self._cache.clear()
 
     def cache_stats(self) -> CacheStats:
@@ -269,6 +288,7 @@ class MetricsMiddleware(Middleware):
 def default_middlewares(
     *,
     cache_size: int = 4096,
+    cache_ttl_s: Optional[float] = None,
     rate_limit: Optional[float] = None,
     burst: Optional[int] = None,
     deadline_ms: Optional[float] = None,
@@ -280,7 +300,7 @@ def default_middlewares(
     if deadline_ms is not None:
         stack.append(DeadlineMiddleware(deadline_ms))
     if cache_size > 0:
-        stack.append(CacheMiddleware(cache_size))
+        stack.append(CacheMiddleware(cache_size, ttl_seconds=cache_ttl_s))
     return stack
 
 

@@ -23,7 +23,19 @@ system would be driven:
   workload (steady/bursty/drifting/adversarial) against the single
   service, the sharded cluster, both, or any ``--backend`` URI
   (``snapshot:DIR`` / ``cluster:DIR`` / ``http://host:port``),
-  reporting QPS and p50/p95/p99 latencies.
+  reporting QPS and p50/p95/p99 latencies;
+* ``python -m repro.cli ingest`` — run the streaming write path end to
+  end offline: fit a base window, stream the remaining days' events
+  through the WAL-backed ingest pipe, micro-batch them into model
+  generations, and hot-swap each generation into a live read tier with
+  health checks (``repro.streaming``).
+
+``serve-http --ingest-wal DIR`` additionally opens the **live** write
+path: ``POST /v1/ingest`` admits query events into a durable WAL, a
+background micro-batch updater slides the model window, and every new
+generation is hot-swapped into the serving backend with zero read
+downtime. ``GET /metrics`` exposes gateway, ingest, and updater
+counters as one JSON scrape point.
 
 All serving paths go through the typed gateway API in
 :mod:`repro.api`; this module never constructs a concrete read tier
@@ -423,6 +435,85 @@ def _cmd_abtest(args) -> int:
     return 0 if report.relative_uplift > 0 else 1
 
 
+def _build_ingest_side(args, backend):
+    """(pipe, updater) for ``serve-http --ingest-wal`` (None,None without).
+
+    Seeds the updater's sliding-window store by regenerating the query
+    log the snapshot was fitted on (profile/seed come from the snapshot
+    manifest), warm-starts an :class:`IncrementalShoal` from the loaded
+    model, replays any retained WAL from a previous run, and wires a
+    :class:`GenerationSwitch` over the serving backend so every new
+    generation hot-swaps in with probe-query health checks.
+    """
+    if not args.ingest_wal:
+        return None, None
+    if not args.load:
+        raise SystemExit(
+            "--ingest-wal requires --load DIR: the updater warm-starts "
+            "from the model snapshot (cluster snapshots only carry the "
+            "sharded halves)"
+        )
+    from repro.core.incremental import IncrementalShoal
+    from repro.store.persistence import load_entity_categories, read_manifest
+    from repro.streaming import (
+        Generation,
+        GenerationSwitch,
+        IngestPipe,
+        StreamingUpdater,
+        WriteAheadLog,
+    )
+
+    meta = read_manifest(args.load).get("metadata", {})
+    profile, seed = meta.get("profile"), meta.get("seed")
+    if profile is None or seed is None:
+        raise SystemExit(
+            "--ingest-wal needs a snapshot written by 'fit --save' (its "
+            "manifest records the --profile/--seed that regenerate the "
+            "base query log)"
+        )
+    market = generate_marketplace(PROFILES[profile].with_seed(seed))
+    model = backend.service.model
+    cats = load_entity_categories(args.load) or _entity_categories(market)
+    inc = IncrementalShoal.from_model(model, entity_categories=cats)
+
+    probes = [
+        q.text
+        for q in market.query_log.queries
+        if q.intent_kind == "scenario"
+    ][:4]
+    # The snapshot model is the rollback baseline: a first generation
+    # failing its health check restores the tier to what it serves now.
+    baseline = Generation(
+        number=0,
+        model=model,
+        entity_categories=cats,
+        last_day=market.query_log.days()[-1],
+    )
+    switch = GenerationSwitch(
+        probe_queries=probes, baseline=baseline
+    ).attach(backend, name="http-backend")
+    wal = WriteAheadLog(args.ingest_wal, fsync=args.ingest_fsync)
+    pipe = IngestPipe(
+        wal,
+        max_queue=args.ingest_queue,
+        overflow=args.ingest_overflow,
+    )
+    updater = StreamingUpdater(
+        inc,
+        pipe,
+        switch=switch,
+        generations_dir=args.generations,
+        batch_max_events=args.ingest_batch_events,
+        batch_max_age_s=args.ingest_batch_age_s,
+        min_batch_events=args.ingest_batch_events // 4 or 1,
+    )
+    updater.seed_log(market.query_log)
+    recovered = updater.recover()
+    if recovered:
+        print(f"recovered {recovered} events from the WAL at {args.ingest_wal}")
+    return pipe, updater
+
+
 def _cmd_serve_http(args) -> int:
     from repro.api import Gateway, ShoalHttpServer, default_middlewares
 
@@ -448,14 +539,30 @@ def _cmd_serve_http(args) -> int:
         backend,
         default_middlewares(
             cache_size=args.cache_size,
+            cache_ttl_s=args.cache_ttl_s,
             rate_limit=args.rate_limit,
             deadline_ms=args.deadline_ms,
         ),
     )
-    server = ShoalHttpServer(gateway, args.host, args.port, quiet=args.quiet)
+    pipe, updater = _build_ingest_side(args, backend)
+    if updater is not None:
+        # The gateway's result cache must drop on each hot-swap too.
+        updater.switch.attach(gateway)
+        updater.start()
+    server = ShoalHttpServer(
+        gateway,
+        args.host,
+        args.port,
+        quiet=args.quiet,
+        ingest_pipe=pipe,
+        updater=updater,
+    )
+    write_side = (
+        " /v1/ingest, GET /metrics;" if pipe is not None else ""
+    )
     print(
         f"serving {backend.kind} backend on {server.url} "
-        f"(POST /v1/search /v1/recommend /v1/batch, "
+        f"(POST /v1/search /v1/recommend /v1/batch{write_side} "
         f"GET /v1/health /v1/stats; Ctrl-C to stop)",
         flush=True,
     )
@@ -466,6 +573,135 @@ def _cmd_serve_http(args) -> int:
     finally:
         server.shutdown()
     return 0
+
+
+def _cmd_ingest(args) -> int:
+    """The offline end-to-end of the streaming write path."""
+    import dataclasses as _dc
+
+    from repro.core.incremental import IncrementalShoal
+    from repro.streaming import (
+        Generation,
+        GenerationSwitch,
+        IngestPipe,
+        StreamingUpdater,
+        WriteAheadLog,
+    )
+
+    _check_load_flags(args)
+    if args.load:
+        raise SystemExit(
+            "ingest fits its own base window from the generated log; "
+            "--load is not supported here (use serve-http --ingest-wal "
+            "to stream into a loaded snapshot)"
+        )
+    if args.queue_size < args.batch_events:
+        raise SystemExit(
+            f"--queue-size {args.queue_size} must be >= --batch-events "
+            f"{args.batch_events}: the submit loop only drains once per "
+            "batch, so a smaller queue is guaranteed to overflow"
+        )
+    base_profile = PROFILES[args.profile].with_seed(args.seed)
+    window = ShoalConfig().window_days
+    total_days = window + args.live_days
+    market = generate_marketplace(
+        _dc.replace(
+            base_profile,
+            query_log=_dc.replace(
+                base_profile.query_log, n_days=total_days
+            ),
+        )
+    )
+    titles = {e.entity_id: e.title for e in market.catalog.entities}
+    query_texts = {q.query_id: q.text for q in market.query_log.queries}
+    cats = _entity_categories(market)
+
+    config = ShoalConfig()
+    if args.alpha is not None:
+        config = config.with_alpha(args.alpha)
+    inc = IncrementalShoal(config, titles, query_texts, cats)
+    base_last_day = window - 1
+    update = inc.advance(market.query_log, last_day=base_last_day)
+    print(f"base {update.summary()}")
+
+    backend = inc.backend()
+    probes = [
+        q.text
+        for q in market.query_log.queries
+        if q.intent_kind == "scenario"
+    ][:4]
+    baseline = Generation(
+        number=0,
+        model=update.model,
+        entity_categories=cats,
+        last_day=base_last_day,
+    )
+    switch = GenerationSwitch(
+        probe_queries=probes, baseline=baseline
+    ).attach(backend, name="read-tier")
+    wal = WriteAheadLog(args.wal, fsync=args.fsync)
+    pipe = IngestPipe(wal, max_queue=args.queue_size)
+    updater = StreamingUpdater(
+        inc,
+        pipe,
+        switch=switch,
+        generations_dir=args.generations,
+        batch_max_events=args.batch_events,
+        batch_max_age_s=0.0,
+        min_batch_events=1,
+    )
+    updater.seed_log(market.query_log.window(0, base_last_day))
+    recovered = updater.recover()
+    if recovered:
+        print(f"recovered {recovered} events from a previous WAL")
+
+    live = [
+        e for e in market.query_log.events if e.day > base_last_day
+    ]
+    print(
+        f"streaming {len(live)} live events from days "
+        f"{base_last_day + 1}..{total_days - 1} through {args.wal} ..."
+    )
+    from repro.api import ApiError
+
+    submitted = 0
+    for e in live:
+        payload = {
+            "day": e.day,
+            "user_id": e.user_id,
+            "query_id": e.query_id,
+            "clicked": list(e.clicked_entity_ids),
+        }
+        try:
+            pipe.submit(payload)
+        except ApiError as exc:
+            if exc.code != "ingest_overloaded":
+                raise
+            # Backpressure from our own queue: drain a batch, retry.
+            updater.run_once(timeout_s=0.0)
+            pipe.submit(payload)
+        submitted += 1
+        if submitted % args.batch_events == 0:
+            generation = updater.run_once(timeout_s=0.0)
+            if generation is not None:
+                print(f"  {generation.summary()}")
+    while pipe.queue_depth():
+        generation = updater.run_once(timeout_s=0.0)
+        if generation is not None:
+            print(f"  {generation.summary()}")
+    final = updater.force_generation()
+    if final is not None:
+        print(f"  {final.summary()}")
+
+    stats = updater.stats()
+    print(
+        f"ingested {stats.events_applied} events -> "
+        f"{stats.generations} generations "
+        f"({stats.swap_failures} swap failures); {wal.stats()['segments']} "
+        f"WAL segments retained"
+    )
+    print(switch.stats())
+    return 0 if stats.swap_failures == 0 and stats.generations > 0 else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -545,6 +781,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="gateway result-cache entries (0 disables)",
     )
     p_http.add_argument(
+        "--cache-ttl-s", type=float, default=None,
+        help="gateway result-cache TTL in seconds (default: no expiry)",
+    )
+    p_http.add_argument(
+        "--ingest-wal", default=None, metavar="DIR",
+        help="enable the write path: durable WAL directory for "
+             "POST /v1/ingest (requires --load)",
+    )
+    p_http.add_argument(
+        "--ingest-queue", type=int, default=4096,
+        help="bounded ingest-queue capacity before backpressure",
+    )
+    p_http.add_argument(
+        "--ingest-overflow", default="shed",
+        choices=["shed", "block", "drop_oldest"],
+        help="what a full ingest queue does to new events",
+    )
+    p_http.add_argument(
+        "--ingest-fsync", default="batch",
+        choices=["always", "batch", "never"],
+        help="WAL fsync policy (batch = once per micro-batch)",
+    )
+    p_http.add_argument(
+        "--ingest-batch-events", type=int, default=64,
+        help="micro-batch size the updater drains per cycle",
+    )
+    p_http.add_argument(
+        "--ingest-batch-age-s", type=float, default=2.0,
+        help="oldest a queued event may get before a partial batch runs",
+    )
+    p_http.add_argument(
+        "--generations", default=None, metavar="DIR",
+        help="persist each model generation as a versioned snapshot here",
+    )
+    p_http.add_argument(
         "--rate-limit", type=float, default=None, metavar="QPS",
         help="token-bucket admission rate (default: unlimited)",
     )
@@ -557,6 +828,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress per-request access logging",
     )
     p_http.set_defaults(func=_cmd_serve_http)
+
+    p_ingest = sub.add_parser(
+        "ingest",
+        help="stream live query events through the WAL-backed write path",
+    )
+    _add_common(p_ingest)
+    p_ingest.add_argument(
+        "--wal", required=True, metavar="DIR",
+        help="write-ahead log directory (created if missing)",
+    )
+    p_ingest.add_argument(
+        "--live-days", type=int, default=2,
+        help="days of traffic to stream in after the base window",
+    )
+    p_ingest.add_argument(
+        "--batch-events", type=int, default=256,
+        help="micro-batch size per generation",
+    )
+    p_ingest.add_argument(
+        "--queue-size", type=int, default=8192,
+        help="bounded ingest-queue capacity",
+    )
+    p_ingest.add_argument(
+        "--fsync", default="batch", choices=["always", "batch", "never"],
+        help="WAL fsync policy",
+    )
+    p_ingest.add_argument(
+        "--generations", default=None, metavar="DIR",
+        help="persist each model generation as a versioned snapshot here",
+    )
+    p_ingest.set_defaults(func=_cmd_ingest)
 
     p_replay = sub.add_parser(
         "replay", help="replay a traffic workload against service/cluster"

@@ -94,10 +94,42 @@ class IncrementalShoal:
         self._backend = None  # Optional[repro.api.backends.ServiceBackend]
         self._cluster = None  # Optional[repro.serving.router.ClusterRouter]
 
+    @classmethod
+    def from_model(
+        cls,
+        model: ShoalModel,
+        entity_categories: Optional[Dict[int, int]] = None,
+        retrain_every: int = 7,
+    ) -> "IncrementalShoal":
+        """Warm-start maintenance from an already-fitted model.
+
+        The streaming updater uses this to resume sliding-window
+        maintenance over a snapshot a serving process loaded from disk:
+        the model's titles, query texts, and embeddings seed the
+        maintainer, so the first :meth:`advance` reuses warm embeddings
+        exactly as if this process had fitted the model itself.
+        """
+        inc = cls(
+            model.config,
+            model.titles,
+            model.query_texts,
+            entity_categories,
+            retrain_every=retrain_every,
+        )
+        inc._last_model = model
+        inc._embeddings = model.embeddings
+        inc._fits_since_retrain = 1
+        return inc
+
     @property
     def model(self) -> Optional[ShoalModel]:
         """The most recent fitted model (None before the first advance)."""
         return self._last_model
+
+    @property
+    def entity_categories(self) -> Dict[int, int]:
+        """The authoritative entity → category map the maintainer holds."""
+        return dict(self._categories)
 
     def service(self) -> ShoalService:
         """A persistent serving engine over the latest model.

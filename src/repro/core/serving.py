@@ -15,8 +15,8 @@ per day":
 
 1. **Precomputed indexes** — per-topic description token sets, the
    inverted token→topic index, the category→topic index, per-topic
-   subtree sets, and the entity→category map are all built once in
-   :meth:`ShoalService._install_model`, never per request.
+   subtree sets, and the entity→category map are all built once per
+   model into an immutable :class:`_ServiceState`, never per request.
 2. **Candidate pruning** — :meth:`search_topics` scores only the BM25
    posting-list candidates; :meth:`related_topics` scores only topics
    sharing at least one description token or category with the centre
@@ -27,15 +27,25 @@ per day":
    cache with hit/miss accounting (:meth:`cache_stats`) and explicit
    invalidation (:meth:`invalidate_cache`). Sliding-window updates
    invalidate it via :meth:`refresh`, which
-   :class:`~repro.core.incremental.IncrementalShoal` calls on every
-   window advance.
+   :class:`~repro.core.incremental.IncrementalShoal` and the streaming
+   :class:`~repro.streaming.rollout.GenerationSwitch` call on every
+   model rollout.
 4. **Batch APIs** — :meth:`search_topics_batch` and
    :meth:`recommend_batch` amortise tokenisation and share cache
    lookups across a request batch.
+
+**Hot swap.** Every per-model structure lives in one
+:class:`_ServiceState` object and every request reads
+``self._state`` exactly once, so :meth:`refresh` builds the next
+window's indexes *off to the side* and publishes them with a single
+reference assignment — a concurrent reader sees either the old state
+or the new one in full, never a half-installed mix, and the serving
+process never stops answering during a rollout.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -114,6 +124,112 @@ def build_topic_documents(
     return docs, token_sets
 
 
+#: Monotonic id source for _ServiceState.version (see below).
+_STATE_VERSIONS = itertools.count(1)
+
+
+class _ServiceState:
+    """Every per-model serving structure, built once and then immutable.
+
+    One instance is published per installed model; requests read the
+    service's state reference once and work against that snapshot for
+    their whole lifetime, which is what makes :meth:`ShoalService.refresh`
+    a zero-downtime swap.
+
+    ``version`` is a process-unique id mixed into every cache key, so a
+    request that computed its answer against the *old* state can never
+    poison the cache after a refresh cleared it — its late ``put`` lands
+    under the old version and is unreachable from new lookups.
+    """
+
+    __slots__ = (
+        "version",
+        "model",
+        "topics",
+        "position_of",
+        "topic_tokens",
+        "topic_categories",
+        "index",
+        "positions_with_token",
+        "positions_with_category",
+        "subtree",
+        "entity_categories",
+    )
+
+    def __init__(
+        self,
+        model: ShoalModel,
+        tokenizer: Tokenizer,
+        entity_categories: Optional[Dict[int, int]] = None,
+        collection_stats: Optional[CollectionStats] = None,
+    ):
+        tokenize = tokenizer.tokenize
+        self.version = next(_STATE_VERSIONS)
+        self.model = model
+        self.topics: List[Topic] = model.taxonomy.topics()
+        self.position_of: Dict[int, int] = {
+            t.topic_id: pos for pos, t in enumerate(self.topics)
+        }
+
+        # Retrieval index: one document per topic = its descriptions
+        # (boosted by repetition) plus its entity titles; the
+        # description-token sets feed related_topics, tokenised once
+        # here instead of per call.
+        docs, self.topic_tokens = build_topic_documents(
+            self.topics, model.titles, tokenize
+        )
+        self.topic_categories: List[FrozenSet[int]] = [
+            frozenset(t.category_ids) for t in self.topics
+        ]
+        self.index = (
+            BM25(docs, collection_stats=collection_stats) if docs else None
+        )
+
+        # Inverted indexes for related_topics candidate pruning.
+        self.positions_with_token: Dict[str, List[int]] = {}
+        self.positions_with_category: Dict[int, List[int]] = {}
+        for pos, tokens in enumerate(self.topic_tokens):
+            for tok in tokens:
+                self.positions_with_token.setdefault(tok, []).append(pos)
+        for pos, cats in enumerate(self.topic_categories):
+            for c in cats:
+                self.positions_with_category.setdefault(c, []).append(pos)
+
+        # Subtree sets (topic + all descendants), children before
+        # parents so each parent unions already-complete child sets.
+        self.subtree: Dict[int, FrozenSet[int]] = {}
+        for t in sorted(self.topics, key=lambda t: t.level, reverse=True):
+            ids = {t.topic_id}
+            for c in t.child_ids:
+                ids.update(self.subtree[c])
+            self.subtree[t.topic_id] = frozenset(ids)
+
+        # Entity → category map: authoritative if provided, otherwise
+        # derived — a topic whose category set is a single category
+        # pins all its entities, leaf-most topics winning ties.
+        if entity_categories is not None:
+            self.entity_categories = dict(entity_categories)
+        else:
+            mapping: Dict[int, int] = {}
+            for t in sorted(self.topics, key=lambda t: t.level, reverse=True):
+                if len(t.category_ids) == 1:
+                    c = t.category_ids[0]
+                    for e in t.entity_ids:
+                        mapping.setdefault(e, c)
+            self.entity_categories = mapping
+
+    def with_entity_categories(
+        self, mapping: Dict[int, int]
+    ) -> "_ServiceState":
+        """A sibling state sharing every index, with a new entity map."""
+        twin = object.__new__(_ServiceState)
+        for name in _ServiceState.__slots__:
+            setattr(twin, name, getattr(self, name))
+        twin.version = next(_STATE_VERSIONS)
+        twin.entity_categories = dict(mapping)
+        return twin
+
+
 class ShoalService:
     """Read-only query engine over a fitted :class:`ShoalModel`.
 
@@ -140,7 +256,9 @@ class ShoalService:
     ):
         self._tokenizer = tokenizer or Tokenizer()
         self._cache = _LRUCache(cache_size)
-        self._install_model(model, entity_categories, collection_stats)
+        self._state = _ServiceState(
+            model, self._tokenizer, entity_categories, collection_stats
+        )
 
     @classmethod
     def from_snapshot(
@@ -169,68 +287,7 @@ class ShoalService:
             entity_categories=load_entity_categories(directory),
         )
 
-    # -- index build ---------------------------------------------------------
-
-    def _install_model(
-        self,
-        model: ShoalModel,
-        entity_categories: Optional[Dict[int, int]] = None,
-        collection_stats: Optional[CollectionStats] = None,
-    ) -> None:
-        """Build every serving index for ``model``; called once per model."""
-        tokenize = self._tokenizer.tokenize
-        self._model = model
-        self._topics: List[Topic] = model.taxonomy.topics()
-        self._position_of: Dict[int, int] = {
-            t.topic_id: pos for pos, t in enumerate(self._topics)
-        }
-
-        # Retrieval index: one document per topic = its descriptions
-        # (boosted by repetition) plus its entity titles; the
-        # description-token sets feed related_topics, tokenised once
-        # here instead of per call.
-        docs, self._topic_tokens = build_topic_documents(
-            self._topics, model.titles, tokenize
-        )
-        self._topic_categories: List[FrozenSet[int]] = [
-            frozenset(t.category_ids) for t in self._topics
-        ]
-        self._index = (
-            BM25(docs, collection_stats=collection_stats) if docs else None
-        )
-
-        # Inverted indexes for related_topics candidate pruning.
-        self._positions_with_token: Dict[str, List[int]] = {}
-        self._positions_with_category: Dict[int, List[int]] = {}
-        for pos, tokens in enumerate(self._topic_tokens):
-            for tok in tokens:
-                self._positions_with_token.setdefault(tok, []).append(pos)
-        for pos, cats in enumerate(self._topic_categories):
-            for c in cats:
-                self._positions_with_category.setdefault(c, []).append(pos)
-
-        # Subtree sets (topic + all descendants), children before
-        # parents so each parent unions already-complete child sets.
-        self._subtree: Dict[int, FrozenSet[int]] = {}
-        for t in sorted(self._topics, key=lambda t: t.level, reverse=True):
-            ids = {t.topic_id}
-            for c in t.child_ids:
-                ids.update(self._subtree[c])
-            self._subtree[t.topic_id] = frozenset(ids)
-
-        # Entity → category map: authoritative if provided, otherwise
-        # derived — a topic whose category set is a single category
-        # pins all its entities, leaf-most topics winning ties.
-        if entity_categories is not None:
-            self._entity_categories = dict(entity_categories)
-        else:
-            mapping: Dict[int, int] = {}
-            for t in sorted(self._topics, key=lambda t: t.level, reverse=True):
-                if len(t.category_ids) == 1:
-                    c = t.category_ids[0]
-                    for e in t.entity_ids:
-                        mapping.setdefault(e, c)
-            self._entity_categories = mapping
+    # -- model lifecycle -----------------------------------------------------
 
     def refresh(
         self,
@@ -238,13 +295,19 @@ class ShoalService:
         entity_categories: Optional[Dict[int, int]] = None,
         collection_stats: Optional[CollectionStats] = None,
     ) -> None:
-        """Swap in a freshly fitted model.
+        """Swap in a freshly fitted model with zero read downtime.
 
-        Rebuilds every precomputed index and invalidates the query
-        cache: results computed against the previous window must never
-        be served against the new one.
+        Every precomputed index is rebuilt *off to the side* and then
+        published with one reference assignment — requests in flight
+        keep the state they started with, requests arriving after see
+        the new model, and none ever observe a half-built mix. The
+        query cache is invalidated last: results computed against the
+        previous window must never be served against the new one.
         """
-        self._install_model(model, entity_categories, collection_stats)
+        new_state = _ServiceState(
+            model, self._tokenizer, entity_categories, collection_stats
+        )
+        self._state = new_state
         self._cache.clear()
 
     def update_collection_stats(self, stats: CollectionStats) -> None:
@@ -256,19 +319,20 @@ class ShoalService:
         rebound. The query cache is invalidated — cached scores were
         computed against the old statistics.
         """
-        if self._index is not None:
-            self._index.rebind_collection_stats(stats)
+        index = self._state.index
+        if index is not None:
+            index.rebind_collection_stats(stats)
         self._cache.clear()
 
     def replica(self, cache_size: Optional[int] = None) -> "ShoalService":
         """A serving replica sharing this service's precomputed indexes.
 
         Replicas model the N-processes-per-shard deployment: the
-        immutable index structures (BM25 postings, inverted indexes,
-        subtree sets) are shared read-only, while each replica gets its
-        own query-result cache — exactly like separate processes warm
-        their caches independently. ``cache_size`` defaults to this
-        service's cache capacity.
+        immutable state (BM25 postings, inverted indexes, subtree sets)
+        is shared read-only, while each replica gets its own
+        query-result cache — exactly like separate processes warm their
+        caches independently. ``cache_size`` defaults to this service's
+        cache capacity.
         """
         twin = object.__new__(ShoalService)
         twin.__dict__.update(self.__dict__)
@@ -282,21 +346,23 @@ class ShoalService:
         A query sharing no token with this set cannot match any topic
         here; a cluster router uses this to skip the shard outright.
         """
-        if self._index is None:
+        index = self._state.index
+        if index is None:
             return frozenset()
-        return self._index.indexed_tokens()
+        return index.indexed_tokens()
 
     def collection_stats(self) -> Optional[CollectionStats]:
         """The corpus statistics the BM25 index scores against."""
-        return None if self._index is None else self._index.collection_stats
+        index = self._state.index
+        return None if index is None else index.collection_stats
 
     @property
     def model(self) -> ShoalModel:
-        return self._model
+        return self._state.model
 
     @property
     def taxonomy(self) -> Taxonomy:
-        return self._model.taxonomy
+        return self._state.model.taxonomy
 
     # -- cache lifecycle -----------------------------------------------------
 
@@ -312,7 +378,9 @@ class ShoalService:
 
     def search_topics(self, query: str, k: int = 5) -> List[TopicHit]:
         """Topics relevant to a keyword query, best first."""
-        return self._search_tokens(tuple(self._tokenizer.tokenize(query)), k)
+        return self._search_tokens(
+            self._state, tuple(self._tokenizer.tokenize(query)), k
+        )
 
     def search_tokens(
         self, tokens: Sequence[str], k: int = 5
@@ -322,19 +390,23 @@ class ShoalService:
         The cluster router tokenises a query once and fans the token
         tuple out to candidate shards through this entry point.
         """
-        return self._search_tokens(tuple(tokens), k)
+        return self._search_tokens(self._state, tuple(tokens), k)
 
-    def _search_tokens(self, tokens: Tuple[str, ...], k: int) -> List[TopicHit]:
-        """Cached BM25 search over pre-tokenised query terms."""
-        if self._index is None or not tokens:
+    def _search_tokens(
+        self, state: _ServiceState, tokens: Tuple[str, ...], k: int
+    ) -> List[TopicHit]:
+        """Cached BM25 search over pre-tokenised query terms, against
+        one state snapshot (hot-swap safety: search and any follow-up
+        lookups of the caller run against the same model)."""
+        if state.index is None or not tokens:
             return []
-        key = ("search", tokens, k)
+        key = ("search", state.version, tokens, k)
         cached = self._cache.get(key)
         if cached is not _LRUCache._MISS:
             return list(cached)
         hits = []
-        for doc_idx, score in self._index.top_k(tokens, k):
-            t = self._topics[doc_idx]
+        for doc_idx, score in state.index.top_k(tokens, k):
+            t = state.topics[doc_idx]
             hits.append(
                 TopicHit(
                     topic_id=t.topic_id,
@@ -356,15 +428,22 @@ class ShoalService:
         queries from the cache, so a panel of N widgets issuing the
         same trending queries costs one index probe each.
         """
+        state = self._state
         token_lists = self._tokenizer.tokenize_all(queries)
-        return [self._search_tokens(tuple(toks), k) for toks in token_lists]
+        return [
+            self._search_tokens(state, tuple(toks), k)
+            for toks in token_lists
+        ]
 
     def best_topic(self, query: str) -> Optional[Topic]:
         """The single best-matching topic (None if nothing matches)."""
-        hits = self.search_topics(query, k=1)
+        state = self._state
+        hits = self._search_tokens(
+            state, tuple(self._tokenizer.tokenize(query)), 1
+        )
         if not hits:
             return None
-        return self.taxonomy.topic(hits[0].topic_id)
+        return state.model.taxonomy.topic(hits[0].topic_id)
 
     # -- scenario B: Topic → Sub-topic ------------------------------------------
 
@@ -374,9 +453,10 @@ class ShoalService:
 
     def topic_path(self, topic_id: int) -> List[Topic]:
         """Ancestors from the topic up to its root (inclusive both ends)."""
-        path = [self.taxonomy.topic(topic_id)]
+        taxonomy = self.taxonomy
+        path = [taxonomy.topic(topic_id)]
         while path[-1].parent_id is not None:
-            path.append(self.taxonomy.topic(path[-1].parent_id))
+            path.append(taxonomy.topic(path[-1].parent_id))
         return path
 
     # -- scenario C: Topic → Category → Item -------------------------------------
@@ -393,8 +473,9 @@ class ShoalService:
         Uses the precomputed entity → category map; entities without
         category info never match.
         """
-        topic = self.taxonomy.topic(topic_id)
-        cat_map = self._entity_categories
+        state = self._state
+        topic = state.model.taxonomy.topic(topic_id)
+        cat_map = state.entity_categories
         return [e for e in topic.entity_ids if cat_map.get(e) == category_id]
 
     def set_entity_categories(self, mapping: Dict[int, int]) -> None:
@@ -403,14 +484,14 @@ class ShoalService:
         The pipeline knows the catalog's categories; examples call this
         so scenario C filters exactly. Invalidates the query cache.
         """
-        self._entity_categories = dict(mapping)
+        self._state = self._state.with_entity_categories(mapping)
         self._cache.clear()
 
     # -- scenario D: Category → Category ---------------------------------------
 
     def related_categories(self, category_id: int, k: int = 8) -> List[CategoryHit]:
         """Correlated categories by descending Eq. 5 strength."""
-        graph: CorrelationGraph = self._model.correlations
+        graph: CorrelationGraph = self._state.model.correlations
         return [
             CategoryHit(c, s) for c, s in graph.related_categories(category_id, k)
         ]
@@ -427,39 +508,41 @@ class ShoalService:
         Only candidate topics sharing at least one description token or
         category with the centre are scored (anything else scores 0).
         """
-        center = self.taxonomy.topic(topic_id)
-        key = ("related", topic_id, k)
+        state = self._state
+        taxonomy = state.model.taxonomy
+        center = taxonomy.topic(topic_id)
+        key = ("related", state.version, topic_id, k)
         cached = self._cache.get(key)
         if cached is not _LRUCache._MISS:
             return list(cached)
 
-        center_pos = self._position_of[topic_id]
-        lineage = set(self._subtree[topic_id])
+        center_pos = state.position_of[topic_id]
+        lineage = set(state.subtree[topic_id])
         parent = center.parent_id
         while parent is not None:
             lineage.add(parent)
-            parent = self.taxonomy.topic(parent).parent_id
+            parent = taxonomy.topic(parent).parent_id
 
-        center_cats = self._topic_categories[center_pos]
-        center_tokens = self._topic_tokens[center_pos]
+        center_cats = state.topic_categories[center_pos]
+        center_tokens = state.topic_tokens[center_pos]
         candidates: set = set()
         for tok in center_tokens:
-            candidates.update(self._positions_with_token.get(tok, ()))
+            candidates.update(state.positions_with_token.get(tok, ()))
         for c in center_cats:
-            candidates.update(self._positions_with_category.get(c, ()))
+            candidates.update(state.positions_with_category.get(c, ()))
 
         scored: List[Tuple[Topic, float]] = []
         for pos in candidates:
-            other = self._topics[pos]
+            other = state.topics[pos]
             if other.topic_id in lineage:
                 continue
-            cats = self._topic_categories[pos]
+            cats = state.topic_categories[pos]
             cat_sim = (
                 len(center_cats & cats) / len(center_cats | cats)
                 if center_cats or cats
                 else 0.0
             )
-            tokens = self._topic_tokens[pos]
+            tokens = state.topic_tokens[pos]
             tok_sim = (
                 len(center_tokens & tokens) / len(center_tokens | tokens)
                 if center_tokens or tokens
@@ -480,11 +563,17 @@ class ShoalService:
 
         Find the best topic for the query and return its entities —
         cross-category by construction, which is the behaviour the A/B
-        test credits for the CTR uplift.
+        test credits for the CTR uplift. The search and the topic
+        lookup run against one state snapshot, so a concurrent refresh
+        can never make the winning topic "disappear" mid-request.
         """
-        topic = self.best_topic(query)
-        if topic is None:
+        state = self._state
+        hits = self._search_tokens(
+            state, tuple(self._tokenizer.tokenize(query)), 1
+        )
+        if not hits:
             return []
+        topic = state.model.taxonomy.topic(hits[0].topic_id)
         return topic.entity_ids[:k]
 
     def recommend_batch(
@@ -495,11 +584,14 @@ class ShoalService:
         The batched counterpart of :meth:`recommend_entities_for_query`;
         shares tokenisation and cache lookups across the batch.
         """
+        state = self._state
+        token_lists = self._tokenizer.tokenize_all(queries)
         slates: List[List[int]] = []
-        for hits in self.search_topics_batch(queries, k=1):
+        for toks in token_lists:
+            hits = self._search_tokens(state, tuple(toks), 1)
             if not hits:
                 slates.append([])
             else:
-                topic = self.taxonomy.topic(hits[0].topic_id)
+                topic = state.model.taxonomy.topic(hits[0].topic_id)
                 slates.append(topic.entity_ids[:k])
         return slates

@@ -38,12 +38,14 @@ Workload profiles:
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro._util import ensure_rng
+from repro.api.contract import ApiError
 from repro.core.serving import CacheStats
 from repro.data.queries import Query
 from repro.data.scenarios import Scenario
@@ -55,6 +57,7 @@ __all__ = [
     "ReplayReport",
     "TrafficReplayer",
     "build_workload",
+    "build_write_workload",
     "WORKLOAD_PROFILES",
 ]
 
@@ -168,6 +171,39 @@ def build_workload(
     return out
 
 
+def build_write_workload(
+    query_log,
+    n_events: int,
+    *,
+    day: Optional[int] = None,
+    seed: int = 0,
+) -> List[dict]:
+    """Wire-shaped ingest events sampled from a generated query log.
+
+    Each element is a ``POST /v1/ingest`` payload (``day`` / ``user_id``
+    / ``query_id`` / ``clicked``). Sampling real events keeps the write
+    stream statistically faithful to the read stream — the same Zipf
+    head, the same click structure. ``day`` re-stamps every event (the
+    usual case: replaying history as *today's* live traffic).
+    """
+    rng = ensure_rng(seed)
+    events = query_log.events
+    if not events:
+        raise ValueError("cannot build a write workload from an empty log")
+    out: List[dict] = []
+    for _ in range(n_events):
+        e = events[int(rng.integers(len(events)))]
+        out.append(
+            {
+                "day": int(e.day if day is None else day),
+                "user_id": int(e.user_id),
+                "query_id": int(e.query_id),
+                "clicked": [int(c) for c in e.clicked_entity_ids],
+            }
+        )
+    return out
+
+
 @dataclass(frozen=True)
 class ReplayReport:
     """Outcome of one replay run."""
@@ -178,6 +214,8 @@ class ReplayReport:
     latency: LatencySummary
     cache_before: Optional[CacheStats]
     cache_after: Optional[CacheStats]
+    n_writes: int = 0
+    n_writes_rejected: int = 0
 
     @property
     def qps(self) -> float:
@@ -207,9 +245,19 @@ class ReplayReport:
             if self.cache_before is not None
             else ""
         )
+        writes = (
+            f", {self.n_writes} writes"
+            + (
+                f" ({self.n_writes_rejected} shed)"
+                if self.n_writes_rejected
+                else ""
+            )
+            if self.n_writes
+            else ""
+        )
         return (
             f"[{self.profile}] {self.latency.summary()}, "
-            f"{self.n_empty} empty results{cache}"
+            f"{self.n_empty} empty results{cache}{writes}"
         )
 
 
@@ -225,7 +273,14 @@ class TrafficReplayer:
     per-request latency always is).
     """
 
-    def __init__(self, target, *, k: int = 5, concurrency: int = 1):
+    def __init__(
+        self,
+        target,
+        *,
+        k: int = 5,
+        concurrency: int = 1,
+        ingest_target=None,
+    ):
         if concurrency < 1:
             raise ValueError(f"concurrency must be >= 1, got {concurrency}")
         if isinstance(target, str):
@@ -236,6 +291,7 @@ class TrafficReplayer:
         self._target = target
         self._k = k
         self._concurrency = concurrency
+        self._ingest_target = ingest_target
 
     def _cache_stats(self) -> Optional[CacheStats]:
         probe = getattr(self._target, "cache_stats", None)
@@ -247,13 +303,28 @@ class TrafficReplayer:
         *,
         profile: str = "custom",
         warmup: int = 0,
+        writes: Sequence[dict] = (),
+        write_every: int = 10,
     ) -> ReplayReport:
         """Issue every workload query in order; return the report.
 
         ``warmup`` first replays that many leading requests without
         recording them — the warm-tier measurement every serving bench
         should report (cold-start is a separate, one-off cost).
+
+        ``writes`` turns the replay into **mixed read+write traffic**:
+        every ``write_every``-th read also submits the next write-mode
+        event (cycling through ``writes``) to the target's ingest
+        surface — ``ingest(event)`` on an HTTP
+        :class:`~repro.api.http.ShoalClient`, ``submit(event)`` on a
+        local :class:`~repro.streaming.ingest.IngestPipe` passed as
+        ``ingest_target`` at construction. Shed writes
+        (``ingest_overloaded``) are counted, not raised: backpressure
+        is an expected behaviour of a loaded write path, and the report
+        is where it shows up.
         """
+        if write_every < 1:
+            raise ValueError(f"write_every must be >= 1, got {write_every}")
         target, k = self._target, self._k
         for q in workload[:warmup]:
             target.search_topics(q, k)
@@ -262,19 +333,42 @@ class TrafficReplayer:
         measured = workload[warmup:] if warmup else workload
         cache_before = self._cache_stats()
         n_empty = 0
+        write_counters = {"sent": 0, "rejected": 0}
+        submit = self._ingest_submitter() if writes else None
+        writes_list = list(writes)
+        write_lock = threading.Lock()
 
-        def issue(query: str) -> int:
+        def maybe_write(request_index: int) -> None:
+            if submit is None or request_index % write_every:
+                return
+            with write_lock:
+                event = writes_list[
+                    (request_index // write_every) % len(writes_list)
+                ]
+                write_counters["sent"] += 1
+            try:
+                submit(event)
+            except ApiError as exc:
+                if exc.code not in ("ingest_overloaded", "ingest_unavailable"):
+                    raise
+                with write_lock:
+                    write_counters["rejected"] += 1
+
+        def issue(item) -> int:
+            index, query = item
+            maybe_write(index)
             t0 = time.perf_counter()
             hits = target.search_topics(query, k)
             stats.record(time.perf_counter() - t0)
             return 0 if hits else 1
 
+        indexed = list(enumerate(measured))
         if self._concurrency == 1:
-            for q in measured:
-                n_empty += issue(q)
+            for item in indexed:
+                n_empty += issue(item)
         else:
             with ThreadPoolExecutor(self._concurrency) as pool:
-                n_empty = sum(pool.map(issue, measured))
+                n_empty = sum(pool.map(issue, indexed))
 
         return ReplayReport(
             profile=profile,
@@ -283,4 +377,22 @@ class TrafficReplayer:
             latency=stats.summary(),
             cache_before=cache_before,
             cache_after=self._cache_stats(),
+            n_writes=write_counters["sent"],
+            n_writes_rejected=write_counters["rejected"],
+        )
+
+    def _ingest_submitter(self):
+        """The write-path hook of the current target (or ingest_target)."""
+        candidates = [self._ingest_target, self._target]
+        for obj in candidates:
+            if obj is None:
+                continue
+            for attr in ("ingest", "submit"):
+                fn = getattr(obj, attr, None)
+                if callable(fn):
+                    return fn
+        raise ValueError(
+            "write-mode replay needs a target exposing ingest(event) "
+            "(e.g. ShoalClient) or an ingest_target with submit(event) "
+            "(e.g. IngestPipe)"
         )

@@ -146,6 +146,7 @@ def _sum_cache_stats(stats: Sequence[CacheStats]) -> CacheStats:
         size=sum(s.size for s in stats),
         max_size=sum(s.max_size for s in stats),
         invalidations=sum(s.invalidations for s in stats),
+        expirations=sum(s.expirations for s in stats),
     )
 
 
@@ -596,6 +597,7 @@ class ClusterRouter:
                 max_size=live.max_size,
                 invalidations=live.invalidations
                 + self._retired_invalidations,
+                expirations=live.expirations,
             )
 
     def front_cache_stats(self) -> CacheStats:

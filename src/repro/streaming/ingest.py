@@ -1,0 +1,298 @@
+"""Admission control for the write path: validate, persist, enqueue.
+
+:class:`IngestPipe` sits between clients (the HTTP ``/v1/ingest``
+endpoint, the replayer's write mode, the CLI) and the
+:class:`~repro.streaming.updater.StreamingUpdater`:
+
+1. **Validate** the submitted payload (types and bounds) — failures are
+   :class:`~repro.api.contract.ApiError` with the contract's stable
+   codes, exactly like the read path;
+2. **Admit or reject** against a bounded in-memory queue. Overflow
+   policy ``"shed"`` rejects with ``ingest_overloaded`` (HTTP 429)
+   before any work is done — the load-shedding default; ``"block"``
+   waits up to ``block_timeout_s`` for the updater to catch up (then
+   sheds); ``"drop_oldest"`` admits by evicting the oldest queued
+   event. **Caveat:** an evicted event was already acknowledged and
+   WAL-persisted, but the live updater only consumes the queue — the
+   event stays out of every generation until a restart replays the
+   WAL. That trade (admission over completeness-until-recovery) fits
+   replay and bench workloads; serving deployments should keep
+   ``shed``;
+3. **Persist** the event to the :class:`~repro.streaming.wal.WriteAheadLog`
+   *before* acknowledging — the ack means "durable", not "applied";
+4. **Hand off** in micro-batches: :meth:`take_batch` groups events by
+   count *or* age, whichever threshold trips first, which is what keeps
+   update latency bounded under trickle traffic and throughput high
+   under floods.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Mapping, Tuple
+
+from repro.api.contract import ApiError
+from repro.streaming.wal import IngestEvent, WriteAheadLog
+
+__all__ = ["IngestPipe", "OVERFLOW_POLICIES"]
+
+OVERFLOW_POLICIES = ("shed", "block", "drop_oldest")
+
+#: Validation bounds (mirrors the read contract's defensive limits).
+MAX_CLICKS_PER_EVENT = 256
+MAX_QUERY_TEXT_CHARS = 1024
+
+
+def _check_int(name: str, value: Any, *, minimum: int = 0) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ApiError(
+            "bad_request", f"{name!r} must be an integer, got {value!r}"
+        )
+    if value < minimum:
+        raise ApiError(
+            "invalid_argument", f"{name!r} must be >= {minimum}, got {value}"
+        )
+    return value
+
+
+def validate_event_payload(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validate one wire-shaped ingest event; returns normalised fields.
+
+    Raises :class:`ApiError` (``bad_request`` / ``invalid_argument``)
+    exactly like the read contract, so HTTP clients get the same stable
+    codes on both paths.
+    """
+    if not isinstance(payload, Mapping):
+        raise ApiError(
+            "bad_request",
+            f"ingest event must be a JSON object, got "
+            f"{type(payload).__name__}",
+        )
+    allowed = {"day", "user_id", "query_id", "clicked", "query_text"}
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise ApiError(
+            "bad_request", f"unknown ingest field(s): {', '.join(unknown)}"
+        )
+    for required in ("day", "query_id"):
+        if required not in payload:
+            raise ApiError(
+                "bad_request", f"missing required field {required!r}"
+            )
+    day = _check_int("day", payload["day"])
+    query_id = _check_int("query_id", payload["query_id"])
+    user_id = _check_int("user_id", payload.get("user_id", 0))
+    clicked_raw = payload.get("clicked", [])
+    if isinstance(clicked_raw, (str, bytes)) or not hasattr(
+        clicked_raw, "__iter__"
+    ):
+        raise ApiError(
+            "bad_request", "'clicked' must be an array of entity ids"
+        )
+    clicked: Tuple[int, ...] = tuple(
+        _check_int("clicked[]", e) for e in clicked_raw
+    )
+    if len(clicked) > MAX_CLICKS_PER_EVENT:
+        raise ApiError(
+            "invalid_argument",
+            f"{len(clicked)} clicks exceed the per-event limit of "
+            f"{MAX_CLICKS_PER_EVENT}",
+        )
+    query_text = payload.get("query_text")
+    if query_text is not None:
+        if not isinstance(query_text, str):
+            raise ApiError(
+                "bad_request",
+                f"'query_text' must be a string or null, got "
+                f"{type(query_text).__name__}",
+            )
+        if not query_text.strip():
+            raise ApiError(
+                "invalid_argument", "'query_text' must not be empty"
+            )
+        if len(query_text) > MAX_QUERY_TEXT_CHARS:
+            raise ApiError(
+                "invalid_argument",
+                f"'query_text' is {len(query_text)} characters; the limit "
+                f"is {MAX_QUERY_TEXT_CHARS}",
+            )
+    return {
+        "day": day,
+        "user_id": user_id,
+        "query_id": query_id,
+        "clicked_entity_ids": clicked,
+        "query_text": query_text,
+    }
+
+
+class IngestPipe:
+    """Bounded, WAL-backed admission queue with explicit backpressure."""
+
+    def __init__(
+        self,
+        wal: WriteAheadLog,
+        *,
+        max_queue: int = 4096,
+        overflow: str = "shed",
+        block_timeout_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if overflow not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"overflow must be one of {OVERFLOW_POLICIES}, "
+                f"got {overflow!r}"
+            )
+        if block_timeout_s <= 0:
+            raise ValueError(
+                f"block_timeout_s must be > 0, got {block_timeout_s}"
+            )
+        self._wal = wal
+        self._max_queue = max_queue
+        self._overflow = overflow
+        self._block_timeout_s = block_timeout_s
+        self._clock = clock
+        self._queue: Deque[Tuple[IngestEvent, float]] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self._accepted = 0
+        self._shed = 0
+        self._dropped = 0
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        return self._wal
+
+    # -- the write-path entry point ------------------------------------------
+
+    def submit(self, payload: Mapping[str, Any]) -> IngestEvent:
+        """Validate → admit → persist → enqueue one event.
+
+        Returns the durable :class:`IngestEvent` (with its assigned
+        sequence number). Raises :class:`ApiError`:
+
+        * ``bad_request`` / ``invalid_argument`` — malformed payload;
+        * ``ingest_overloaded`` — queue full under ``shed`` (or
+          ``block`` after the timeout);
+        * ``ingest_unavailable`` — the pipe is closed.
+        """
+        fields = validate_event_payload(payload)
+        with self._not_full:
+            if self._closed:
+                raise ApiError(
+                    "ingest_unavailable", "ingest pipe is closed"
+                )
+            if len(self._queue) >= self._max_queue:
+                if self._overflow == "shed":
+                    self._shed += 1
+                    raise ApiError(
+                        "ingest_overloaded",
+                        f"ingest queue is full ({self._max_queue} events); "
+                        "retry with backoff",
+                    )
+                if self._overflow == "drop_oldest":
+                    self._queue.popleft()
+                    self._dropped += 1
+                else:  # block
+                    deadline = self._clock() + self._block_timeout_s
+                    while len(self._queue) >= self._max_queue:
+                        remaining = deadline - self._clock()
+                        if self._closed:
+                            raise ApiError(
+                                "ingest_unavailable", "ingest pipe is closed"
+                            )
+                        if remaining <= 0 or not self._not_full.wait(
+                            timeout=remaining
+                        ):
+                            if len(self._queue) < self._max_queue:
+                                break
+                            self._shed += 1
+                            raise ApiError(
+                                "ingest_overloaded",
+                                f"ingest queue stayed full for "
+                                f"{self._block_timeout_s:g}s; retry with "
+                                "backoff",
+                            )
+            # Durability before acknowledgement: the WAL record is the
+            # admission receipt.
+            event = self._wal.append(**fields)
+            self._queue.append((event, self._clock()))
+            self._accepted += 1
+            self._not_empty.notify()
+            return event
+
+    # -- the updater-facing side ---------------------------------------------
+
+    def take_batch(
+        self,
+        *,
+        max_events: int = 256,
+        max_age_s: float = 0.5,
+        timeout_s: float = 1.0,
+    ) -> List[IngestEvent]:
+        """One micro-batch: up to ``max_events``, or whatever has queued
+        once the oldest waiting event is ``max_age_s`` old.
+
+        Blocks up to ``timeout_s`` for the *first* event, then at most
+        until the age threshold trips. Returns ``[]`` on timeout or
+        when the pipe is closed and drained. The WAL is fsynced once
+        per returned batch (the "batch" fsync policy hook).
+        """
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        with self._not_empty:
+            if not self._queue:
+                if self._closed:
+                    return []
+                self._not_empty.wait(timeout=timeout_s)
+            if not self._queue:
+                return []
+            # Wait for the batch to fill or the head to come of age.
+            head_enqueued_at = self._queue[0][1]
+            while (
+                len(self._queue) < max_events
+                and not self._closed
+            ):
+                remaining = max_age_s - (self._clock() - head_enqueued_at)
+                if remaining <= 0:
+                    break
+                self._not_empty.wait(timeout=remaining)
+            batch = []
+            while self._queue and len(batch) < max_events:
+                batch.append(self._queue.popleft()[0])
+            self._not_full.notify_all()
+        self._wal.sync()
+        return batch
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def close(self) -> None:
+        """Refuse new submissions; queued events remain drainable."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "accepted": self._accepted,
+                "shed": self._shed,
+                "dropped": self._dropped,
+                "queue_depth": len(self._queue),
+                "max_queue": self._max_queue,
+                "overflow": self._overflow,
+                "closed": self._closed,
+                "wal": self._wal.stats(),
+            }

@@ -1,0 +1,387 @@
+"""The micro-batch updater: WAL events → window slides → generations.
+
+:class:`StreamingUpdater` is the single consumer of an
+:class:`~repro.streaming.ingest.IngestPipe`. Each cycle it
+
+1. takes one micro-batch (bounded by count *and* age),
+2. folds the events into its :class:`~repro.store.querylog.QueryLogStore`
+   (registering live-discovered query strings first) — idempotently,
+   keyed on WAL sequence numbers, so replays never double-apply,
+3. slides the :class:`~repro.core.incremental.IncrementalShoal` window
+   to the newest ingested day, producing a fresh model,
+4. stamps the result as a :class:`~repro.streaming.rollout.Generation`
+   — persisted through the PR-2 snapshot store when ``generations_dir``
+   is set — and hands it to the
+   :class:`~repro.streaming.rollout.GenerationSwitch` for a
+   zero-downtime rollout,
+5. checkpoints applied progress next to the WAL and compacts segments
+   that fell out of the sliding window.
+
+**Crash recovery.** The in-memory store is rebuilt on startup by
+:meth:`recover`: seed the base log (the corpus the serving snapshot was
+fitted on), then replay the retained WAL. Because WAL append happens
+*before* queue handoff and application is keyed by ``seq``, a process
+killed anywhere — mid-batch, mid-advance, before the checkpoint — comes
+back with exactly the admitted events, none lost, none doubled.
+
+Run it synchronously (:meth:`run_once`, used by tests and the CLI) or
+as a daemon thread (:meth:`start` / :meth:`stop`, used by
+``serve-http --ingest-wal``).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Union
+
+from repro.core.incremental import IncrementalShoal
+from repro.data.queries import Query, QueryLog
+from repro.store.querylog import QueryLogStore, QueryLogStoreConfig
+from repro.streaming.ingest import IngestPipe
+from repro.streaming.rollout import Generation, GenerationSwitch, SwapError
+from repro.streaming.wal import IngestEvent, write_checkpoint
+
+__all__ = ["StreamingUpdater", "UpdaterStats"]
+
+
+@dataclass(frozen=True)
+class UpdaterStats:
+    """Point-in-time progress counters of the updater."""
+
+    events_applied: int
+    events_duplicate: int
+    events_skipped: int
+    applied_seq: int
+    generations: int
+    swap_failures: int
+    last_day: Optional[int]
+    running: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "events_applied": self.events_applied,
+            "events_duplicate": self.events_duplicate,
+            "events_skipped": self.events_skipped,
+            "applied_seq": self.applied_seq,
+            "generations": self.generations,
+            "swap_failures": self.swap_failures,
+            "last_day": self.last_day,
+            "running": self.running,
+        }
+
+
+class StreamingUpdater:
+    """Drains the ingest pipe into model generations (one consumer).
+
+    ``inc`` must already hold a fitted model (the *base* generation the
+    read tier is serving); ``min_batch_events`` batches trickle traffic
+    across cycles so a lone event does not trigger a full refit, while
+    ``max_batch_age_s`` bounds how stale the window may get.
+    """
+
+    def __init__(
+        self,
+        inc: IncrementalShoal,
+        pipe: IngestPipe,
+        *,
+        switch: Optional[GenerationSwitch] = None,
+        store: Optional[QueryLogStore] = None,
+        generations_dir: Optional[Union[str, Path]] = None,
+        batch_max_events: int = 256,
+        batch_max_age_s: float = 0.5,
+        min_batch_events: int = 1,
+        max_day_skew: int = 2,
+    ):
+        if inc.model is None:
+            raise ValueError(
+                "the IncrementalShoal must hold a fitted model before "
+                "streaming updates start (advance() or from_model() first)"
+            )
+        if min_batch_events < 1:
+            raise ValueError(
+                f"min_batch_events must be >= 1, got {min_batch_events}"
+            )
+        if max_day_skew < 1:
+            raise ValueError(
+                f"max_day_skew must be >= 1, got {max_day_skew}"
+            )
+        self._inc = inc
+        self._pipe = pipe
+        self._switch = switch
+        window = inc.model.config.window_days
+        self._store = store or QueryLogStore(
+            QueryLogStoreConfig(window_days=window)
+        )
+        self._generations_dir = (
+            None if generations_dir is None else Path(generations_dir)
+        )
+        self._batch_max_events = batch_max_events
+        self._batch_max_age_s = batch_max_age_s
+        self._min_batch_events = min_batch_events
+        self._max_day_skew = max_day_skew
+
+        self._applied_seq = 0
+        self._events_applied = 0
+        self._events_duplicate = 0
+        self._events_skipped = 0
+        self._pending_since_generation = 0
+        self._generation_number = 0
+        self._swap_failures = 0
+        self._last_error: Optional[str] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._state_lock = threading.Lock()
+
+    # -- state seeding / recovery --------------------------------------------
+
+    @property
+    def store(self) -> QueryLogStore:
+        return self._store
+
+    @property
+    def switch(self) -> Optional[GenerationSwitch]:
+        return self._switch
+
+    @property
+    def applied_seq(self) -> int:
+        return self._applied_seq
+
+    @property
+    def current_generation(self) -> int:
+        return self._generation_number
+
+    def seed_log(self, log: QueryLog) -> int:
+        """Load the base query log the serving model was fitted on."""
+        with self._state_lock:
+            return self._store.ingest(log)
+
+    def recover(self) -> int:
+        """Replay the retained WAL into the store (idempotent by seq).
+
+        Returns how many events were newly applied. Call once after
+        :meth:`seed_log`, before :meth:`start` — recovered events count
+        toward the next generation, so a process killed mid-batch picks
+        up exactly where durability left off.
+        """
+        with self._state_lock:
+            return self._apply_events(self._pipe.wal.replay())
+
+    def _apply_events(self, events: Iterable[IngestEvent]) -> int:
+        """Fold events into the window, idempotently and defensively.
+
+        An event the window cannot absorb — an unregistered ``query_id``
+        with no ``query_text`` to register it under, or a ``day`` jump
+        beyond ``max_day_skew`` (a single far-future day would purge
+        the entire retention window) — is **skipped and counted**, not
+        raised: one poison event must never kill its batch, and the
+        WAL replays on every restart, so a raising apply would brick
+        recovery permanently. ``applied_seq`` advances past skipped
+        events so the decision is just as durable as an application.
+        """
+        applied = 0
+        for event in events:
+            if event.seq <= self._applied_seq:
+                self._events_duplicate += 1
+                continue
+            self._applied_seq = event.seq
+            if event.query_text is not None:
+                try:
+                    self._store.register_query(
+                        Query(event.query_id, event.query_text, "live", -1)
+                    )
+                except ValueError:
+                    # Conflicting live redefinition: keep the original
+                    # registration, the event still counts its clicks.
+                    pass
+                self._inc.update_queries({event.query_id: event.query_text})
+            days = self._store.days()
+            if days and event.day > days[-1] + self._max_day_skew:
+                self._events_skipped += 1
+                self._last_error = (
+                    f"skipped event seq={event.seq}: day {event.day} jumps "
+                    f"more than {self._max_day_skew} past the window head "
+                    f"{days[-1]} (would purge the retention window)"
+                )
+                continue
+            try:
+                self._store.append_event(
+                    event.day,
+                    event.user_id,
+                    event.query_id,
+                    event.clicked_entity_ids,
+                )
+            except KeyError:
+                self._events_skipped += 1
+                self._last_error = (
+                    f"skipped event seq={event.seq}: query "
+                    f"{event.query_id} is not registered and the event "
+                    "carried no query_text"
+                )
+                continue
+            self._events_applied += 1
+            self._pending_since_generation += 1
+            applied += 1
+        return applied
+
+    # -- the micro-batch cycle -----------------------------------------------
+
+    def run_once(self, timeout_s: float = 1.0) -> Optional[Generation]:
+        """One cycle: take a batch, apply it, maybe produce a generation.
+
+        Returns the new generation when one was produced (enough events
+        pending), else ``None``. Swap failures are counted and recorded
+        but not raised — the read path keeps serving the previous
+        generation, which is the whole point of the rollback design.
+        """
+        batch = self._pipe.take_batch(
+            max_events=self._batch_max_events,
+            max_age_s=self._batch_max_age_s,
+            timeout_s=timeout_s,
+        )
+        with self._state_lock:
+            self._apply_events(batch)
+            if self._pending_since_generation < self._min_batch_events:
+                return None
+            return self._advance_generation()
+
+    def force_generation(self) -> Optional[Generation]:
+        """Produce a generation from whatever is pending (drain hook)."""
+        with self._state_lock:
+            if self._pending_since_generation == 0:
+                return None
+            return self._advance_generation()
+
+    def _advance_generation(self) -> Generation:
+        """Slide the window over the store and roll the result out."""
+        days = self._store.days()
+        last_day = days[-1] if days else 0
+        update = self._inc.advance(self._store.snapshot(), last_day)
+        self._generation_number += 1
+        generation = Generation(
+            number=self._generation_number,
+            model=update.model,
+            entity_categories=self._inc.entity_categories,
+            applied_seq=self._applied_seq,
+            last_day=last_day,
+        )
+        if self._generations_dir is not None:
+            target = self._generations_dir / f"gen-{generation.number:05d}"
+            update.model.save(
+                target,
+                entity_categories=generation.entity_categories,
+                metadata={
+                    "generation": generation.number,
+                    "applied_seq": generation.applied_seq,
+                    "last_day": generation.last_day,
+                },
+            )
+            generation = Generation(
+                number=generation.number,
+                model=generation.model,
+                entity_categories=generation.entity_categories,
+                applied_seq=generation.applied_seq,
+                last_day=generation.last_day,
+                snapshot_dir=target,
+            )
+        self._pending_since_generation = 0
+        if self._switch is not None:
+            try:
+                self._switch.swap(generation)
+            except SwapError as exc:
+                self._swap_failures += 1
+                self._last_error = str(exc)
+        # Operator-facing progress record, NOT a recovery cursor: the
+        # in-memory store rebuilds from the full retained WAL on every
+        # restart (recover() needs all window events), so the
+        # checkpoint exists to tell an operator — atomically, next to
+        # the log — which WAL seq the last shipped generation covered.
+        write_checkpoint(
+            self._pipe.wal.directory,
+            {
+                "applied_seq": generation.applied_seq,
+                "generation": generation.number,
+                "last_day": generation.last_day,
+            },
+        )
+        # Events older than the new window can never be refit again.
+        self._pipe.wal.compact(update.first_day)
+        return generation
+
+    # -- background operation ------------------------------------------------
+
+    def start(self) -> "StreamingUpdater":
+        """Run the micro-batch loop on a daemon thread; returns self."""
+        if self._thread is not None:
+            raise RuntimeError("updater already started")
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.is_set():
+                try:
+                    self.run_once(timeout_s=0.25)
+                except Exception as exc:  # noqa: BLE001 - keep serving
+                    self._last_error = f"{type(exc).__name__}: {exc}"
+
+        self._thread = threading.Thread(
+            target=loop, name="shoal-streaming-updater", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, *, drain: bool = True, timeout_s: float = 30.0) -> None:
+        """Stop the loop; with ``drain`` apply EVERY still-queued event
+        (they were all acknowledged as durable) and ship one final
+        generation covering them."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
+            self._thread = None
+        if drain:
+            while True:
+                batch = self._pipe.take_batch(
+                    max_events=self._batch_max_events,
+                    max_age_s=0.0,
+                    timeout_s=0.0,
+                )
+                if not batch:
+                    break
+                with self._state_lock:
+                    self._apply_events(batch)
+            self.force_generation()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def last_error(self) -> Optional[str]:
+        return self._last_error
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> UpdaterStats:
+        # Under the state lock: the metrics endpoint scrapes from HTTP
+        # threads while the updater thread mutates the store, and an
+        # unlocked days() iterates the segment dict mid-insert.
+        with self._state_lock:
+            days = self._store.days()
+            return UpdaterStats(
+                events_applied=self._events_applied,
+                events_duplicate=self._events_duplicate,
+                events_skipped=self._events_skipped,
+                applied_seq=self._applied_seq,
+                generations=self._generation_number,
+                swap_failures=self._swap_failures,
+                last_day=days[-1] if days else None,
+                running=self.running,
+            )
+
+    def stats_dict(self) -> Dict[str, Any]:
+        out = self.stats().to_dict()
+        if self._switch is not None:
+            out["switch"] = self._switch.stats()
+        if self._last_error is not None:
+            out["last_error"] = self._last_error
+        return out

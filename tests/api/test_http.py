@@ -238,8 +238,22 @@ class TestHttpOperationalEndpoints:
     def test_get_unknown_path_is_404(self, served):
         server, _, _ = served
         with pytest.raises(urllib.error.HTTPError) as excinfo:
-            urllib.request.urlopen(f"{server.url}/v1/metrics", timeout=10)
+            urllib.request.urlopen(f"{server.url}/v1/no-such-thing", timeout=10)
         assert excinfo.value.code == 404
+
+    def test_metrics_endpoint_scrapes_gateway_stats(self, served):
+        """GET /metrics (and /v1/metrics) return the JSON scrape point."""
+        import json as _json
+
+        server, remote, _ = served
+        for path in ("/metrics", "/v1/metrics"):
+            with urllib.request.urlopen(
+                f"{server.url}{path}", timeout=10
+            ) as resp:
+                payload = _json.loads(resp.read().decode("utf-8"))
+            assert payload["backend"]["backend"] == "gateway"
+            assert "gateway_cache" in payload["backend"]
+        assert remote.metrics()["backend"]["backend"] == "gateway"
 
 
 class TestHttpMiddlewareIntegration:

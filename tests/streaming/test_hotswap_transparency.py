@@ -1,0 +1,191 @@
+"""Read-transparency across a generation hot-swap (acceptance gate).
+
+The property: after the streaming subsystem ingests live events and
+hot-swaps the resulting generation into the serving tiers, every
+answer — search hits and recommendation slates, through the single
+service AND a 4-shard cluster backend — is **byte-identical** to a
+fresh service fitted from scratch on the same cumulative log. And
+*during* the swap, every concurrent answer is byte-identical to either
+the old or the new generation's answer — never an error, never a mix.
+
+The expensive state (base fit, ingest, swap, fresh refit) is built once
+per module; hypothesis then drives queries and k through it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.api import ClusterBackend, ServiceBackend
+from repro.streaming import (
+    GenerationSwitch,
+    IngestPipe,
+    StreamingUpdater,
+    WriteAheadLog,
+)
+
+from tests.streaming.conftest import (
+    BASE_LAST_DAY,
+    event_payload,
+    make_base_inc,
+)
+
+N_LIVE = 250  # live events streamed through the WAL before the swap
+
+
+@pytest.fixture(scope="module")
+def swapped_world(
+    tmp_path_factory, stream_market, stream_inputs, live_events
+):
+    """Streamed-and-swapped tiers plus the fresh-refit reference.
+
+    Returns (single_backend, cluster_backend, fresh_service_backend,
+    query_pool): the first two were hot-swapped to the generation the
+    updater produced from the WAL; the third was fitted cold by a brand
+    new maintainer over the same cumulative log.
+    """
+    tmp_path = tmp_path_factory.mktemp("hotswap")
+    inc = make_base_inc(stream_market, stream_inputs)
+    single = ServiceBackend(inc.service())
+    cluster = ClusterBackend.from_model(
+        inc.model, 4, entity_categories=inc.entity_categories
+    )
+    switch = GenerationSwitch()
+    switch.attach(single, name="single").attach(cluster, name="cluster")
+
+    wal = WriteAheadLog(tmp_path / "wal", fsync="never")
+    pipe = IngestPipe(wal, max_queue=10_000)
+    updater = StreamingUpdater(inc, pipe, switch=switch)
+    updater.seed_log(stream_market.query_log.window(0, BASE_LAST_DAY))
+    applied = live_events[:N_LIVE]
+    for e in applied:
+        pipe.submit(event_payload(e))
+    generation = updater.run_once(timeout_s=0.0)
+    assert generation is not None and generation.applied_seq == N_LIVE
+    assert updater.stats().swap_failures == 0
+
+    # The reference: a brand-new maintainer fitted on the same
+    # cumulative log (base window + the applied live events), no
+    # streaming machinery involved.
+    last_day = max(e.day for e in applied)
+    fresh_inc = make_base_inc(stream_market, stream_inputs)
+    cumulative = _cumulative_log(stream_market.query_log, applied)
+    fresh_inc.advance(cumulative, last_day=last_day)
+    fresh = ServiceBackend(fresh_inc.service())
+
+    pool = sorted({q.text for q in stream_market.query_log.queries})
+    return single, cluster, fresh, pool
+
+
+def _cumulative_log(base_log, live):
+    """base events ∪ the applied live events, as one QueryLog."""
+    from repro.data.queries import QueryLog
+
+    base_events = [e for e in base_log.events if e.day <= BASE_LAST_DAY]
+    return QueryLog(base_log.queries, base_events + list(live))
+
+
+class TestTransparencyAfterSwap:
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data(), k=st.integers(min_value=1, max_value=10))
+    def test_search_byte_identical_single_and_cluster(
+        self, swapped_world, data, k
+    ):
+        single, cluster, fresh, pool = swapped_world
+        query = data.draw(st.sampled_from(pool))
+        want = fresh.search_topics(query, k)
+        assert single.search_topics(query, k) == want
+        assert cluster.search_topics(query, k) == want
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data(), k=st.integers(min_value=1, max_value=12))
+    def test_recommend_byte_identical_single_and_cluster(
+        self, swapped_world, data, k
+    ):
+        single, cluster, fresh, pool = swapped_world
+        query = data.draw(st.sampled_from(pool))
+        want = fresh.recommend_entities_for_query(query, k)
+        assert single.recommend_entities_for_query(query, k) == want
+        assert cluster.recommend_entities_for_query(query, k) == want
+
+    def test_every_pool_query_identical_exhaustively(self, swapped_world):
+        """Belt and braces on top of hypothesis: the whole pool."""
+        single, cluster, fresh, pool = swapped_world
+        for query in pool:
+            want = fresh.search_topics(query, 5)
+            assert single.search_topics(query, 5) == want
+            assert cluster.search_topics(query, 5) == want
+
+
+class TestTransparencyDuringSwap:
+    def test_concurrent_reads_see_old_or_new_never_broken(
+        self, tmp_path, stream_market, stream_inputs, live_events
+    ):
+        """Hammer both tiers from reader threads while the generation
+        swap happens; every recorded answer must equal the old OR the
+        new generation's answer for that query, and no read may fail."""
+        inc = make_base_inc(stream_market, stream_inputs)
+        single = ServiceBackend(inc.service())
+        cluster = ClusterBackend.from_model(
+            inc.model, 4, entity_categories=inc.entity_categories
+        )
+        switch = GenerationSwitch()
+        switch.attach(single).attach(cluster)
+
+        pool = sorted({q.text for q in stream_market.query_log.queries})[:40]
+        old_answers = {q: single.search_topics(q, 5) for q in pool}
+
+        wal = WriteAheadLog(tmp_path / "wal", fsync="never")
+        pipe = IngestPipe(wal, max_queue=10_000)
+        updater = StreamingUpdater(inc, pipe, switch=switch)
+        updater.seed_log(stream_market.query_log.window(0, BASE_LAST_DAY))
+        for e in live_events[:150]:
+            pipe.submit(event_payload(e))
+
+        stop = threading.Event()
+        errors, observations = [], []
+
+        def reader(backend):
+            i = 0
+            while not stop.is_set():
+                q = pool[i % len(pool)]
+                try:
+                    observations.append((q, tuple(backend.search_topics(q, 5))))
+                except Exception as exc:  # noqa: BLE001 - the regression
+                    errors.append(exc)
+                i += 1
+
+        threads = [
+            threading.Thread(target=reader, args=(b,), daemon=True)
+            for b in (single, cluster)
+            for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            generation = updater.run_once(timeout_s=0.0)  # swap happens here
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+
+        assert generation is not None
+        assert not errors, f"reads failed during the swap: {errors[:3]}"
+        new_answers = {q: tuple(single.search_topics(q, 5)) for q in pool}
+        for q, got in observations:
+            assert got == tuple(old_answers[q]) or got == new_answers[q], (
+                f"answer for {q!r} during the swap matches neither the "
+                f"old nor the new generation"
+            )
+        assert len(observations) > 100  # the readers actually overlapped
