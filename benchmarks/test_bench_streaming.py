@@ -30,7 +30,7 @@ import pytest
 
 from repro.core.config import ShoalConfig
 from repro.core.incremental import IncrementalShoal
-from repro.api import Gateway, ServiceBackend
+from repro.api import Gateway, SearchRequest, ServiceBackend
 from repro.data.marketplace import PROFILES, generate_marketplace
 from repro.data.queries import QueryLogConfig
 from repro.serving.replay import build_write_workload
@@ -87,7 +87,7 @@ def _p95(gateway, reads) -> float:
     samples = []
     for q in reads:
         t0 = time.perf_counter()
-        gateway.search_topics(q, 5)
+        gateway.search(SearchRequest(query=q, k=5))
         samples.append(time.perf_counter() - t0)
     samples.sort()
     return samples[int(len(samples) * 0.95)]
@@ -110,7 +110,7 @@ def test_bench_p95_read_latency_under_concurrent_ingest(
     )
     warm = _distinct_read_stream(market, 100, "w")
     for q in warm:  # warm the interpreter paths
-        gateway.search_topics(q, 5)
+        gateway.search(SearchRequest(query=q, k=5))
 
     p95_quiet = _p95(gateway, _distinct_read_stream(market, N_READS, "q"))
 
@@ -179,7 +179,7 @@ def test_bench_generation_swap_zero_failed_reads(
         i = 0
         while not stop.is_set():
             try:
-                gateway.search_topics(pool[i % len(pool)], 5)
+                gateway.search(SearchRequest(query=pool[i % len(pool)], k=5))
                 reads["n"] += 1
             except Exception as exc:  # noqa: BLE001 - the gate
                 errors.append(exc)

@@ -30,7 +30,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.api import ApiError, ShoalClient  # noqa: E402
+from repro.api import ApiError, SearchRequest, ShoalClient  # noqa: E402
 from repro.data.marketplace import PROFILES, generate_marketplace  # noqa: E402
 from repro.serving import WorkloadConfig, build_workload  # noqa: E402
 from repro.serving.replay import build_write_workload  # noqa: E402
@@ -94,7 +94,7 @@ def main(argv=None) -> int:
     while time.monotonic() < deadline:
         query = reads[i % len(reads)]
         try:
-            client.search_topics(query, 5)
+            client.search(SearchRequest(query=query, k=5))
             n_reads += 1
         except ApiError as exc:
             if exc.code in FATAL_READ_CODES:
@@ -124,10 +124,12 @@ def main(argv=None) -> int:
     # Post-soak settle: the updater must apply every acked event and
     # have completed at least the minimum number of generation swaps.
     settle_deadline = time.monotonic() + args.settle_timeout
-    metrics = {}
+    updater: dict = {}
+    ingest: dict = {}
     while time.monotonic() < settle_deadline:
         metrics = client.metrics()
-        updater = metrics.get("updater", {})
+        updater = metrics.updater or {}
+        ingest = metrics.ingest or {}
         if (
             updater.get("applied_seq", 0) >= last_acked_seq
             and updater.get("generations", 0) >= args.min_generations
@@ -135,8 +137,6 @@ def main(argv=None) -> int:
             break
         time.sleep(1.0)
 
-    updater = metrics.get("updater", {})
-    ingest = metrics.get("ingest", {})
     print(
         f"updater: applied_seq={updater.get('applied_seq')} "
         f"generations={updater.get('generations')} "

@@ -1,0 +1,42 @@
+"""The HTAP analytics tier: a queryable SQLite replica of the WAL.
+
+The write path stays untouched — clients keep appending to the
+write-ahead log through the ingest pipe — while this package maintains
+an isolated analytical copy and serves it through the same typed
+gateway contract as every other read surface:
+
+* :mod:`repro.analytics.store` — :class:`AnalyticsStore`, a WAL-mode
+  SQLite file with the raw events table, incrementally maintained
+  per-day / per-topic / per-query rollups, ingest-pipe ops snapshots,
+  and a deterministic reservoir sample;
+* :mod:`repro.analytics.tailer` — :class:`SegmentTailer`, the
+  seq-idempotent WAL consumer that feeds the store and checkpoints its
+  progress in a sidecar next to the database;
+* :mod:`repro.analytics.query` — :class:`QueryEngine`, the guarded
+  read-only SQL surface (single-SELECT allowlist, authorizer, row and
+  time limits, optional sampling) plus canned reports;
+* :mod:`repro.analytics.drift` — :class:`DriftMonitor`, the
+  cross-generation taxonomy-drift gate the streaming updater consults
+  to skip trivially-different rollouts.
+
+Wire shape: ``GET/POST /v1/analytics`` with
+:class:`~repro.api.contract.AnalyticsRequest` /
+:class:`~repro.api.contract.AnalyticsResponse`, stable error codes
+``analytics_bad_sql`` (400), ``analytics_unavailable`` (503), and
+``analytics_timeout`` (504).
+"""
+
+from repro.analytics.drift import DriftMonitor, DriftStats
+from repro.analytics.query import QueryEngine, REPORT_SQL
+from repro.analytics.store import AnalyticsStore
+from repro.analytics.tailer import SegmentTailer, make_topic_resolver
+
+__all__ = [
+    "AnalyticsStore",
+    "DriftMonitor",
+    "DriftStats",
+    "QueryEngine",
+    "REPORT_SQL",
+    "SegmentTailer",
+    "make_topic_resolver",
+]

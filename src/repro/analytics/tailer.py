@@ -1,0 +1,322 @@
+"""The segment tailer: WAL directory → analytics store, exactly once.
+
+:class:`SegmentTailer` is an *isolated* WAL consumer: it reads the
+segment files directly (it never holds the serving side's
+:class:`~repro.streaming.wal.WriteAheadLog` lock), decodes records with
+the same CRC-checked codec, and folds everything newer than the store's
+``applied_seq`` into the :class:`~repro.analytics.store.AnalyticsStore`
+in batched transactions. Sequence numbers make the whole pipeline
+idempotent end to end:
+
+* a segment re-read after a partial apply re-offers old seqs, which the
+  store skips;
+* a segment *compacted away* between polls simply stops appearing —
+  everything in it was already applied (the tailer runs ahead of the
+  updater's compaction by construction, and a fresh store rebuilding
+  from a compacted WAL holds exactly what the WAL retains);
+* a torn or still-being-written final line in the active segment is
+  left for the next poll (only newline-terminated records are decoded).
+
+**Checkpoint sidecar.** After each apply the tailer atomically rewrites
+``<db>.checkpoint.json`` next to the store with its progress
+(``applied_seq``, rows ingested, segments seen). This is an
+operator-facing record — recovery truth is the ``meta.applied_seq`` row
+*inside* the store, committed with each batch; the sidecar exists so an
+operator can inspect tailer progress without opening SQLite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.analytics.store import AnalyticsStore
+from repro.streaming.wal import IngestEvent, WalCorruption, WriteAheadLog
+
+__all__ = ["SegmentTailer", "make_topic_resolver"]
+
+_SEGMENT_GLOB = "wal-*.jsonl"
+
+
+def make_topic_resolver(backend) -> Callable[[IngestEvent], int]:
+    """A memoizing (query → topic) resolver over any typed backend.
+
+    WAL events carry ``query_text`` only when the query was first seen
+    live, so the resolver caches the answer per ``query_id`` on first
+    sighting; events whose query text is never seen roll up under topic
+    ``-1``. One ``k=1`` search per *distinct* live query is the entire
+    read-path cost of topic attribution.
+    """
+    from repro.api.contract import SearchRequest
+
+    cache: Dict[int, int] = {}
+
+    def resolve(event: IngestEvent) -> int:
+        known = cache.get(event.query_id)
+        if known is not None:
+            return known
+        if event.query_text is None:
+            return -1
+        try:
+            response = backend.search(
+                SearchRequest(query=event.query_text, k=1)
+            )
+            topic = response.hits[0].topic_id if response.hits else -1
+        except Exception:  # noqa: BLE001 - attribution must never kill apply
+            topic = -1
+        cache[event.query_id] = topic
+        return topic
+
+    return resolve
+
+
+class SegmentTailer:
+    """Stream WAL segments into an analytics store (resumable, isolated).
+
+    ``wal`` may be a directory path or a live
+    :class:`~repro.streaming.wal.WriteAheadLog` (only its directory is
+    used — reads never take its lock). Drive it synchronously with
+    :meth:`run_once` (tests, the offline CLI) or as a daemon thread via
+    :meth:`start` / :meth:`stop` (``serve-http --analytics-db``).
+    """
+
+    def __init__(
+        self,
+        wal: Union[str, Path, WriteAheadLog],
+        store: AnalyticsStore,
+        *,
+        resolver: Optional[Callable[[IngestEvent], int]] = None,
+        ingest_pipe=None,
+        poll_interval_s: float = 0.2,
+        batch_max_events: int = 1024,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+    ):
+        if batch_max_events < 1:
+            raise ValueError(
+                f"batch_max_events must be >= 1, got {batch_max_events}"
+            )
+        self._wal_dir = (
+            wal.directory if isinstance(wal, WriteAheadLog) else Path(wal)
+        )
+        self._store = store
+        self._resolver = resolver
+        self._pipe = ingest_pipe
+        self._poll_interval_s = poll_interval_s
+        self._batch_max_events = batch_max_events
+        self._checkpoint_path = (
+            Path(checkpoint_path)
+            if checkpoint_path is not None
+            else store.path.with_name(store.path.name + ".checkpoint.json")
+        )
+
+        #: name -> max seq of a *closed* segment fully applied already;
+        #: lets polls skip re-reading cold segments.
+        self._segment_done: Dict[str, int] = {}
+        self._segments_tailed = 0
+        self._runs = 0
+        self._head_seq = store.applied_seq
+        self._last_ops: Optional[tuple] = None
+        self._last_error: Optional[str] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._state_lock = threading.Lock()
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def store(self) -> AnalyticsStore:
+        return self._store
+
+    @property
+    def checkpoint_path(self) -> Path:
+        return self._checkpoint_path
+
+    # -- one poll ------------------------------------------------------------
+
+    def run_once(self) -> int:
+        """Scan the WAL directory once; returns newly applied events."""
+        paths = sorted(self._wal_dir.glob(_SEGMENT_GLOB))
+        applied = 0
+        head = self._store.applied_seq
+        batch: List[IngestEvent] = []
+        #: Closed segments this pass fully read — only marked done once
+        #: every collected event is durably applied (a failed apply must
+        #: not leave a segment marked as consumed).
+        done_candidates: Dict[str, int] = {}
+
+        def flush() -> int:
+            if not batch:
+                return 0
+            n = self._store.apply_batch(batch, resolver=self._resolver)
+            batch.clear()
+            self._segment_done.update(done_candidates)
+            done_candidates.clear()
+            return n
+
+        for i, path in enumerate(paths):
+            last = i == len(paths) - 1
+            done_seq = self._segment_done.get(path.name)
+            if not last and done_seq is not None:
+                head = max(head, done_seq)
+                continue
+            max_seq = self._tail_segment(path, last, batch)
+            if max_seq is not None:
+                head = max(head, max_seq)
+                if not last:
+                    done_candidates[path.name] = max_seq
+            if len(batch) >= self._batch_max_events:
+                applied += flush()
+        applied += flush()
+        self._segment_done.update(done_candidates)
+
+        # Names that vanished were compacted; drop them from the skip
+        # cache so it cannot grow without bound.
+        live = {p.name for p in paths}
+        for name in [n for n in self._segment_done if n not in live]:
+            del self._segment_done[name]
+
+        with self._state_lock:
+            self._head_seq = max(self._head_seq, head)
+            self._segments_tailed = len(paths)
+            self._runs += 1
+        self._record_ops()
+        self._write_checkpoint()
+        return applied
+
+    def _tail_segment(
+        self, path: Path, last: bool, batch: List[IngestEvent]
+    ) -> Optional[int]:
+        """Collect this segment's new events; returns its max seq seen.
+
+        The final line of the final segment is allowed to be incomplete
+        (no trailing newline — a writer is mid-append) or torn (CRC
+        fails with nothing after it — a crash the WAL will truncate on
+        reopen); both are simply left for a later poll. Anywhere else,
+        damage is real corruption and raises.
+        """
+        after = self._store.applied_seq
+        max_seq: Optional[int] = None
+        try:
+            fh = open(path, "rb")
+        except FileNotFoundError:
+            return None  # compacted between glob and open
+        with fh:
+            for raw in fh:
+                if not raw.endswith(b"\n"):
+                    if last and not fh.readline():
+                        break  # mid-append tail; next poll gets it
+                    raise WalCorruption(
+                        f"unterminated record inside {path.name}"
+                    )
+                try:
+                    event = WriteAheadLog._decode_line(raw)
+                except WalCorruption:
+                    if last and not fh.readline():
+                        break  # torn tail; recoverable
+                    raise
+                max_seq = event.seq if max_seq is None else max(
+                    max_seq, event.seq
+                )
+                if event.seq > after:
+                    batch.append(event)
+        return max_seq
+
+    def _record_ops(self) -> None:
+        """Snapshot pipe counters into ops — only when they moved."""
+        if self._pipe is None:
+            return
+        stats = self._pipe.stats()
+        key = (
+            int(stats.get("accepted", 0)),
+            int(stats.get("shed", 0)),
+            int(stats.get("dropped", 0)),
+        )
+        if key == self._last_ops:
+            return
+        self._last_ops = key
+        self._store.record_ops(stats)
+
+    def _write_checkpoint(self) -> None:
+        counts = self._store.counts()
+        with self._state_lock:
+            payload = {
+                "applied_seq": counts["applied_seq"],
+                "rows_ingested": counts["rows_ingested"],
+                "segments_seen": self._segments_tailed,
+                "wal_head_seq": self._head_seq,
+                "wal_dir": str(self._wal_dir),
+            }
+        tmp = self._checkpoint_path.with_name(
+            self._checkpoint_path.name + ".tmp"
+        )
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        os.replace(tmp, self._checkpoint_path)
+
+    def catch_up(self) -> int:
+        """Poll until a pass applies nothing (offline/drain helper)."""
+        total = 0
+        while True:
+            applied = self.run_once()
+            total += applied
+            if applied == 0:
+                return total
+
+    # -- background operation ------------------------------------------------
+
+    def start(self) -> "SegmentTailer":
+        if self._thread is not None:
+            raise RuntimeError("tailer already started")
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.is_set():
+                try:
+                    self.run_once()
+                except Exception as exc:  # noqa: BLE001 - keep tailing
+                    self._last_error = f"{type(exc).__name__}: {exc}"
+                self._stop.wait(self._poll_interval_s)
+
+        self._thread = threading.Thread(
+            target=loop, name="shoal-analytics-tailer", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, *, drain: bool = True, timeout_s: float = 30.0) -> None:
+        """Stop the loop; with ``drain``, apply everything still
+        unread so the store matches the WAL at shutdown."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
+            self._thread = None
+        if drain and not self._store.closed:
+            self.catch_up()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def last_error(self) -> Optional[str]:
+        return self._last_error
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Tailer progress for the metrics scrape (lag vs WAL head)."""
+        counts = self._store.counts()
+        with self._state_lock:
+            head = max(self._head_seq, counts["applied_seq"])
+            return {
+                "segments_tailed": self._segments_tailed,
+                "rows_ingested": counts["rows_ingested"],
+                "events": counts["events"],
+                "applied_seq": counts["applied_seq"],
+                "wal_head_seq": head,
+                "lag": head - counts["applied_seq"],
+                "runs": self._runs,
+                "running": self.running,
+            }

@@ -46,6 +46,9 @@ _EXPORTS = {
     "MAX_K": "repro.api.contract",
     "MAX_QUERY_CHARS": "repro.api.contract",
     "MAX_BATCH_QUERIES": "repro.api.contract",
+    "MAX_ANALYTICS_ROWS": "repro.api.contract",
+    "MAX_SQL_CHARS": "repro.api.contract",
+    "ANALYTICS_REPORTS": "repro.api.contract",
     "ERROR_CODES": "repro.api.contract",
     "ApiError": "repro.api.contract",
     "SearchRequest": "repro.api.contract",
@@ -54,6 +57,9 @@ _EXPORTS = {
     "RecommendResponse": "repro.api.contract",
     "BatchRequest": "repro.api.contract",
     "BatchResponse": "repro.api.contract",
+    "AnalyticsRequest": "repro.api.contract",
+    "AnalyticsResponse": "repro.api.contract",
+    "MetricsResponse": "repro.api.contract",
     "request_from_dict": "repro.api.contract",
     # backends
     "ShoalBackend": "repro.api.backends",
@@ -101,9 +107,12 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     )
     from repro.api.cache import CacheStats, LRUCache  # noqa: F401
     from repro.api.contract import (  # noqa: F401
+        AnalyticsRequest,
+        AnalyticsResponse,
         ApiError,
         BatchRequest,
         BatchResponse,
+        MetricsResponse,
         RecommendRequest,
         RecommendResponse,
         SearchRequest,

@@ -22,19 +22,22 @@ so frontends never construct or dispatch on a concrete tier.
     open_backend("http://10.0.0.7:8080")               # remote gateway
     open_backend("/path/to/either-kind-of-dir")        # sniffed from MANIFEST
 
-**Deprecated thin delegates.** The pre-gateway method names
-(``search_topics``, ``search_topics_batch``,
-``recommend_entities_for_query``, ``recommend_batch``) remain on every
-backend for one release as thin wrappers over the typed contract; new
-code should construct requests and call ``search``/``recommend``/
-``batch`` directly.
+The pre-gateway convenience names (``search_topics``,
+``recommend_entities_for_query``, ...) lived here as deprecated
+delegates for one release and are now gone: frontends construct
+request dataclasses and call ``search`` / ``recommend`` / ``batch``.
+The engine tiers (:class:`~repro.core.serving.ShoalService`,
+:class:`~repro.serving.router.ClusterRouter`) keep their raw method
+quartet — that is the engine surface these adapters wrap, not the
+public API.
 """
 
 from __future__ import annotations
 
 import abc
+import re
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.api.contract import (
     SCHEMA_VERSION,
@@ -46,7 +49,7 @@ from repro.api.contract import (
     SearchRequest,
     SearchResponse,
 )
-from repro.core.serving import ShoalService, TopicHit
+from repro.core.serving import ShoalService
 
 __all__ = [
     "ShoalBackend",
@@ -59,9 +62,9 @@ __all__ = [
 class ShoalBackend(abc.ABC):
     """The one serving contract every read tier is served through.
 
-    Subclasses implement the three typed entry points; the legacy
-    convenience names are provided here as thin deprecated delegates so
-    pre-gateway call sites keep working for one release.
+    Subclasses implement the three typed entry points plus the
+    operational surface (``health`` / ``stats`` / ``close``); nothing
+    else is part of the contract.
     """
 
     #: Stable adapter identifier reported by :meth:`health`/:meth:`stats`.
@@ -103,38 +106,6 @@ class ShoalBackend(abc.ABC):
 
     def __exit__(self, *exc_info) -> None:
         self.close()
-
-    # -- deprecated thin delegates (one release) -----------------------------
-
-    def search_topics(self, query: str, k: int = 5) -> List[TopicHit]:
-        """Deprecated: build a :class:`SearchRequest` and call ``search``."""
-        return list(self.search(SearchRequest(query=query, k=k)).hits)
-
-    def search_topics_batch(
-        self, queries: Sequence[str], k: int = 5
-    ) -> List[List[TopicHit]]:
-        """Deprecated: build a :class:`BatchRequest` and call ``batch``."""
-        response = self.batch(
-            BatchRequest(queries=tuple(queries), k=k, kind="search")
-        )
-        return [list(hits) for hits in response.results]
-
-    def recommend_entities_for_query(
-        self, query: str, k: int = 10
-    ) -> List[int]:
-        """Deprecated: build a :class:`RecommendRequest`, call ``recommend``."""
-        return list(
-            self.recommend(RecommendRequest(query=query, k=k)).entity_ids
-        )
-
-    def recommend_batch(
-        self, queries: Sequence[str], k: int = 10
-    ) -> List[List[int]]:
-        """Deprecated: build a :class:`BatchRequest` and call ``batch``."""
-        response = self.batch(
-            BatchRequest(queries=tuple(queries), k=k, kind="recommend")
-        )
-        return [list(ids) for ids in response.results]
 
 
 class _EngineBackend(ShoalBackend):
@@ -382,8 +353,10 @@ def open_backend(
     single-service model snapshot, ``cluster:DIR`` for a sharded
     cluster snapshot, ``http://`` / ``https://`` for a remote gateway,
     and a bare directory path whose manifest decides between the first
-    two. Raises :class:`ApiError` (``invalid_argument``) for anything
-    else.
+    two. Every malformed URI — unknown scheme, empty target, missing or
+    unreadable snapshot — raises :class:`ApiError`
+    (``invalid_argument``) naming what was wrong, never a raw
+    ``OSError``.
     """
     if not isinstance(uri, str) or not uri:
         raise ApiError("invalid_argument", f"not a backend URI: {uri!r}")
@@ -393,14 +366,33 @@ def open_backend(
         return ShoalClient(uri, timeout=timeout)
     for scheme in ("snapshot:", "local:"):
         if uri.startswith(scheme):
-            return ServiceBackend.from_snapshot(
-                uri[len(scheme):], cache_size=cache_size
+            return _open_snapshot(
+                scheme, uri[len(scheme):], cache_size=cache_size
             )
     if uri.startswith("cluster:"):
-        return ClusterBackend.from_snapshot(
-            uri[len("cluster:"):],
-            n_replicas=n_replicas,
-            cache_size=cache_size,
+        target = uri[len("cluster:"):]
+        if not target:
+            raise ApiError(
+                "invalid_argument",
+                "'cluster:' URI is missing its snapshot directory",
+            )
+        try:
+            return ClusterBackend.from_snapshot(
+                target, n_replicas=n_replicas, cache_size=cache_size
+            )
+        except ApiError:
+            raise
+        except (OSError, ValueError, KeyError) as exc:
+            raise ApiError(
+                "invalid_argument",
+                f"cannot open cluster snapshot {target!r}: {exc}",
+            )
+    scheme_match = _SCHEME_RE.match(uri)
+    if scheme_match is not None:
+        raise ApiError(
+            "invalid_argument",
+            f"unknown backend scheme {scheme_match.group(1)!r} in {uri!r}: "
+            "expected snapshot:, local:, cluster:, http:// or https://",
         )
     path = Path(uri)
     if path.is_dir():
@@ -415,3 +407,27 @@ def open_backend(
         "'local:DIR', 'cluster:DIR', an http(s):// URL, or an existing "
         "snapshot directory",
     )
+
+
+#: A URI-ish prefix (e.g. ``ftp:``) that is not a plain path. Single
+#: letters are excluded so Windows-style ``C:\...`` never matches.
+_SCHEME_RE = re.compile(r"^([A-Za-z][A-Za-z0-9+.-]+):")
+
+
+def _open_snapshot(
+    scheme: str, target: str, *, cache_size: int
+) -> "ServiceBackend":
+    if not target:
+        raise ApiError(
+            "invalid_argument",
+            f"{scheme!r} URI is missing its snapshot directory",
+        )
+    try:
+        return ServiceBackend.from_snapshot(target, cache_size=cache_size)
+    except ApiError:
+        raise
+    except (OSError, ValueError, KeyError) as exc:
+        raise ApiError(
+            "invalid_argument",
+            f"cannot open model snapshot {target!r}: {exc}",
+        )

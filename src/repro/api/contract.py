@@ -26,6 +26,9 @@ __all__ = [
     "MAX_K",
     "MAX_QUERY_CHARS",
     "MAX_BATCH_QUERIES",
+    "MAX_ANALYTICS_ROWS",
+    "MAX_SQL_CHARS",
+    "ANALYTICS_REPORTS",
     "ERROR_CODES",
     "ApiError",
     "SearchRequest",
@@ -34,6 +37,9 @@ __all__ = [
     "RecommendResponse",
     "BatchRequest",
     "BatchResponse",
+    "AnalyticsRequest",
+    "AnalyticsResponse",
+    "MetricsResponse",
     "request_from_dict",
     "topic_hit_to_dict",
     "topic_hit_from_dict",
@@ -49,6 +55,13 @@ MAX_K = 100
 MAX_QUERY_CHARS = 1024
 MAX_BATCH_QUERIES = 256
 
+#: Analytics bounds: row cap per response and SQL text length.
+MAX_ANALYTICS_ROWS = 1000
+MAX_SQL_CHARS = 4096
+
+#: Canned analytics reports the tier serves without raw SQL.
+ANALYTICS_REPORTS = ("trending", "daily", "topics", "shed")
+
 #: code -> HTTP status. The set of codes is part of the contract.
 ERROR_CODES: Dict[str, int] = {
     "bad_request": 400,        # malformed payload / wrong field types
@@ -62,6 +75,10 @@ ERROR_CODES: Dict[str, int] = {
     # Write-path (streaming ingest) backpressure — see repro.streaming:
     "ingest_overloaded": 429,  # bounded ingest queue is full (load shed)
     "ingest_unavailable": 503, # ingest pipe closed / not enabled
+    # Analytics tier (HTAP read replica over the WAL) — repro.analytics:
+    "analytics_bad_sql": 400,     # statement rejected by the allowlist
+    "analytics_unavailable": 503, # no analytics store attached / closed
+    "analytics_timeout": 504,     # query exceeded its time budget
 }
 
 
@@ -502,18 +519,274 @@ class BatchResponse:
         return cls(kind=kind, results=tuple(rows), version=version)
 
 
+# -- analytics ---------------------------------------------------------------
+
+
+#: JSON-scalar cell types an analytics row may carry on the wire.
+_CELL_TYPES = (int, float, str, bool, type(None))
+
+
+@dataclass(frozen=True)
+class AnalyticsRequest:
+    """One analytics query: raw read-only SQL *or* a canned report.
+
+    Exactly one of ``sql`` / ``report`` must be set. ``sql`` is run
+    through the tier's read-only allowlist (a single SELECT/WITH
+    statement); ``report`` names one of :data:`ANALYTICS_REPORTS`.
+    With ``sample=True`` the SQL sees the store's reservoir sample of
+    the event stream instead of the full ``events`` table — the
+    Logservatory pattern for iterative query development.
+    """
+
+    sql: Optional[str] = None
+    report: Optional[str] = None
+    limit: int = 100
+    sample: bool = False
+    timeout_ms: Optional[float] = None
+    version: int = SCHEMA_VERSION
+
+    def validate(self) -> "AnalyticsRequest":
+        _check_version(self.version)
+        if self.sql is not None and not isinstance(self.sql, str):
+            raise ApiError(
+                "bad_request",
+                f"'sql' must be a string, got {type(self.sql).__name__}",
+            )
+        if self.report is not None and not isinstance(self.report, str):
+            raise ApiError(
+                "bad_request",
+                f"'report' must be a string, got {type(self.report).__name__}",
+            )
+        if (self.sql is None) == (self.report is None):
+            raise ApiError(
+                "invalid_argument",
+                "exactly one of 'sql' or 'report' must be set",
+            )
+        if self.sql is not None:
+            if not self.sql.strip():
+                raise ApiError("invalid_argument", "'sql' must not be empty")
+            if len(self.sql) > MAX_SQL_CHARS:
+                raise ApiError(
+                    "invalid_argument",
+                    f"'sql' is {len(self.sql)} characters; the limit is "
+                    f"{MAX_SQL_CHARS}",
+                )
+        if self.report is not None and self.report not in ANALYTICS_REPORTS:
+            raise ApiError(
+                "invalid_argument",
+                f"unknown report {self.report!r}; expected one of "
+                f"{', '.join(ANALYTICS_REPORTS)}",
+            )
+        if not isinstance(self.limit, int) or isinstance(self.limit, bool):
+            raise ApiError(
+                "bad_request", f"'limit' must be an integer, got {self.limit!r}"
+            )
+        if not 1 <= self.limit <= MAX_ANALYTICS_ROWS:
+            raise ApiError(
+                "invalid_argument",
+                f"'limit' must be in [1, {MAX_ANALYTICS_ROWS}], got "
+                f"{self.limit}",
+            )
+        if not isinstance(self.sample, bool):
+            raise ApiError(
+                "bad_request",
+                f"'sample' must be a boolean, got {self.sample!r}",
+            )
+        _check_timeout(self.timeout_ms)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"version": self.version, "limit": self.limit}
+        if self.sql is not None:
+            out["sql"] = self.sql
+        if self.report is not None:
+            out["report"] = self.report
+        if self.sample:
+            out["sample"] = True
+        if self.timeout_ms is not None:
+            out["timeout_ms"] = self.timeout_ms
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "AnalyticsRequest":
+        fields = _take(
+            payload,
+            ("version", "sql", "report", "limit", "sample", "timeout_ms"),
+            "analytics",
+        )
+        return cls(
+            sql=fields.get("sql"),
+            report=fields.get("report"),
+            limit=fields.get("limit", 100),
+            sample=fields.get("sample", False),
+            timeout_ms=fields.get("timeout_ms"),
+            version=fields.get("version", SCHEMA_VERSION),
+        ).validate()
+
+
+@dataclass(frozen=True)
+class AnalyticsResponse:
+    """A relational result: named columns and JSON-scalar rows.
+
+    ``truncated`` marks a result cut at the request's row limit;
+    ``sampled`` marks an answer computed over the reservoir sample
+    rather than the full event stream.
+    """
+
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple, ...] = field(default_factory=tuple)
+    truncated: bool = False
+    sampled: bool = False
+    elapsed_ms: float = 0.0
+    version: int = SCHEMA_VERSION
+
+    def __post_init__(self):
+        object.__setattr__(self, "columns", tuple(self.columns))
+        object.__setattr__(
+            self, "rows", tuple(tuple(r) for r in self.rows)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "columns": list(self.columns),
+            "rows": [list(r) for r in self.rows],
+            "truncated": self.truncated,
+            "sampled": self.sampled,
+            "elapsed_ms": self.elapsed_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "AnalyticsResponse":
+        fields = _take(
+            payload,
+            ("version", "columns", "rows", "truncated", "sampled",
+             "elapsed_ms"),
+            "analytics response",
+        )
+        columns = fields.get("columns")
+        if not isinstance(columns, Sequence) or isinstance(columns, str):
+            raise ApiError("bad_request", "'columns' must be an array")
+        if not all(isinstance(c, str) for c in columns):
+            raise ApiError("bad_request", "column names must be strings")
+        rows = fields.get("rows", [])
+        if not isinstance(rows, Sequence) or isinstance(rows, str):
+            raise ApiError("bad_request", "'rows' must be an array")
+        parsed_rows = []
+        for row in rows:
+            if not isinstance(row, Sequence) or isinstance(row, str):
+                raise ApiError(
+                    "bad_request", "each analytics row must be an array"
+                )
+            for cell in row:
+                if not isinstance(cell, _CELL_TYPES):
+                    raise ApiError(
+                        "bad_request",
+                        f"analytics cells must be JSON scalars, got "
+                        f"{type(cell).__name__}",
+                    )
+            parsed_rows.append(tuple(row))
+        truncated = fields.get("truncated", False)
+        sampled = fields.get("sampled", False)
+        if not isinstance(truncated, bool) or not isinstance(sampled, bool):
+            raise ApiError(
+                "bad_request", "'truncated'/'sampled' must be booleans"
+            )
+        elapsed_ms = fields.get("elapsed_ms", 0.0)
+        if isinstance(elapsed_ms, bool) or not isinstance(
+            elapsed_ms, (int, float)
+        ):
+            raise ApiError("bad_request", "'elapsed_ms' must be a number")
+        version = fields.get("version", SCHEMA_VERSION)
+        _check_version(version)
+        return cls(
+            columns=tuple(columns),
+            rows=tuple(parsed_rows),
+            truncated=truncated,
+            sampled=sampled,
+            elapsed_ms=elapsed_ms,
+            version=version,
+        )
+
+
+def _check_section(value: Any, name: str) -> Optional[Dict[str, Any]]:
+    """A metrics section: a JSON object or absent."""
+    if value is None:
+        return None
+    if not isinstance(value, Mapping):
+        raise ApiError(
+            "bad_request",
+            f"metrics section {name!r} must be a JSON object, got "
+            f"{type(value).__name__}",
+        )
+    return dict(value)
+
+
+@dataclass(frozen=True)
+class MetricsResponse:
+    """The versioned scrape point: one JSON object per subsystem.
+
+    ``backend`` is always present (the read tier's stats); ``ingest``,
+    ``updater``, and ``analytics`` appear when the corresponding
+    subsystem is attached to the server.
+    """
+
+    backend: Dict[str, Any] = field(default_factory=dict)
+    ingest: Optional[Dict[str, Any]] = None
+    updater: Optional[Dict[str, Any]] = None
+    analytics: Optional[Dict[str, Any]] = None
+    version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "version": self.version,
+            "backend": dict(self.backend),
+        }
+        if self.ingest is not None:
+            out["ingest"] = dict(self.ingest)
+        if self.updater is not None:
+            out["updater"] = dict(self.updater)
+        if self.analytics is not None:
+            out["analytics"] = dict(self.analytics)
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "MetricsResponse":
+        fields = _take(
+            payload,
+            ("version", "backend", "ingest", "updater", "analytics"),
+            "metrics response",
+        )
+        backend = fields.get("backend")
+        if not isinstance(backend, Mapping):
+            raise ApiError(
+                "bad_request", "metrics 'backend' must be a JSON object"
+            )
+        version = fields.get("version", SCHEMA_VERSION)
+        _check_version(version)
+        return cls(
+            backend=dict(backend),
+            ingest=_check_section(fields.get("ingest"), "ingest"),
+            updater=_check_section(fields.get("updater"), "updater"),
+            analytics=_check_section(fields.get("analytics"), "analytics"),
+            version=version,
+        )
+
+
 #: Wire-endpoint name -> request codec, shared by the HTTP server and
 #: the in-process client transport.
 REQUEST_TYPES = {
     "search": SearchRequest,
     "recommend": RecommendRequest,
     "batch": BatchRequest,
+    "analytics": AnalyticsRequest,
 }
 
 RESPONSE_TYPES = {
     "search": SearchResponse,
     "recommend": RecommendResponse,
     "batch": BatchResponse,
+    "analytics": AnalyticsResponse,
 }
 
 

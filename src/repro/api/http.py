@@ -14,11 +14,16 @@ the in-process backend:
   into the attached :class:`~repro.streaming.ingest.IngestPipe`
   (``404 not_found`` when ingest is not enabled; backpressure surfaces
   as ``429 ingest_overloaded`` / ``503 ingest_unavailable``)
+* ``GET/POST /v1/analytics`` — :class:`AnalyticsRequest` →
+  :class:`AnalyticsResponse` against the attached analytics tier
+  (GET takes ``sql``/``report``/``limit``/``sample`` query params;
+  ``503 analytics_unavailable`` when no analytics store is attached)
 * ``GET  /v1/health``     — liveness + backend identity
 * ``GET  /v1/stats``      — cache/latency/error counters
-* ``GET  /metrics``       — one JSON scrape point: gateway stats,
-  cache stats, ingest-pipe and updater progress (also at
-  ``/v1/metrics``)
+* ``GET  /v1/metrics``    — the versioned scrape point, a
+  :class:`MetricsResponse`: backend stats plus ingest-pipe, updater,
+  and analytics-tier progress (bare ``/metrics`` kept as an alias for
+  one release)
 
 Errors are :class:`ApiError` payloads with the contract's stable codes
 and status mapping (400/404/429/504/500).
@@ -35,15 +40,19 @@ from __future__ import annotations
 import json
 import threading
 import urllib.error
+import urllib.parse
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Union
 
 from repro.api.backends import ShoalBackend
 from repro.api.contract import (
+    AnalyticsRequest,
+    AnalyticsResponse,
     ApiError,
     BatchRequest,
     BatchResponse,
+    MetricsResponse,
     RecommendRequest,
     RecommendResponse,
     RESPONSE_TYPES,
@@ -77,9 +86,13 @@ class _GatewayHandler(BaseHTTPRequestHandler):
     backend: ShoalBackend = None  # type: ignore[assignment]
     quiet: bool = True
     #: Optional write path (repro.streaming.IngestPipe) and updater,
-    #: surfaced through POST /v1/ingest and GET /metrics.
+    #: surfaced through POST /v1/ingest and GET /v1/metrics.
     ingest_pipe = None
     updater = None
+    #: Optional analytics tier (repro.analytics QueryEngine + tailer),
+    #: surfaced through GET/POST /v1/analytics and GET /v1/metrics.
+    analytics_engine = None
+    analytics_tailer = None
 
     def log_message(self, fmt: str, *args) -> None:  # noqa: A003
         if not self.quiet:
@@ -154,7 +167,9 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                 self._send(200, self._handle_ingest(payload))
                 return
             request = request_from_dict(endpoint, payload)
-            if isinstance(request, SearchRequest):
+            if isinstance(request, AnalyticsRequest):
+                response = self._handle_analytics(request)
+            elif isinstance(request, SearchRequest):
                 response = self.backend.search(request)
             elif isinstance(request, RecommendRequest):
                 response = self.backend.recommend(request)
@@ -212,16 +227,63 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             last_seq = admitted.seq
         return {"accepted": accepted, "last_seq": last_seq}
 
-    def _metrics(self) -> Dict[str, Any]:
+    def _handle_analytics(self, request: AnalyticsRequest):
+        """Serve one analytics query from the attached tier."""
+        if self.analytics_engine is None:
+            raise ApiError(
+                "analytics_unavailable",
+                "no analytics store is attached to this server "
+                "(start it with --analytics-db)",
+            )
+        return self.analytics_engine.query(request)
+
+    def _analytics_request_from_query(self) -> AnalyticsRequest:
+        """GET /v1/analytics: build the request from query parameters."""
+        query = urllib.parse.urlsplit(self.path).query
+        params = urllib.parse.parse_qs(query, keep_blank_values=True)
+        payload: Dict[str, Any] = {}
+        for key in ("sql", "report"):
+            if key in params:
+                payload[key] = params[key][-1]
+        if "limit" in params:
+            raw = params["limit"][-1]
+            try:
+                payload["limit"] = int(raw)
+            except ValueError:
+                raise ApiError(
+                    "bad_request", f"'limit' must be an integer, got {raw!r}"
+                )
+        if "sample" in params:
+            raw = params["sample"][-1].lower()
+            if raw in ("", "1", "true", "yes"):
+                payload["sample"] = True
+            elif raw in ("0", "false", "no"):
+                payload["sample"] = False
+            else:
+                raise ApiError(
+                    "bad_request", f"'sample' must be a boolean, got {raw!r}"
+                )
+        return AnalyticsRequest.from_dict(payload)
+
+    def _metrics(self) -> MetricsResponse:
         """The one scrape point: read-path stats + write-path progress."""
-        out: Dict[str, Any] = {
-            "backend": self.backend.stats(),
-        }
-        if self.ingest_pipe is not None:
-            out["ingest"] = self.ingest_pipe.stats()
-        if self.updater is not None:
-            out["updater"] = self.updater.stats_dict()
-        return out
+        analytics: Optional[Dict[str, Any]] = None
+        if self.analytics_tailer is not None or self.analytics_engine is not None:
+            analytics = {}
+            if self.analytics_tailer is not None:
+                analytics.update(self.analytics_tailer.stats())
+            if self.analytics_engine is not None:
+                analytics.update(self.analytics_engine.stats())
+        return MetricsResponse(
+            backend=self.backend.stats(),
+            ingest=(
+                None if self.ingest_pipe is None else self.ingest_pipe.stats()
+            ),
+            updater=(
+                None if self.updater is None else self.updater.stats_dict()
+            ),
+            analytics=analytics,
+        )
 
     def _drain_unexpected_body(self) -> None:
         """Consume a body a GET should not have (keep-alive hygiene)."""
@@ -240,7 +302,9 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         try:
             bare_path = self.path.split("?", 1)[0].rstrip("/")
             if bare_path == "/metrics":
-                self._send(200, self._metrics())
+                # Deprecated unversioned alias of /v1/metrics (one
+                # release); same MetricsResponse body.
+                self._send(200, self._metrics().to_dict())
                 return
             endpoint = self._endpoint()
             if endpoint == "health":
@@ -248,7 +312,10 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             elif endpoint == "stats":
                 self._send(200, self.backend.stats())
             elif endpoint == "metrics":
-                self._send(200, self._metrics())
+                self._send(200, self._metrics().to_dict())
+            elif endpoint == "analytics":
+                request = self._analytics_request_from_query()
+                self._send(200, self._handle_analytics(request).to_dict())
             else:
                 raise ApiError("not_found", f"no such path: {self.path}")
         except ApiError as err:
@@ -278,10 +345,14 @@ class ShoalHttpServer:
         quiet: bool = True,
         ingest_pipe=None,
         updater=None,
+        analytics_engine=None,
+        analytics_tailer=None,
     ):
         self._backend = backend
         self._ingest_pipe = ingest_pipe
         self._updater = updater
+        self._analytics_engine = analytics_engine
+        self._analytics_tailer = analytics_tailer
         handler = type(
             "_BoundGatewayHandler",
             (_GatewayHandler,),
@@ -290,6 +361,8 @@ class ShoalHttpServer:
                 "quiet": quiet,
                 "ingest_pipe": ingest_pipe,
                 "updater": updater,
+                "analytics_engine": analytics_engine,
+                "analytics_tailer": analytics_tailer,
             },
         )
         self._httpd = ThreadingHTTPServer((host, port), handler)
@@ -343,6 +416,12 @@ class ShoalHttpServer:
             self._thread = None
         if self._updater is not None:
             self._updater.stop(drain=False)
+        if self._analytics_tailer is not None:
+            # Drain: the WAL is final once the pipe is closed, so one
+            # last pass leaves the store exactly matching it.
+            self._analytics_tailer.stop(drain=True)
+        if self._analytics_engine is not None:
+            self._analytics_engine.store.close()
         self._backend.close()
 
     def __enter__(self) -> "ShoalHttpServer":
@@ -533,6 +612,30 @@ class ShoalClient(ShoalBackend):
             out["last_seq"] = result.get("last_seq", out["last_seq"])
         return out
 
+    # -- analytics -----------------------------------------------------------
+
+    def analytics(self, request: AnalyticsRequest) -> AnalyticsResponse:
+        """Run one analytics query (raw SQL or a canned report).
+
+        Raises :class:`ApiError` with the analytics tier's stable codes:
+        ``analytics_bad_sql`` for a rejected statement,
+        ``analytics_timeout`` past the time budget, and
+        ``analytics_unavailable`` when the server has no analytics
+        store attached.
+        """
+        request.validate()
+        if self._base_url is not None:
+            return AnalyticsResponse.from_dict(
+                self._http("POST", "analytics", request.to_dict())
+            )
+        inner_analytics = getattr(self._inner, "analytics", None)
+        if inner_analytics is None:
+            raise ApiError(
+                "analytics_unavailable",
+                "no analytics tier is attached to this backend",
+            )
+        return inner_analytics(request)
+
     # -- operational surface -------------------------------------------------
 
     def health(self) -> Dict[str, Any]:
@@ -545,11 +648,13 @@ class ShoalClient(ShoalBackend):
             return self._http("GET", "stats", None)
         return self._inner.stats()
 
-    def metrics(self) -> Dict[str, Any]:
-        """The gateway's one-stop JSON scrape point (GET /metrics)."""
+    def metrics(self) -> MetricsResponse:
+        """The gateway's versioned scrape point (GET /v1/metrics)."""
         if self._base_url is not None:
-            return self._http("GET", "metrics", None)
-        return {"backend": self._inner.stats()}
+            return MetricsResponse.from_dict(
+                self._http("GET", "metrics", None)
+            )
+        return MetricsResponse(backend=self._inner.stats())
 
     def close(self) -> None:
         if self._inner is not None:
@@ -558,7 +663,9 @@ class ShoalClient(ShoalBackend):
 
 def _assert_response_types_registered() -> None:
     """Guard: the endpoint tables of contract and client must agree."""
-    assert set(RESPONSE_TYPES) == {"search", "recommend", "batch"}
+    assert set(RESPONSE_TYPES) == {
+        "search", "recommend", "batch", "analytics",
+    }
 
 
 _assert_response_types_registered()

@@ -28,14 +28,27 @@ system would be driven:
   end offline: fit a base window, stream the remaining days' events
   through the WAL-backed ingest pipe, micro-batch them into model
   generations, and hot-swap each generation into a live read tier with
-  health checks (``repro.streaming``).
+  health checks (``repro.streaming``);
+* ``python -m repro.cli analytics`` — fold a WAL into the SQLite
+  analytics store offline and print a canned report (``--report``) or
+  run one guarded read-only SQL statement (``--sql``) against it
+  (``repro.analytics``).
 
 ``serve-http --ingest-wal DIR`` additionally opens the **live** write
 path: ``POST /v1/ingest`` admits query events into a durable WAL, a
 background micro-batch updater slides the model window, and every new
 generation is hot-swapped into the serving backend with zero read
-downtime. ``GET /metrics`` exposes gateway, ingest, and updater
+downtime. ``GET /v1/metrics`` (bare ``/metrics`` stays as a
+one-release alias) exposes gateway, ingest, updater, and analytics
 counters as one JSON scrape point.
+
+``serve-http --analytics-db PATH`` (with ``--ingest-wal``) attaches
+the HTAP analytics tier: a background :class:`SegmentTailer` streams
+closed WAL segments into a WAL-mode SQLite replica, and ``GET/POST
+/v1/analytics`` serves guarded SQL and canned reports from it without
+ever touching a serving structure. ``--drift-threshold`` arms the
+taxonomy-drift gate so trivially-different generations skip their
+rollout entirely.
 
 All serving paths go through the typed gateway API in
 :mod:`repro.api`; this module never constructs a concrete read tier
@@ -53,9 +66,16 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
-from repro.api import BatchRequest, RecommendRequest, ServiceBackend, open_backend
+from repro.api import (
+    ANALYTICS_REPORTS,
+    BatchRequest,
+    RecommendRequest,
+    ServiceBackend,
+    open_backend,
+)
 from repro.baselines.ontology_rec import OntologyRecommender, OntologyRecommenderConfig
 from repro.core.config import ShoalConfig
 from repro.core.pipeline import ShoalModel, ShoalPipeline
@@ -498,6 +518,11 @@ def _build_ingest_side(args, backend):
         max_queue=args.ingest_queue,
         overflow=args.ingest_overflow,
     )
+    drift_gate = None
+    if getattr(args, "drift_threshold", None) is not None:
+        from repro.analytics import DriftMonitor
+
+        drift_gate = DriftMonitor(threshold=args.drift_threshold)
     updater = StreamingUpdater(
         inc,
         pipe,
@@ -506,12 +531,49 @@ def _build_ingest_side(args, backend):
         batch_max_events=args.ingest_batch_events,
         batch_max_age_s=args.ingest_batch_age_s,
         min_batch_events=args.ingest_batch_events // 4 or 1,
+        drift_gate=drift_gate,
     )
     updater.seed_log(market.query_log)
     recovered = updater.recover()
     if recovered:
         print(f"recovered {recovered} events from the WAL at {args.ingest_wal}")
     return pipe, updater
+
+
+def _build_analytics_side(args, backend, pipe):
+    """(engine, tailer) for ``serve-http --analytics-db`` (None,None
+    without). The tailer streams the same WAL the ingest pipe appends
+    to into an isolated SQLite replica; queries against it can never
+    contend with the serving structures."""
+    if not args.analytics_db:
+        return None, None
+    if not args.ingest_wal:
+        raise SystemExit(
+            "--analytics-db requires --ingest-wal DIR: the analytics "
+            "store is a replica of the write-ahead log"
+        )
+    from repro.analytics import (
+        AnalyticsStore,
+        QueryEngine,
+        SegmentTailer,
+        make_topic_resolver,
+    )
+
+    store = AnalyticsStore(args.analytics_db)
+    tailer = SegmentTailer(
+        args.ingest_wal,
+        store,
+        resolver=make_topic_resolver(backend),
+        ingest_pipe=pipe,
+    )
+    caught_up = tailer.catch_up()
+    if caught_up:
+        print(
+            f"analytics store caught up: {caught_up} WAL events folded "
+            f"into {args.analytics_db}"
+        )
+    tailer.start()
+    return QueryEngine(store), tailer
 
 
 def _cmd_serve_http(args) -> int:
@@ -549,6 +611,9 @@ def _cmd_serve_http(args) -> int:
         # The gateway's result cache must drop on each hot-swap too.
         updater.switch.attach(gateway)
         updater.start()
+    analytics_engine, analytics_tailer = _build_analytics_side(
+        args, backend, pipe
+    )
     server = ShoalHttpServer(
         gateway,
         args.host,
@@ -556,14 +621,19 @@ def _cmd_serve_http(args) -> int:
         quiet=args.quiet,
         ingest_pipe=pipe,
         updater=updater,
+        analytics_engine=analytics_engine,
+        analytics_tailer=analytics_tailer,
     )
     write_side = (
-        " /v1/ingest, GET /metrics;" if pipe is not None else ""
+        " /v1/ingest, GET /v1/metrics;" if pipe is not None else ""
+    )
+    analytics_side = (
+        " GET/POST /v1/analytics;" if analytics_engine is not None else ""
     )
     print(
         f"serving {backend.kind} backend on {server.url} "
-        f"(POST /v1/search /v1/recommend /v1/batch{write_side} "
-        f"GET /v1/health /v1/stats; Ctrl-C to stop)",
+        f"(POST /v1/search /v1/recommend /v1/batch{write_side}"
+        f"{analytics_side} GET /v1/health /v1/stats; Ctrl-C to stop)",
         flush=True,
     )
     try:
@@ -704,6 +774,80 @@ def _cmd_ingest(args) -> int:
     return 0 if stats.swap_failures == 0 and stats.generations > 0 else 1
 
 
+def _print_table(response) -> None:
+    """Render an AnalyticsResponse as an aligned text table."""
+    columns = [str(c) for c in response.columns]
+    rows = [
+        ["" if cell is None else str(cell) for cell in row]
+        for row in response.rows
+    ]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rows)) if rows else len(col)
+        for i, col in enumerate(columns)
+    ]
+    line = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    print(line)
+    print("  ".join("-" * w for w in widths))
+    for r in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    note = []
+    if response.truncated:
+        note.append("truncated at the row limit")
+    if response.sampled:
+        note.append("over the reservoir sample")
+    suffix = f" ({'; '.join(note)})" if note else ""
+    print(
+        f"[{len(rows)} rows in {response.elapsed_ms:.1f}ms{suffix}]"
+    )
+
+
+def _cmd_analytics(args) -> int:
+    """Offline WAL -> analytics store -> one report or SQL statement."""
+    from repro.analytics import (
+        AnalyticsStore,
+        QueryEngine,
+        SegmentTailer,
+        make_topic_resolver,
+    )
+    from repro.api import AnalyticsRequest, ApiError
+
+    if bool(args.sql) == bool(args.report):
+        raise SystemExit(
+            "analytics needs exactly one of --report NAME or --sql SQL"
+        )
+    db = args.db or str(Path(args.wal) / "analytics.db")
+    resolver = None
+    if args.load:
+        resolver = make_topic_resolver(
+            open_backend(f"snapshot:{args.load}")
+        )
+    store = AnalyticsStore(db)
+    try:
+        tailer = SegmentTailer(args.wal, store, resolver=resolver)
+        folded = tailer.catch_up()
+        counts = store.counts()
+        print(
+            f"folded {folded} new events (store now holds "
+            f"{counts['events']} events through seq "
+            f"{counts['applied_seq']}) into {db}"
+        )
+        engine = QueryEngine(store)
+        request = AnalyticsRequest(
+            sql=args.sql or None,
+            report=args.report or None,
+            limit=args.limit,
+            sample=args.sample,
+        )
+        try:
+            _print_table(engine.query(request))
+        except ApiError as exc:
+            print(f"analytics error [{exc.code}]: {exc}")
+            return 1
+    finally:
+        store.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SHOAL reproduction CLI"
@@ -824,6 +968,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-request deadline in milliseconds",
     )
     p_http.add_argument(
+        "--analytics-db", default=None, metavar="PATH",
+        help="enable the HTAP analytics tier: SQLite replica of the "
+             "WAL served at GET/POST /v1/analytics (requires "
+             "--ingest-wal)",
+    )
+    p_http.add_argument(
+        "--drift-threshold", type=float, default=None, metavar="FRAC",
+        help="skip a generation rollout when at most this fraction of "
+             "entities changed topic membership (0.0 = only skip "
+             "identical partitions; default: never skip)",
+    )
+    p_http.add_argument(
         "--quiet", action="store_true", default=False,
         help="suppress per-request access logging",
     )
@@ -859,6 +1015,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist each model generation as a versioned snapshot here",
     )
     p_ingest.set_defaults(func=_cmd_ingest)
+
+    p_analytics = sub.add_parser(
+        "analytics",
+        help="fold a WAL into the SQLite analytics store and query it",
+    )
+    p_analytics.add_argument(
+        "--wal", required=True, metavar="DIR",
+        help="write-ahead log directory to fold into the store",
+    )
+    p_analytics.add_argument(
+        "--db", default=None, metavar="PATH",
+        help="analytics SQLite file (default: <wal>/analytics.db)",
+    )
+    p_analytics.add_argument(
+        "--report", default=None, choices=list(ANALYTICS_REPORTS),
+        help="canned report to print",
+    )
+    p_analytics.add_argument(
+        "--sql", default=None, metavar="SELECT",
+        help="one guarded read-only SQL statement to run instead",
+    )
+    p_analytics.add_argument("--limit", type=int, default=100)
+    p_analytics.add_argument(
+        "--sample", action="store_true", default=False,
+        help="run --sql over the fixed-size reservoir sample",
+    )
+    p_analytics.add_argument(
+        "--load", default=None, metavar="DIR",
+        help="model snapshot for per-topic attribution (optional; "
+             "events get topic_id -1 without it)",
+    )
+    p_analytics.set_defaults(func=_cmd_analytics)
 
     p_replay = sub.add_parser(
         "replay", help="replay a traffic workload against service/cluster"

@@ -5,16 +5,16 @@ Production query streams are not uniform: a few head queries dominate
 some of the stream is adversarial to caches. :class:`TrafficReplayer`
 replays such workloads — built from the marketplace's own query set
 (:mod:`repro.data.queries`) and scenario structure
-(:mod:`repro.data.scenarios`) — against anything exposing
-``search_topics(query, k)``: a gateway-API backend
-(:class:`~repro.api.backends.ShoalBackend` — the preferred target,
-including :class:`~repro.api.http.ShoalClient` for a remote gateway),
-a raw :class:`~repro.core.serving.ShoalService`, or a
-:class:`~repro.serving.router.ClusterRouter`. A string target is
-treated as a backend URI and resolved through
-:func:`repro.api.open_backend` (``snapshot:DIR`` / ``cluster:DIR`` /
-``http://host:port``), so one replayer drives every tier, local or
-remote.
+(:mod:`repro.data.scenarios`) — against the typed gateway contract: a
+:class:`~repro.api.backends.ShoalBackend` (including
+:class:`~repro.api.http.ShoalClient` for a remote gateway) is driven
+as-is; a raw :class:`~repro.core.serving.ShoalService` or
+:class:`~repro.serving.router.ClusterRouter` is wrapped in the
+matching backend adapter at construction; a string target is treated
+as a backend URI and resolved through :func:`repro.api.open_backend`
+(``snapshot:DIR`` / ``cluster:DIR`` / ``http://host:port``). One
+replayer drives every tier, local or remote, through one dispatch
+path.
 
 Workload profiles:
 
@@ -45,7 +45,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro._util import ensure_rng
-from repro.api.contract import ApiError
+from repro.api.contract import ApiError, SearchRequest
 from repro.core.serving import CacheStats
 from repro.data.queries import Query
 from repro.data.scenarios import Scenario
@@ -264,9 +264,11 @@ class ReplayReport:
 class TrafficReplayer:
     """Replays a workload against a serving target.
 
-    ``target`` is anything with ``search_topics(query, k)`` — a
-    gateway-API backend, a :class:`ShoalService`, or a
-    :class:`ClusterRouter` — or a backend URI string (``snapshot:DIR``,
+    ``target`` is a gateway-API backend
+    (:class:`~repro.api.backends.ShoalBackend`), a raw engine tier
+    (:class:`ShoalService` or :class:`ClusterRouter` — wrapped in the
+    matching backend adapter here, so dispatch is always the typed
+    contract), or a backend URI string (``snapshot:DIR``,
     ``cluster:DIR``, ``http://host:port``) resolved through
     :func:`repro.api.open_backend`. ``concurrency`` drives the target
     from a thread pool (wall-clock QPS is measured either way;
@@ -283,11 +285,24 @@ class TrafficReplayer:
     ):
         if concurrency < 1:
             raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        # Imported lazily: repro.api adapters import this package.
+        from repro.api.backends import (
+            ClusterBackend,
+            ServiceBackend,
+            ShoalBackend,
+        )
+
         if isinstance(target, str):
-            # Imported lazily: repro.api adapters import this package.
             from repro.api import open_backend
 
             target = open_backend(target)
+        elif not isinstance(target, ShoalBackend):
+            # A raw engine tier: adopt it behind the typed contract so
+            # the replay loop has exactly one dispatch path.
+            if hasattr(target, "n_shards"):  # ClusterRouter
+                target = ClusterBackend(target)
+            else:
+                target = ServiceBackend(target)
         self._target = target
         self._k = k
         self._concurrency = concurrency
@@ -327,7 +342,7 @@ class TrafficReplayer:
             raise ValueError(f"write_every must be >= 1, got {write_every}")
         target, k = self._target, self._k
         for q in workload[:warmup]:
-            target.search_topics(q, k)
+            target.search(SearchRequest(query=q, k=k))
 
         stats = RequestStats()
         measured = workload[warmup:] if warmup else workload
@@ -358,9 +373,9 @@ class TrafficReplayer:
             index, query = item
             maybe_write(index)
             t0 = time.perf_counter()
-            hits = target.search_topics(query, k)
+            response = target.search(SearchRequest(query=query, k=k))
             stats.record(time.perf_counter() - t0)
-            return 0 if hits else 1
+            return 0 if response.hits else 1
 
         indexed = list(enumerate(measured))
         if self._concurrency == 1:

@@ -56,6 +56,7 @@ class UpdaterStats:
     applied_seq: int
     generations: int
     swap_failures: int
+    rollouts_skipped: int
     last_day: Optional[int]
     running: bool
 
@@ -67,6 +68,7 @@ class UpdaterStats:
             "applied_seq": self.applied_seq,
             "generations": self.generations,
             "swap_failures": self.swap_failures,
+            "rollouts_skipped": self.rollouts_skipped,
             "last_day": self.last_day,
             "running": self.running,
         }
@@ -93,6 +95,7 @@ class StreamingUpdater:
         batch_max_age_s: float = 0.5,
         min_batch_events: int = 1,
         max_day_skew: int = 2,
+        drift_gate=None,
     ):
         if inc.model is None:
             raise ValueError(
@@ -122,6 +125,12 @@ class StreamingUpdater:
         self._min_batch_events = min_batch_events
         self._max_day_skew = max_day_skew
 
+        #: Optional repro.analytics.DriftMonitor (duck-typed:
+        #: should_skip(prev, new) + stats()); when set, a generation
+        #: whose taxonomy partition is trivially different from what is
+        #: serving is produced and checkpointed but NOT rolled out.
+        self._drift_gate = drift_gate
+
         self._applied_seq = 0
         self._events_applied = 0
         self._events_duplicate = 0
@@ -129,6 +138,7 @@ class StreamingUpdater:
         self._pending_since_generation = 0
         self._generation_number = 0
         self._swap_failures = 0
+        self._rollouts_skipped = 0
         self._last_error: Optional[str] = None
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
@@ -287,11 +297,30 @@ class StreamingUpdater:
             )
         self._pending_since_generation = 0
         if self._switch is not None:
-            try:
-                self._switch.swap(generation)
-            except SwapError as exc:
-                self._swap_failures += 1
-                self._last_error = str(exc)
+            skip_rollout = False
+            previous = self._switch.current
+            if self._drift_gate is not None and previous is not None:
+                # A trivially-different generation is produced and
+                # checkpointed (durability is unconditional) but not
+                # rolled out: the swap's reference build + fleet-wide
+                # cache invalidation buy no reader-visible change.
+                try:
+                    skip_rollout = self._drift_gate.should_skip(
+                        previous, generation
+                    )
+                except Exception as exc:  # noqa: BLE001 - gate is advisory
+                    self._last_error = (
+                        f"drift gate failed ({type(exc).__name__}: {exc}); "
+                        "rolling out unconditionally"
+                    )
+            if skip_rollout:
+                self._rollouts_skipped += 1
+            else:
+                try:
+                    self._switch.swap(generation)
+                except SwapError as exc:
+                    self._swap_failures += 1
+                    self._last_error = str(exc)
         # Operator-facing progress record, NOT a recovery cursor: the
         # in-memory store rebuilds from the full retained WAL on every
         # restart (recover() needs all window events), so the
@@ -374,6 +403,7 @@ class StreamingUpdater:
                 applied_seq=self._applied_seq,
                 generations=self._generation_number,
                 swap_failures=self._swap_failures,
+                rollouts_skipped=self._rollouts_skipped,
                 last_day=days[-1] if days else None,
                 running=self.running,
             )
@@ -382,6 +412,8 @@ class StreamingUpdater:
         out = self.stats().to_dict()
         if self._switch is not None:
             out["switch"] = self._switch.stats()
+        if self._drift_gate is not None:
+            out["drift"] = self._drift_gate.stats()
         if self._last_error is not None:
             out["last_error"] = self._last_error
         return out

@@ -1,0 +1,45 @@
+"""Shared fixtures for the analytics-tier suite.
+
+The tier under test is the WAL → SQLite path, so the fixtures here are
+about producing deterministic WALs and event batches — no fitted model
+is needed anywhere except the HTTP end-to-end file, which reuses the
+session-scoped ``tiny_model``.
+"""
+
+from __future__ import annotations
+
+from repro.streaming.wal import IngestEvent, WriteAheadLog
+
+
+def make_events(n: int, *, start_seq: int = 1) -> list:
+    """n deterministic IngestEvents with varied days/users/clicks."""
+    return [
+        IngestEvent(
+            seq=start_seq + i,
+            day=7 + (i % 3),
+            user_id=i % 5,
+            query_id=i % 7,
+            clicked_entity_ids=tuple(range(i % 3)),
+            query_text=f"query {i % 7}",
+        )
+        for i in range(n)
+    ]
+
+
+def fill_wal(
+    directory, n: int, *, segment_max_events: int = 16
+) -> WriteAheadLog:
+    """A WAL holding n deterministic events across several segments."""
+    wal = WriteAheadLog(
+        directory, segment_max_events=segment_max_events, fsync="never"
+    )
+    for i in range(n):
+        wal.append(
+            day=7 + (i % 3),
+            user_id=i % 11,
+            query_id=i % 17,
+            clicked_entity_ids=tuple(range(i % 4)),
+            query_text=f"query {i % 17}" if i % 5 == 0 else None,
+        )
+    wal.sync()
+    return wal

@@ -1,0 +1,198 @@
+"""The guarded query engine: read-only SQL, canned reports, limits.
+
+Every rejection must surface as a *stable* contract code — the HTTP
+edge maps ``analytics_bad_sql`` → 400, ``analytics_unavailable`` → 503,
+``analytics_timeout`` → 504 — and nothing the engine runs may ever
+mutate the store.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics import AnalyticsStore, QueryEngine, REPORT_SQL
+from repro.api import ANALYTICS_REPORTS, AnalyticsRequest, ApiError
+
+from tests.analytics.conftest import make_events
+
+
+@pytest.fixture(scope="module")
+def engine(tmp_path_factory):
+    store = AnalyticsStore(
+        tmp_path_factory.mktemp("analytics-query") / "a.db",
+        reservoir_capacity=32,
+    )
+    store.apply_batch(make_events(150), resolver=lambda e: e.query_id % 4)
+    store.record_ops({"accepted": 100, "shed": 5, "queue_depth": 2})
+    store.record_ops({"accepted": 150, "shed": 9, "queue_depth": 0})
+    yield QueryEngine(store)
+    store.close()
+
+
+def _code_of(call) -> str:
+    with pytest.raises(ApiError) as excinfo:
+        call()
+    return excinfo.value.code
+
+
+class TestGuard:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "INSERT INTO events VALUES (999, 7, 1, 1, 0, '[]', NULL, -1)",
+            "DELETE FROM events",
+            "UPDATE events SET day = 0",
+            "DROP TABLE events",
+            "CREATE TABLE pwned (x)",
+            "PRAGMA journal_mode = DELETE",
+            "ATTACH DATABASE ':memory:' AS other",
+            "VACUUM",
+            "SELECT 1; SELECT 2",
+            "SELECT 1; DROP TABLE events",
+            "EXPLAIN QUERY PLAN SELECT * FROM events",
+        ],
+    )
+    def test_non_select_statements_are_bad_sql(self, engine, sql):
+        assert _code_of(
+            lambda: engine.query(AnalyticsRequest(sql=sql))
+        ) == "analytics_bad_sql"
+
+    def test_rejected_statements_mutate_nothing(self, engine):
+        before = engine.store.event_count()
+        for sql in ("DELETE FROM events", "DROP TABLE events"):
+            with pytest.raises(ApiError):
+                engine.query(AnalyticsRequest(sql=sql))
+        assert engine.store.event_count() == before
+
+    def test_select_and_with_are_allowed(self, engine):
+        plain = engine.query(
+            AnalyticsRequest(sql="SELECT COUNT(*) AS n FROM events")
+        )
+        assert plain.rows == ((150,),)
+        cte = engine.query(
+            AnalyticsRequest(
+                sql=(
+                    "WITH d AS (SELECT day FROM events) "
+                    "SELECT COUNT(*) AS n FROM d"
+                )
+            )
+        )
+        assert cte.rows == ((150,),)
+
+    def test_trailing_semicolon_is_tolerated(self, engine):
+        response = engine.query(
+            AnalyticsRequest(sql="SELECT COUNT(*) FROM events;")
+        )
+        assert response.rows == ((150,),)
+
+    def test_reference_to_a_missing_table_is_bad_sql(self, engine):
+        assert _code_of(
+            lambda: engine.query(
+                AnalyticsRequest(sql="SELECT * FROM no_such_table")
+            )
+        ) == "analytics_bad_sql"
+
+
+class TestResults:
+    def test_limit_truncates_and_flags(self, engine):
+        response = engine.query(
+            AnalyticsRequest(sql="SELECT seq FROM events ORDER BY seq",
+                             limit=10)
+        )
+        assert len(response.rows) == 10
+        assert response.truncated
+        assert response.rows[0] == (1,)
+
+    def test_exact_fit_is_not_flagged_truncated(self, engine):
+        response = engine.query(
+            AnalyticsRequest(sql="SELECT seq FROM events", limit=150)
+        )
+        assert len(response.rows) == 150
+        assert not response.truncated
+
+    def test_columns_carry_names(self, engine):
+        response = engine.query(
+            AnalyticsRequest(
+                sql="SELECT day, COUNT(*) AS n FROM events GROUP BY day"
+            )
+        )
+        assert response.columns == ("day", "n")
+
+    def test_sample_view_shadows_events(self, engine):
+        sampled = engine.query(
+            AnalyticsRequest(
+                sql="SELECT COUNT(*) AS n FROM events", sample=True
+            )
+        )
+        assert sampled.sampled
+        assert sampled.rows[0][0] == 32  # the reservoir capacity
+        full = engine.query(
+            AnalyticsRequest(sql="SELECT COUNT(*) AS n FROM events")
+        )
+        assert not full.sampled
+        assert full.rows[0][0] == 150
+
+    def test_elapsed_is_reported(self, engine):
+        response = engine.query(AnalyticsRequest(sql="SELECT 1"))
+        assert response.elapsed_ms >= 0.0
+
+
+class TestReports:
+    @pytest.mark.parametrize("name", ANALYTICS_REPORTS)
+    def test_every_canned_report_executes(self, engine, name):
+        response = engine.report(name, limit=10)
+        assert response.columns
+        assert response.rows  # the fixture store feeds all four
+
+    def test_reports_and_contract_agree_on_names(self):
+        assert tuple(sorted(REPORT_SQL)) == tuple(sorted(ANALYTICS_REPORTS))
+
+    def test_unknown_report_is_invalid_argument(self, engine):
+        assert _code_of(
+            lambda: engine.query(AnalyticsRequest(report="top-secret"))
+        ) == "invalid_argument"
+
+    def test_shed_report_differences_ops_snapshots(self, engine):
+        response = engine.report("shed")
+        # Two snapshots -> at least one delta row showing 50 accepted.
+        accepted_col = response.columns.index("d_accepted")
+        assert any(row[accepted_col] == 50 for row in response.rows)
+        rate_col = response.columns.index("shed_rate")
+        assert all(0.0 <= row[rate_col] <= 1.0 for row in response.rows)
+
+
+class TestFailureModes:
+    def test_runaway_query_times_out(self, engine):
+        runaway = (
+            "WITH RECURSIVE c(x) AS (SELECT 1 UNION ALL SELECT x + 1 "
+            "FROM c WHERE x < 100000000) SELECT COUNT(*) FROM c"
+        )
+        assert _code_of(
+            lambda: engine.query(
+                AnalyticsRequest(sql=runaway, timeout_ms=10)
+            )
+        ) == "analytics_timeout"
+
+    def test_closed_store_is_unavailable(self, tmp_path):
+        store = AnalyticsStore(tmp_path / "a.db")
+        gone = QueryEngine(store)
+        store.close()
+        assert _code_of(
+            lambda: gone.query(AnalyticsRequest(sql="SELECT 1"))
+        ) == "analytics_unavailable"
+
+    def test_stats_count_served_and_failed(self, tmp_path):
+        store = AnalyticsStore(tmp_path / "a.db")
+        store.apply_batch(make_events(5))
+        fresh = QueryEngine(store)
+        fresh.query(AnalyticsRequest(sql="SELECT 1"))
+        fresh.report("daily")
+        with pytest.raises(ApiError):
+            fresh.query(AnalyticsRequest(sql="DROP TABLE events"))
+        assert fresh.stats() == {"queries_served": 2, "queries_failed": 1}
+        store.close()
+
+    def test_error_codes_map_to_the_right_status_classes(self):
+        assert ApiError("analytics_bad_sql", "m").http_status == 400
+        assert ApiError("analytics_unavailable", "m").http_status == 503
+        assert ApiError("analytics_timeout", "m").http_status == 504

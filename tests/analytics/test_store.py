@@ -1,0 +1,174 @@
+"""The SQLite analytics store: atomicity, idempotency, rollup truth.
+
+The store's one invariant is that ``meta.applied_seq`` and everything
+derived from the events commit *together*: a crash (or a failed
+resolver) at any point must leave either the whole batch or none of it,
+and re-offering old sequence numbers must change nothing.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.analytics import AnalyticsStore
+
+from tests.analytics.conftest import make_events
+
+
+@pytest.fixture
+def store(tmp_path):
+    with AnalyticsStore(tmp_path / "analytics.db") as s:
+        yield s
+
+
+def _rows(store, sql):
+    conn = store.connect_readonly()
+    try:
+        return conn.execute(sql).fetchall()
+    finally:
+        conn.close()
+
+
+class TestApply:
+    def test_rollups_match_a_recount_of_events(self, store):
+        store.apply_batch(make_events(90), resolver=lambda e: e.query_id % 4)
+        recount = _rows(
+            store,
+            "SELECT day, COUNT(*), SUM(n_clicks) FROM events GROUP BY day",
+        )
+        daily = _rows(
+            store, "SELECT day, n_events, n_clicks FROM daily_rollup"
+        )
+        assert sorted(daily) == sorted(recount)
+        topic_recount = _rows(
+            store,
+            "SELECT day, topic_id, COUNT(*) FROM events "
+            "GROUP BY day, topic_id",
+        )
+        topics = _rows(
+            store, "SELECT day, topic_id, n_events FROM topic_rollup"
+        )
+        assert sorted(topics) == sorted(topic_recount)
+
+    def test_apply_is_idempotent(self, store):
+        events = make_events(40)
+        assert store.apply_batch(events) == 40
+        before = store.counts()
+        assert store.apply_batch(events) == 0
+        assert store.counts() == before
+
+    def test_overlapping_batch_applies_only_the_new_suffix(self, store):
+        store.apply_batch(make_events(30))
+        # seqs 21..45: the first 10 overlap what is already applied.
+        assert store.apply_batch(make_events(25, start_seq=21)) == 15
+        assert store.event_count() == 45
+        assert store.applied_seq == 45
+
+    def test_failed_batch_rolls_back_whole(self, store):
+        store.apply_batch(make_events(20))
+
+        def bomb(event):
+            if event.seq == 30:
+                raise RuntimeError("resolver died")
+            return 0
+
+        with pytest.raises(RuntimeError):
+            store.apply_batch(make_events(20, start_seq=21), resolver=bomb)
+        # Nothing from the failed batch survives — not even seqs 21..29
+        # that were inserted before the bomb went off.
+        assert store.applied_seq == 20
+        assert store.event_count() == 20
+        # And the store still works afterwards.
+        assert store.apply_batch(make_events(20, start_seq=21)) == 20
+        assert store.event_count() == 40
+
+    def test_no_clicks_event_still_counts(self, store):
+        events = make_events(3)
+        store.apply_batch(events)
+        (total,) = _rows(store, "SELECT SUM(n_events) FROM daily_rollup")[0]
+        assert total == 3
+
+
+class TestReservoir:
+    def test_capacity_is_a_hard_bound(self, tmp_path):
+        with AnalyticsStore(
+            tmp_path / "a.db", reservoir_capacity=16
+        ) as store:
+            store.apply_batch(make_events(300))
+            assert len(_rows(store, "SELECT slot FROM sample")) == 16
+
+    def test_sample_is_deterministic_across_batching(self, tmp_path):
+        """The same stream must land on the same reservoir whether it
+        arrives in one transaction or many — that is what makes a
+        crash/replay of the tailer converge to an identical store."""
+        events = make_events(200)
+        with AnalyticsStore(
+            tmp_path / "one.db", reservoir_capacity=16, seed=7
+        ) as one:
+            one.apply_batch(events)
+            sample_one = _rows(
+                one, "SELECT slot, seq FROM sample ORDER BY slot"
+            )
+        with AnalyticsStore(
+            tmp_path / "many.db", reservoir_capacity=16, seed=7
+        ) as many:
+            for i in range(0, 200, 7):
+                many.apply_batch(events[i : i + 7])
+            sample_many = _rows(
+                many, "SELECT slot, seq FROM sample ORDER BY slot"
+            )
+        assert sample_one == sample_many
+
+    def test_different_seed_different_sample(self, tmp_path):
+        events = make_events(200)
+        samples = []
+        for seed in (0, 1):
+            with AnalyticsStore(
+                tmp_path / f"s{seed}.db", reservoir_capacity=16, seed=seed
+            ) as store:
+                store.apply_batch(events)
+                samples.append(
+                    _rows(store, "SELECT slot, seq FROM sample ORDER BY slot")
+                )
+        assert samples[0] != samples[1]
+
+
+class TestOpsAndLifecycle:
+    def test_record_ops_appends_snapshots(self, store):
+        store.record_ops({"accepted": 10, "shed": 1, "queue_depth": 3})
+        store.record_ops({"accepted": 25, "shed": 4, "queue_depth": 0})
+        rows = _rows(
+            store, "SELECT accepted, shed, queue_depth FROM ops ORDER BY id"
+        )
+        assert rows == [(10, 1, 3), (25, 4, 0)]
+
+    def test_closed_store_refuses_writes(self, tmp_path):
+        store = AnalyticsStore(tmp_path / "a.db")
+        store.close()
+        assert store.closed
+        with pytest.raises(ValueError):
+            store.apply_batch(make_events(1))
+        with pytest.raises(ValueError):
+            store.record_ops({})
+        store.close()  # double-close is a no-op
+
+    def test_readonly_connection_cannot_write(self, store):
+        store.apply_batch(make_events(5))
+        conn = store.connect_readonly()
+        try:
+            with pytest.raises(sqlite3.OperationalError):
+                conn.execute("DELETE FROM events")
+        finally:
+            conn.close()
+
+    def test_reopen_resumes_the_cursor(self, tmp_path):
+        path = tmp_path / "a.db"
+        with AnalyticsStore(path) as store:
+            store.apply_batch(make_events(33))
+        with AnalyticsStore(path) as reopened:
+            assert reopened.applied_seq == 33
+            assert reopened.event_count() == 33
+            # Replay of the same prefix is still a no-op after reopen.
+            assert reopened.apply_batch(make_events(33)) == 0

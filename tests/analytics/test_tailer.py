@@ -1,0 +1,258 @@
+"""The segment tailer: exactly-once from WAL files to the store.
+
+The acceptance bar for the analytics tier lives here: **zero lost and
+zero doubled events across a tailer crash and restart** — a restarted
+tailer (fresh process, fresh skip cache, reopened store) must converge
+to exactly the event set a full WAL replay yields.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.analytics import AnalyticsStore, SegmentTailer
+from repro.streaming import WriteAheadLog
+
+from tests.analytics.conftest import fill_wal
+
+
+def _replay_count(wal_dir) -> int:
+    wal = WriteAheadLog(wal_dir, fsync="never")
+    try:
+        return sum(1 for _ in wal.replay(after_seq=0))
+    finally:
+        wal.close()
+
+
+def _distinct_seqs(store) -> int:
+    conn = store.connect_readonly()
+    try:
+        return conn.execute(
+            "SELECT COUNT(DISTINCT seq) FROM events"
+        ).fetchone()[0]
+    finally:
+        conn.close()
+
+
+class TestCatchUp:
+    def test_catch_up_equals_a_full_replay(self, tmp_path):
+        wal = fill_wal(tmp_path / "wal", 100)
+        with AnalyticsStore(tmp_path / "a.db") as store:
+            tailer = SegmentTailer(wal, store)
+            assert tailer.catch_up() == 100
+            assert store.event_count() == _replay_count(tmp_path / "wal")
+            stats = tailer.stats()
+            assert stats["lag"] == 0
+            assert stats["applied_seq"] == 100
+            assert stats["segments_tailed"] == len(wal.segments())
+        wal.close()
+
+    def test_later_polls_pick_up_only_new_events(self, tmp_path):
+        wal = fill_wal(tmp_path / "wal", 20)
+        with AnalyticsStore(tmp_path / "a.db") as store:
+            tailer = SegmentTailer(wal, store)
+            assert tailer.catch_up() == 20
+            assert tailer.run_once() == 0
+            for i in range(15):
+                wal.append(day=9, user_id=i, query_id=i)
+            wal.sync()
+            assert tailer.run_once() == 15
+            assert store.event_count() == 35
+        wal.close()
+
+    def test_wal_handle_is_never_required(self, tmp_path):
+        """A directory path alone must work — the tailer is an isolated
+        consumer that reads segment files, not the writer's lock."""
+        wal = fill_wal(tmp_path / "wal", 30)
+        wal.close()
+        with AnalyticsStore(tmp_path / "a.db") as store:
+            assert SegmentTailer(tmp_path / "wal", store).catch_up() == 30
+
+
+class TestCrashExactness:
+    def test_zero_lost_zero_doubled_across_crash_and_restart(self, tmp_path):
+        """The PR's acceptance criterion, end to end: kill the tailer
+        mid-fold (some batches committed, one aborted), reopen the
+        store cold, and the restarted tailer must land on *exactly*
+        the WAL's event set."""
+        n = 120
+        wal = fill_wal(tmp_path / "wal", n, segment_max_events=8)
+        wal.close()
+        path = tmp_path / "a.db"
+
+        calls = {"n": 0}
+
+        def dying_resolver(event):
+            calls["n"] += 1
+            if calls["n"] > 45:
+                raise RuntimeError("simulated crash mid-fold")
+            return 0
+
+        store = AnalyticsStore(path)
+        tailer = SegmentTailer(
+            tmp_path / "wal", store,
+            resolver=dying_resolver, batch_max_events=10,
+        )
+        with pytest.raises(RuntimeError):
+            tailer.run_once()
+        # The crash landed between batch commits: a strict prefix is in.
+        prefix = store.event_count()
+        assert 0 < prefix < n
+        assert prefix == store.applied_seq
+        store.close()
+
+        # The restart: a cold store handle and a tailer with no memory.
+        reopened = AnalyticsStore(path)
+        resumed = SegmentTailer(tmp_path / "wal", reopened)
+        assert resumed.catch_up() == n - prefix  # nothing doubled
+        assert reopened.event_count() == n == _replay_count(tmp_path / "wal")
+        assert _distinct_seqs(reopened) == n
+        reopened.close()
+
+    def test_rebuild_from_scratch_matches_the_resumed_store(self, tmp_path):
+        """Crash/resume and a from-scratch rebuild are the same store,
+        byte for byte where it matters (events, rollups, reservoir)."""
+        wal = fill_wal(tmp_path / "wal", 90, segment_max_events=8)
+        wal.close()
+
+        resumed = AnalyticsStore(tmp_path / "resumed.db")
+        SegmentTailer(
+            tmp_path / "wal", resumed, batch_max_events=13
+        ).catch_up()
+
+        scratch = AnalyticsStore(tmp_path / "scratch.db")
+        SegmentTailer(tmp_path / "wal", scratch).catch_up()
+
+        for sql in (
+            "SELECT * FROM events ORDER BY seq",
+            "SELECT * FROM daily_rollup ORDER BY day",
+            "SELECT slot, seq FROM sample ORDER BY slot",
+        ):
+            a = resumed.connect_readonly().execute(sql).fetchall()
+            b = scratch.connect_readonly().execute(sql).fetchall()
+            assert a == b, sql
+        resumed.close()
+        scratch.close()
+
+
+class TestTornTails:
+    def test_mid_append_tail_is_left_for_the_next_poll(self, tmp_path):
+        wal = fill_wal(tmp_path / "wal", 40, segment_max_events=64)
+        wal.close()
+        segment = sorted((tmp_path / "wal").glob("wal-*.jsonl"))[-1]
+        with open(segment, "a") as fh:
+            fh.write('{"crc": 99, "event": {"seq": 41, "day"')  # no newline
+        with AnalyticsStore(tmp_path / "a.db") as store:
+            assert SegmentTailer(tmp_path / "wal", store).catch_up() == 40
+
+    def test_torn_final_record_with_newline_is_recoverable(self, tmp_path):
+        wal = fill_wal(tmp_path / "wal", 40, segment_max_events=64)
+        wal.close()
+        segment = sorted((tmp_path / "wal").glob("wal-*.jsonl"))[-1]
+        with open(segment, "a") as fh:
+            fh.write('{"crc": 99, "event": {"seq": 41, "day": 7}}\n')
+        with AnalyticsStore(tmp_path / "a.db") as store:
+            assert SegmentTailer(tmp_path / "wal", store).catch_up() == 40
+
+
+class TestTopicAttribution:
+    def test_resolver_feeds_the_topic_rollup(self, tmp_path):
+        wal = fill_wal(tmp_path / "wal", 50)
+        wal.close()
+        with AnalyticsStore(tmp_path / "a.db") as store:
+            SegmentTailer(
+                tmp_path / "wal", store, resolver=lambda e: 42
+            ).catch_up()
+            conn = store.connect_readonly()
+            try:
+                rows = conn.execute(
+                    "SELECT topic_id, SUM(n_events) FROM topic_rollup "
+                    "GROUP BY topic_id"
+                ).fetchall()
+            finally:
+                conn.close()
+            assert rows == [(42, 50)]
+
+    def test_no_resolver_rolls_up_under_unattributed(self, tmp_path):
+        wal = fill_wal(tmp_path / "wal", 10)
+        wal.close()
+        with AnalyticsStore(tmp_path / "a.db") as store:
+            SegmentTailer(tmp_path / "wal", store).catch_up()
+            conn = store.connect_readonly()
+            try:
+                rows = conn.execute(
+                    "SELECT DISTINCT topic_id FROM events"
+                ).fetchall()
+            finally:
+                conn.close()
+            assert rows == [(-1,)]
+
+
+class TestCheckpointAndDaemon:
+    def test_checkpoint_sidecar_tracks_progress(self, tmp_path):
+        wal = fill_wal(tmp_path / "wal", 25)
+        wal.close()
+        with AnalyticsStore(tmp_path / "a.db") as store:
+            tailer = SegmentTailer(tmp_path / "wal", store)
+            tailer.catch_up()
+            payload = json.loads(tailer.checkpoint_path.read_text())
+        assert payload["applied_seq"] == 25
+        assert payload["rows_ingested"] == 25
+        assert payload["wal_head_seq"] == 25
+        assert payload["wal_dir"] == str(tmp_path / "wal")
+        assert payload["segments_seen"] >= 1
+
+    def test_background_thread_drains_on_stop(self, tmp_path):
+        wal = fill_wal(tmp_path / "wal", 30)
+        with AnalyticsStore(tmp_path / "a.db") as store:
+            tailer = SegmentTailer(
+                wal, store, poll_interval_s=0.01
+            ).start()
+            assert tailer.running
+            with pytest.raises(RuntimeError):
+                tailer.start()  # double-start is a bug, not a no-op
+            deadline = time.time() + 10
+            while store.applied_seq < 30 and time.time() < deadline:
+                time.sleep(0.01)
+            for i in range(12):
+                wal.append(day=9, user_id=i, query_id=i)
+            wal.sync()
+            tailer.stop(drain=True)
+            assert not tailer.running
+            assert store.event_count() == 42
+            assert tailer.last_error is None
+        wal.close()
+
+    def test_ops_snapshots_flow_from_the_pipe(self, tmp_path):
+        class FakePipe:
+            def __init__(self):
+                self.n = 0
+
+            def stats(self):
+                self.n += 10
+                return {"accepted": self.n, "shed": 1, "queue_depth": 0}
+
+        wal = fill_wal(tmp_path / "wal", 10)
+        wal.close()
+        with AnalyticsStore(tmp_path / "a.db") as store:
+            tailer = SegmentTailer(
+                tmp_path / "wal", store, ingest_pipe=FakePipe()
+            )
+            tailer.run_once()
+            tailer.run_once()
+            conn = store.connect_readonly()
+            try:
+                rows = conn.execute(
+                    "SELECT accepted FROM ops ORDER BY id"
+                ).fetchall()
+            finally:
+                conn.close()
+        assert rows == [(10,), (20,)]
+
+    def test_rejects_nonpositive_batch_size(self, tmp_path):
+        with AnalyticsStore(tmp_path / "a.db") as store:
+            with pytest.raises(ValueError):
+                SegmentTailer(tmp_path / "wal", store, batch_max_events=0)

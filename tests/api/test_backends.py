@@ -27,15 +27,12 @@ from repro.api import (
 from repro.core.serving import ShoalService
 from repro.serving.router import ClusterRouter
 
-#: The serving surface every backend must expose, typed + legacy + ops.
+#: The serving surface every backend must expose: typed + ops only
+#: (the legacy delegate names were removed after their one release).
 CONTRACT_METHODS = [
     "search",
     "recommend",
     "batch",
-    "search_topics",
-    "search_topics_batch",
-    "recommend_entities_for_query",
-    "recommend_batch",
     "health",
     "stats",
     "close",
@@ -85,9 +82,28 @@ class TestContractSurfaces:
             f"ClusterRouter"
         )
 
+    @pytest.mark.parametrize(
+        "method",
+        [
+            "search_topics",
+            "search_topics_batch",
+            "recommend_entities_for_query",
+            "recommend_batch",
+        ],
+    )
+    @pytest.mark.parametrize("cls", BACKEND_CLASSES + [ShoalBackend])
+    def test_legacy_delegates_are_gone(self, cls, method):
+        """The deprecated thin delegates were dropped after one
+        release — the typed contract is the only frontend surface."""
+        assert getattr(cls, method, None) is None, (
+            f"{cls.__name__}.{method} should have been removed with the "
+            "legacy delegate layer"
+        )
+
     def test_k_defaults_are_uniform(self):
-        """k defaults: 5 for search surfaces, 10 for recommend ones."""
-        for cls in (ShoalService, ClusterRouter, ShoalBackend):
+        """k defaults: 5 for search surfaces, 10 for recommend ones
+        (on the raw engine tiers, the only place the names remain)."""
+        for cls in (ShoalService, ClusterRouter):
             assert (
                 inspect.signature(cls.search_topics).parameters["k"].default
                 == 5
@@ -122,20 +138,8 @@ class TestServiceBackend:
         response = tiny_backend.batch(request)
         assert response.kind == "search"
         for q, hits in zip(scenario_queries, response.results):
-            assert list(hits) == tiny_backend.search_topics(q, 4)
-
-    def test_legacy_delegates_equal_typed(self, tiny_backend, scenario_queries):
-        q = scenario_queries[0]
-        assert tiny_backend.search_topics(q, 3) == list(
-            tiny_backend.search(SearchRequest(query=q, k=3)).hits
-        )
-        assert tiny_backend.recommend_batch([q], 5) == [
-            list(
-                tiny_backend.recommend(
-                    RecommendRequest(query=q, k=5)
-                ).entity_ids
-            )
-        ]
+            single = tiny_backend.search(SearchRequest(query=q, k=4))
+            assert tuple(hits) == single.hits
 
     def test_invalid_request_raises_api_error(self, tiny_backend):
         with pytest.raises(ApiError) as excinfo:
@@ -154,7 +158,7 @@ class TestServiceBackend:
         backend = ServiceBackend.from_model(
             tiny_model, entity_categories=tiny_categories
         )
-        backend.search_topics("anything at all", 3)
+        backend.search(SearchRequest(query="anything at all", k=3))
         before = backend.cache_stats().invalidations
         backend.invalidate_cache()
         assert backend.cache_stats().invalidations == before + 1
@@ -175,7 +179,7 @@ class TestClusterBackend:
         cluster = ClusterBackend.from_model(
             tiny_model, 2, entity_categories=tiny_categories
         )
-        cluster.search_topics("beach", 3)
+        cluster.search(SearchRequest(query="beach", k=3))
         stats = cluster.stats()
         assert stats["backend"] == "cluster"
         assert stats["n_shards"] == 2
@@ -252,6 +256,29 @@ class TestOpenBackend:
     def test_bad_uri_is_invalid_argument(self, uri):
         with pytest.raises(ApiError) as excinfo:
             open_backend(uri)
+        assert excinfo.value.code == "invalid_argument"
+
+    @pytest.mark.parametrize(
+        "uri", ["s3://bucket/model", "gopher:hole", "snapshots:/typo/dir"]
+    )
+    def test_unknown_scheme_names_the_scheme(self, uri):
+        """An unrecognised scheme fails fast with the scheme named,
+        instead of falling through to a confusing not-a-directory
+        message."""
+        with pytest.raises(ApiError) as excinfo:
+            open_backend(uri)
+        assert excinfo.value.code == "invalid_argument"
+        assert "scheme" in str(excinfo.value)
+
+    @pytest.mark.parametrize("scheme", ["snapshot:", "local:", "cluster:"])
+    def test_missing_snapshot_dir_is_invalid_argument(self, scheme, tmp_path):
+        """Each snapshot scheme family maps load errors to ApiError —
+        never a raw FileNotFoundError — for empty and absent targets."""
+        with pytest.raises(ApiError) as excinfo:
+            open_backend(scheme)  # empty target
+        assert excinfo.value.code == "invalid_argument"
+        with pytest.raises(ApiError) as excinfo:
+            open_backend(f"{scheme}{tmp_path}/does-not-exist")
         assert excinfo.value.code == "invalid_argument"
 
     def test_undecidable_directory_is_invalid_argument(self, tmp_path):

@@ -17,13 +17,19 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.api import (
+    ANALYTICS_REPORTS,
+    AnalyticsRequest,
+    AnalyticsResponse,
     ApiError,
     BatchRequest,
     BatchResponse,
     ERROR_CODES,
+    MAX_ANALYTICS_ROWS,
     MAX_BATCH_QUERIES,
     MAX_K,
     MAX_QUERY_CHARS,
+    MAX_SQL_CHARS,
+    MetricsResponse,
     RecommendRequest,
     RecommendResponse,
     SCHEMA_VERSION,
@@ -72,6 +78,75 @@ recommend_responses = st.builds(
     entity_ids=st.lists(
         st.integers(min_value=0, max_value=10**9), max_size=10
     ).map(tuple),
+)
+
+
+sqls = st.text(min_size=1, max_size=60).filter(lambda s: s.strip())
+analytics_limits = st.integers(min_value=1, max_value=MAX_ANALYTICS_ROWS)
+
+analytics_sql_requests = st.builds(
+    AnalyticsRequest,
+    sql=sqls,
+    limit=analytics_limits,
+    sample=st.booleans(),
+    timeout_ms=timeouts,
+)
+analytics_report_requests = st.builds(
+    AnalyticsRequest,
+    report=st.sampled_from(ANALYTICS_REPORTS),
+    limit=analytics_limits,
+    sample=st.booleans(),
+    timeout_ms=timeouts,
+)
+analytics_requests = st.one_of(
+    analytics_sql_requests, analytics_report_requests
+)
+
+#: Every type a SQLite result cell can carry over the wire.
+cells = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**12), max_value=10**12),
+    scores,
+    st.text(max_size=20),
+)
+
+
+def _analytics_responses():
+    def build(n_cols):
+        return st.builds(
+            AnalyticsResponse,
+            columns=st.lists(
+                st.text(min_size=1, max_size=12),
+                min_size=n_cols,
+                max_size=n_cols,
+            ).map(tuple),
+            rows=st.lists(
+                st.lists(cells, min_size=n_cols, max_size=n_cols).map(tuple),
+                max_size=5,
+            ).map(tuple),
+            truncated=st.booleans(),
+            sampled=st.booleans(),
+            elapsed_ms=st.floats(
+                min_value=0, max_value=1e6, allow_nan=False
+            ),
+        )
+
+    return st.integers(min_value=1, max_value=4).flatmap(build)
+
+
+analytics_responses = _analytics_responses()
+
+#: A JSON-object stats section (what subsystem ``stats()`` dicts hold).
+sections = st.dictionaries(
+    st.text(min_size=1, max_size=12), st.one_of(cells), max_size=4
+)
+metrics_responses = st.builds(
+    MetricsResponse,
+    backend=sections,
+    ingest=st.one_of(st.none(), sections),
+    updater=st.one_of(st.none(), sections),
+    analytics=st.one_of(st.none(), sections),
 )
 
 
@@ -142,6 +217,37 @@ class TestRoundTrips:
         assert BatchResponse.from_dict(resp.to_dict()) == resp
         assert (
             BatchResponse.from_dict(json.loads(json.dumps(resp.to_dict())))
+            == resp
+        )
+
+    @settings(max_examples=150)
+    @given(analytics_requests)
+    def test_analytics_request(self, req):
+        assert AnalyticsRequest.from_dict(req.to_dict()) == req
+        assert (
+            AnalyticsRequest.from_dict(json.loads(json.dumps(req.to_dict())))
+            == req
+        )
+
+    @settings(max_examples=150)
+    @given(analytics_responses)
+    def test_analytics_response(self, resp):
+        assert AnalyticsResponse.from_dict(resp.to_dict()) == resp
+        # Result cells carry every JSON scalar type; they must survive
+        # real JSON text, floats included.
+        assert (
+            AnalyticsResponse.from_dict(
+                json.loads(json.dumps(resp.to_dict()))
+            )
+            == resp
+        )
+
+    @settings(max_examples=150)
+    @given(metrics_responses)
+    def test_metrics_response(self, resp):
+        assert MetricsResponse.from_dict(resp.to_dict()) == resp
+        assert (
+            MetricsResponse.from_dict(json.loads(json.dumps(resp.to_dict())))
             == resp
         )
 
@@ -267,6 +373,83 @@ class TestErrorCodes:
             lambda: SearchResponse.from_dict(
                 {"hits": [{"topic_id": "NaN-ish"}]}
             )
+        ) == "bad_request"
+
+    def test_analytics_sql_and_report_together_is_invalid_argument(self):
+        payload = {"sql": "SELECT 1", "report": "trending"}
+        assert _code_of(lambda: AnalyticsRequest.from_dict(payload)) == (
+            "invalid_argument"
+        )
+
+    def test_analytics_neither_sql_nor_report_is_invalid_argument(self):
+        assert _code_of(lambda: AnalyticsRequest.from_dict({})) == (
+            "invalid_argument"
+        )
+
+    def test_analytics_blank_sql_is_invalid_argument(self):
+        assert _code_of(
+            lambda: AnalyticsRequest.from_dict({"sql": "   "})
+        ) == "invalid_argument"
+
+    def test_analytics_overlong_sql_is_invalid_argument(self):
+        payload = {"sql": "SELECT " + "x" * MAX_SQL_CHARS}
+        assert _code_of(lambda: AnalyticsRequest.from_dict(payload)) == (
+            "invalid_argument"
+        )
+
+    def test_analytics_unknown_report_is_invalid_argument(self):
+        payload = {"report": "top-secret"}
+        assert _code_of(lambda: AnalyticsRequest.from_dict(payload)) == (
+            "invalid_argument"
+        )
+
+    @pytest.mark.parametrize("limit", [0, -3, MAX_ANALYTICS_ROWS + 1])
+    def test_analytics_out_of_bounds_limit_is_invalid_argument(self, limit):
+        payload = {"report": "daily", "limit": limit}
+        assert _code_of(lambda: AnalyticsRequest.from_dict(payload)) == (
+            "invalid_argument"
+        )
+
+    @pytest.mark.parametrize("limit", ["10", 2.5, True, None])
+    def test_analytics_non_integer_limit_is_bad_request(self, limit):
+        payload = {"report": "daily", "limit": limit}
+        assert _code_of(lambda: AnalyticsRequest.from_dict(payload)) == (
+            "bad_request"
+        )
+
+    def test_analytics_non_boolean_sample_is_bad_request(self):
+        payload = {"report": "daily", "sample": "yes"}
+        assert _code_of(lambda: AnalyticsRequest.from_dict(payload)) == (
+            "bad_request"
+        )
+
+    def test_analytics_unknown_field_is_bad_request(self):
+        payload = {"sql": "SELECT 1", "format": "csv"}
+        assert _code_of(lambda: AnalyticsRequest.from_dict(payload)) == (
+            "bad_request"
+        )
+
+    def test_analytics_response_non_scalar_cell_is_bad_request(self):
+        payload = {"columns": ["a"], "rows": [[{"nested": 1}]]}
+        assert _code_of(
+            lambda: AnalyticsResponse.from_dict(payload)
+        ) == "bad_request"
+
+    def test_analytics_response_string_rows_is_bad_request(self):
+        payload = {"columns": ["a"], "rows": "not-an-array"}
+        assert _code_of(
+            lambda: AnalyticsResponse.from_dict(payload)
+        ) == "bad_request"
+
+    def test_metrics_missing_backend_is_bad_request(self):
+        assert _code_of(
+            lambda: MetricsResponse.from_dict({"ingest": {}})
+        ) == "bad_request"
+
+    def test_metrics_non_object_section_is_bad_request(self):
+        payload = {"backend": {}, "analytics": [1, 2]}
+        assert _code_of(
+            lambda: MetricsResponse.from_dict(payload)
         ) == "bad_request"
 
 

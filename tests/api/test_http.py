@@ -253,7 +253,9 @@ class TestHttpOperationalEndpoints:
                 payload = _json.loads(resp.read().decode("utf-8"))
             assert payload["backend"]["backend"] == "gateway"
             assert "gateway_cache" in payload["backend"]
-        assert remote.metrics()["backend"]["backend"] == "gateway"
+        typed = remote.metrics()
+        assert typed.backend["backend"] == "gateway"
+        assert typed.to_dict()["backend"] == payload["backend"]
 
 
 class TestHttpMiddlewareIntegration:

@@ -6,6 +6,11 @@ or ``ClusterRouter(...)`` construction (including the ``from_*``
 factory classmethods) outside ``src/repro/api``. Engine *access*
 through an adapter (``backend.service`` / ``backend.router``) is fine;
 standing up a tier is not.
+
+A second guard bans the *legacy method names* in the same frontend
+paths: the deprecated thin delegates (``search_topics`` & co.) are
+gone from the backends, so any surviving call site would now be either
+dead code or an accidental raw-engine dependency.
 """
 
 from __future__ import annotations
@@ -23,12 +28,27 @@ FORBIDDEN = re.compile(
     r"\b(ShoalService|ClusterRouter)\s*(\(|\.from_\w+\s*\()"
 )
 
+#: The removed delegate names, as method calls on anything.
+LEGACY_CALLS = re.compile(
+    r"\.(search_topics|search_topics_batch|"
+    r"recommend_entities_for_query|recommend_batch)\s*\("
+)
+
 FRONTEND_PATHS = [
     "examples",
     "benchmarks",
     "src/repro/cli.py",
     "src/repro/serving/replay.py",
 ]
+
+#: Frontends allowed to time the raw engine *behind* an adapter
+#: (reached via ``backend.service``, never constructed) — the only
+#: sanctioned use of the engine method names outside the adapters.
+LEGACY_CALL_EXEMPT = {
+    "benchmarks/test_bench_api.py",
+    "benchmarks/test_bench_serving.py",
+    "benchmarks/check_regressions.py",
+}
 
 
 def _frontend_files():
@@ -55,8 +75,25 @@ def test_frontend_has_no_direct_tier_construction(path):
     )
 
 
+@pytest.mark.parametrize(
+    "path", list(_frontend_files()), ids=lambda p: str(p.relative_to(REPO_ROOT))
+)
+def test_frontend_has_no_legacy_delegate_calls(path):
+    if str(path.relative_to(REPO_ROOT)) in LEGACY_CALL_EXEMPT:
+        pytest.skip("sanctioned raw-engine timing harness")
+    offending = []
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if LEGACY_CALLS.search(line):
+            offending.append(f"{path.name}:{lineno}: {line.strip()}")
+    assert not offending, (
+        "legacy delegate call in a frontend (the thin delegates were "
+        "removed; build a typed request and call search/recommend/"
+        "batch):\n" + "\n".join(offending)
+    )
+
+
 def test_the_guard_itself_still_bites():
-    """The regex must keep matching the patterns it exists to ban."""
+    """The regexes must keep matching the patterns they exist to ban."""
     for snippet in (
         "service = ShoalService(model)",
         "svc = ShoalService.from_snapshot(d)",
@@ -72,3 +109,16 @@ def test_the_guard_itself_still_bites():
         "from repro.core.serving import ShoalService",
     ):
         assert not FORBIDDEN.search(snippet), snippet
+    for snippet in (
+        "backend.search_topics(q, 5)",
+        "client.search_topics_batch(queries, k=5)",
+        "gateway.recommend_entities_for_query(q, 8)",
+        "target.recommend_batch(queries)",
+    ):
+        assert LEGACY_CALLS.search(snippet), snippet
+    for snippet in (
+        "backend.search(SearchRequest(query=q, k=5))",
+        "response = gateway.batch(request)",
+        "# search_topics is engine-only now",
+    ):
+        assert not LEGACY_CALLS.search(snippet), snippet

@@ -19,7 +19,12 @@ import threading
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.api import ClusterBackend, ServiceBackend
+from repro.api import (
+    ClusterBackend,
+    RecommendRequest,
+    SearchRequest,
+    ServiceBackend,
+)
 from repro.streaming import (
     GenerationSwitch,
     IngestPipe,
@@ -34,6 +39,14 @@ from tests.streaming.conftest import (
 )
 
 N_LIVE = 250  # live events streamed through the WAL before the swap
+
+
+def _search(backend, query, k):
+    return backend.search(SearchRequest(query=query, k=k)).hits
+
+
+def _recommend(backend, query, k):
+    return backend.recommend(RecommendRequest(query=query, k=k)).entity_ids
 
 
 @pytest.fixture(scope="module")
@@ -100,9 +113,9 @@ class TestTransparencyAfterSwap:
     ):
         single, cluster, fresh, pool = swapped_world
         query = data.draw(st.sampled_from(pool))
-        want = fresh.search_topics(query, k)
-        assert single.search_topics(query, k) == want
-        assert cluster.search_topics(query, k) == want
+        want = _search(fresh, query, k)
+        assert _search(single, query, k) == want
+        assert _search(cluster, query, k) == want
 
     @settings(
         max_examples=40,
@@ -115,17 +128,17 @@ class TestTransparencyAfterSwap:
     ):
         single, cluster, fresh, pool = swapped_world
         query = data.draw(st.sampled_from(pool))
-        want = fresh.recommend_entities_for_query(query, k)
-        assert single.recommend_entities_for_query(query, k) == want
-        assert cluster.recommend_entities_for_query(query, k) == want
+        want = _recommend(fresh, query, k)
+        assert _recommend(single, query, k) == want
+        assert _recommend(cluster, query, k) == want
 
     def test_every_pool_query_identical_exhaustively(self, swapped_world):
         """Belt and braces on top of hypothesis: the whole pool."""
         single, cluster, fresh, pool = swapped_world
         for query in pool:
-            want = fresh.search_topics(query, 5)
-            assert single.search_topics(query, 5) == want
-            assert cluster.search_topics(query, 5) == want
+            want = _search(fresh, query, 5)
+            assert _search(single, query, 5) == want
+            assert _search(cluster, query, 5) == want
 
 
 class TestTransparencyDuringSwap:
@@ -144,7 +157,7 @@ class TestTransparencyDuringSwap:
         switch.attach(single).attach(cluster)
 
         pool = sorted({q.text for q in stream_market.query_log.queries})[:40]
-        old_answers = {q: single.search_topics(q, 5) for q in pool}
+        old_answers = {q: _search(single, q, 5) for q in pool}
 
         wal = WriteAheadLog(tmp_path / "wal", fsync="never")
         pipe = IngestPipe(wal, max_queue=10_000)
@@ -161,7 +174,7 @@ class TestTransparencyDuringSwap:
             while not stop.is_set():
                 q = pool[i % len(pool)]
                 try:
-                    observations.append((q, tuple(backend.search_topics(q, 5))))
+                    observations.append((q, tuple(_search(backend, q, 5))))
                 except Exception as exc:  # noqa: BLE001 - the regression
                     errors.append(exc)
                 i += 1
@@ -182,7 +195,7 @@ class TestTransparencyDuringSwap:
 
         assert generation is not None
         assert not errors, f"reads failed during the swap: {errors[:3]}"
-        new_answers = {q: tuple(single.search_topics(q, 5)) for q in pool}
+        new_answers = {q: tuple(_search(single, q, 5)) for q in pool}
         for q, got in observations:
             assert got == tuple(old_answers[q]) or got == new_answers[q], (
                 f"answer for {q!r} during the swap matches neither the "

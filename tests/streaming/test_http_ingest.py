@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.api import ApiError, Gateway, ServiceBackend, ShoalClient
+from repro.api import (
+    ApiError,
+    Gateway,
+    SearchRequest,
+    ServiceBackend,
+    ShoalClient,
+)
 from repro.api.http import ShoalHttpServer
 from repro.streaming import (
     GenerationSwitch,
@@ -104,20 +110,21 @@ class TestMetricsScrape:
     ):
         _, client, _, updater = served_with_ingest
         query = stream_market.query_log.queries[0].text
-        client.search_topics(query, 3)
+        client.search(SearchRequest(query=query, k=3))
         for e in live_events[:10]:
             client.ingest(event_payload(e))
         generation = updater.run_once(timeout_s=0.0)
         assert generation is not None
 
         metrics = client.metrics()
-        assert metrics["backend"]["backend"] == "gateway"
-        assert metrics["ingest"]["accepted"] == 10
-        assert metrics["ingest"]["wal"]["appended"] == 10
-        assert metrics["updater"]["events_applied"] == 10
-        assert metrics["updater"]["applied_seq"] == 10
-        assert metrics["updater"]["generations"] == 1
-        assert metrics["updater"]["switch"]["swaps"] == 1
+        assert metrics.backend["backend"] == "gateway"
+        assert metrics.ingest["accepted"] == 10
+        assert metrics.ingest["wal"]["appended"] == 10
+        assert metrics.updater["events_applied"] == 10
+        assert metrics.updater["applied_seq"] == 10
+        assert metrics.updater["generations"] == 1
+        assert metrics.updater["switch"]["swaps"] == 1
+        assert metrics.analytics is None  # no analytics tier attached
 
     def test_end_to_end_ingest_to_swap_over_http(
         self, served_with_ingest, live_events, stream_market
@@ -137,4 +144,5 @@ class TestMetricsScrape:
         for q in sorted(
             {q.text for q in stream_market.query_log.queries}
         )[:10]:
-            assert client.search_topics(q, 5) == fresh.search_topics(q, 5)
+            request = SearchRequest(query=q, k=5)
+            assert client.search(request) == fresh.search(request)
