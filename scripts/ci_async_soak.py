@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""CI soak gate for the asyncio edge.
+
+Drives mixed read+write traffic at a running
+``serve-http --edge async --ingest-wal`` gateway from many concurrent
+keep-alive connections — 10x the connection count the threaded-edge
+soak uses — for a fixed duration, and fails if
+
+* any request answers with a 5xx status (``backend_error`` /
+  ``unavailable`` / ``ingest_unavailable`` / ``deadline_exceeded``
+  and friends) — load-shed 429s (``ingest_overloaded`` /
+  ``rate_limited``) are expected behaviour and tracked, not fatal;
+* any acked event is lost: the updater's ``applied_seq`` scraped from
+  ``GET /v1/metrics`` must reach the last sequence number a client was
+  acknowledged (zero lost events, coalescing included);
+* the edge never hedged: the run's ``edge.hedges.launched`` counter
+  must be >= 1 (start the server with ``--hedge-after-ms 0`` so every
+  not-instant read hedges and the counter provably moves).
+
+Usage::
+
+    python scripts/ci_async_soak.py --url http://127.0.0.1:8473 \
+        --profile small --seed 0 --duration 60 --connections 80
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import threading
+import time
+import urllib.parse
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.data.marketplace import PROFILES, generate_marketplace  # noqa: E402
+from repro.serving import WorkloadConfig, build_workload  # noqa: E402
+from repro.serving.replay import build_write_workload  # noqa: E402
+
+NONFATAL_STATUSES = {429}  # backpressure is behaviour, not breakage
+
+
+def _host_port(url: str):
+    parsed = urllib.parse.urlsplit(url)
+    return parsed.hostname, parsed.port or 80
+
+
+def _request(conn, method, path, payload=None):
+    body = None if payload is None else json.dumps(payload).encode()
+    headers = {} if body is None else {"Content-Type": "application/json"}
+    conn.request(method, path, body=body, headers=headers)
+    resp = conn.getresponse()
+    return resp.status, json.loads(resp.read().decode() or "{}")
+
+
+def wait_healthy(host, port, timeout_s: float) -> None:
+    deadline = time.monotonic() + timeout_s
+    last = "never polled"
+    while time.monotonic() < deadline:
+        try:
+            conn = http.client.HTTPConnection(host, port, timeout=5)
+            try:
+                status, body = _request(conn, "GET", "/v1/health")
+            finally:
+                conn.close()
+            if status == 200 and body.get("status") == "ok":
+                return
+            last = f"status={status} body={body}"
+        except OSError as exc:
+            last = repr(exc)
+        time.sleep(0.25)
+    raise SystemExit(f"async edge never became healthy: {last}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", required=True)
+    parser.add_argument("--profile", default="small")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--duration", type=float, default=60.0)
+    parser.add_argument(
+        "--connections", type=int, default=80,
+        help="concurrent keep-alive connections (10x the threaded soak)",
+    )
+    parser.add_argument(
+        "--write-every", type=int, default=4,
+        help="one write per this many reads, per connection",
+    )
+    parser.add_argument(
+        "--settle-timeout", type=float, default=120.0,
+        help="how long to wait post-soak for the updater to drain",
+    )
+    args = parser.parse_args(argv)
+
+    market = generate_marketplace(
+        PROFILES[args.profile].with_seed(args.seed)
+    )
+    reads = build_workload(
+        market.query_log.queries,
+        market.scenarios,
+        WorkloadConfig(n_requests=20_000, profile="bursty", seed=args.seed),
+    )
+    last_day = market.query_log.days()[-1]
+    writes = build_write_workload(
+        market.query_log, 5_000, day=last_day + 1, seed=args.seed
+    )
+
+    host, port = _host_port(args.url)
+    wait_healthy(host, port, timeout_s=60.0)
+
+    deadline = time.monotonic() + args.duration
+    lock = threading.Lock()
+    totals = {"reads": 0, "writes": 0, "shed": 0, "last_seq": 0}
+    fatal: list = []
+
+    def worker(worker_id: int) -> None:
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        i = worker_id  # desynchronize the per-connection streams
+        try:
+            while time.monotonic() < deadline:
+                with lock:
+                    if fatal:
+                        return
+                query = reads[i % len(reads)]
+                status, body = _request(
+                    conn, "POST", "/v1/search", {"query": query, "k": 5}
+                )
+                if status >= 500:
+                    with lock:
+                        fatal.append(("read", status, body))
+                    return
+                with lock:
+                    totals["reads"] += 1
+                if i % args.write_every == 0:
+                    event = writes[(i // args.write_every) % len(writes)]
+                    status, body = _request(
+                        conn, "POST", "/v1/ingest", event
+                    )
+                    if status >= 500:
+                        with lock:
+                            fatal.append(("write", status, body))
+                        return
+                    with lock:
+                        if status == 200:
+                            totals["writes"] += 1
+                            totals["last_seq"] = max(
+                                totals["last_seq"], body["last_seq"]
+                            )
+                        elif status in NONFATAL_STATUSES:
+                            totals["shed"] += 1
+                        else:
+                            fatal.append(("write", status, body))
+                            return
+                i += 1
+        except OSError as exc:
+            # A dropped connection under load is a 5xx in disguise.
+            with lock:
+                fatal.append(("connection", worker_id, repr(exc)))
+        finally:
+            conn.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(w,), daemon=True)
+        for w in range(args.connections)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=args.duration + 120.0)
+
+    print(
+        f"soak done: {totals['reads']} reads, {totals['writes']} writes "
+        f"({totals['shed']} shed) over {args.connections} connections, "
+        f"last acked seq {totals['last_seq']}"
+    )
+    if fatal:
+        print(f"FATAL errors during the soak: {fatal[:5]}")
+        return 1
+
+    # Post-soak settle: every acked event applied, and the edge hedged.
+    probe = http.client.HTTPConnection(host, port, timeout=30)
+    settle_deadline = time.monotonic() + args.settle_timeout
+    metrics: dict = {}
+    try:
+        while time.monotonic() < settle_deadline:
+            _, metrics = _request(probe, "GET", "/v1/metrics")
+            updater = metrics.get("updater") or {}
+            if updater.get("applied_seq", 0) >= totals["last_seq"]:
+                break
+            time.sleep(1.0)
+    finally:
+        probe.close()
+
+    updater = metrics.get("updater") or {}
+    edge = metrics.get("edge") or {}
+    hedges = edge.get("hedges") or {}
+    print(
+        f"updater: applied_seq={updater.get('applied_seq')} "
+        f"generations={updater.get('generations')} "
+        f"swap_failures={updater.get('swap_failures')}; "
+        f"edge: kind={edge.get('kind')} "
+        f"connections={edge.get('connections')} "
+        f"hedges={hedges} deadline_expired={edge.get('deadline_expired')}"
+    )
+
+    failures = []
+    if totals["writes"] == 0:
+        failures.append("no write was ever admitted")
+    if updater.get("applied_seq", 0) < totals["last_seq"]:
+        failures.append(
+            f"lost events: applied_seq {updater.get('applied_seq')} < "
+            f"last acked seq {totals['last_seq']}"
+        )
+    if edge.get("kind") != "async":
+        failures.append(f"not the async edge: {edge.get('kind')!r}")
+    if hedges.get("launched", 0) < 1:
+        failures.append(
+            "the edge never hedged a request (launched=0); start the "
+            "server with --hedge-after-ms 0"
+        )
+
+    if failures:
+        for f in failures:
+            print(f"GATE FAILED: {f}")
+        return 1
+    print("async edge soak gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,8 +9,8 @@ Replays mixed read+write traffic against a running
   load-shed 429s (``ingest_overloaded`` / ``rate_limited``) are
   expected behaviour and tracked, not fatal;
 * any admitted event is lost: the updater's ``applied_seq`` scraped
-  from ``GET /metrics`` must reach the last sequence number the client
-  was acknowledged (zero lost events);
+  from ``GET /v1/metrics`` must reach the last sequence number the
+  client was acknowledged (zero lost events);
 * fewer than ``--min-generations`` generation hot-swaps completed, or
   any swap failed its health check.
 

@@ -14,8 +14,15 @@ a concrete read tier. The pieces:
 * :mod:`repro.api.middleware` — the composable gateway stack (metrics,
   token-bucket rate limiting, per-request deadlines, result cache) and
   :class:`Gateway`;
-* :mod:`repro.api.http` — :class:`ShoalHttpServer` (stdlib JSON edge)
-  and :class:`ShoalClient` (same typed contract in-process or remote);
+* :mod:`repro.api.context` — :class:`RequestContext` /
+  :class:`CancelToken`: the per-request deadline + cancellation +
+  identity object every edge mints and every layer below polls;
+* :mod:`repro.api.http` — :class:`ShoalHttpServer` (stdlib JSON edge),
+  :class:`GatewayCore` (the transport-neutral dispatch both edges
+  share), and :class:`ShoalClient` (same typed contract in-process or
+  remote);
+* :mod:`repro.api.aio` — :class:`AsyncShoalServer`, the asyncio edge
+  with deadline cancellation, hedging, and ingest coalescing;
 * :mod:`repro.api.cache` — the shared locked LRU every cache tier uses.
 
 Typical use::
@@ -61,6 +68,10 @@ _EXPORTS = {
     "AnalyticsResponse": "repro.api.contract",
     "MetricsResponse": "repro.api.contract",
     "request_from_dict": "repro.api.contract",
+    # context
+    "RequestContext": "repro.api.context",
+    "CancelToken": "repro.api.context",
+    "current_context": "repro.api.context",
     # backends
     "ShoalBackend": "repro.api.backends",
     "ServiceBackend": "repro.api.backends",
@@ -74,9 +85,11 @@ _EXPORTS = {
     "MetricsMiddleware": "repro.api.middleware",
     "Gateway": "repro.api.middleware",
     "default_middlewares": "repro.api.middleware",
-    # http edge
+    # http edges
     "ShoalHttpServer": "repro.api.http",
+    "GatewayCore": "repro.api.http",
     "ShoalClient": "repro.api.http",
+    "AsyncShoalServer": "repro.api.aio",
 }
 
 __all__ = sorted(_EXPORTS)
@@ -99,6 +112,7 @@ def __dir__():
 
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.api.aio import AsyncShoalServer  # noqa: F401
     from repro.api.backends import (  # noqa: F401
         ClusterBackend,
         ServiceBackend,
@@ -118,7 +132,16 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         SearchRequest,
         SearchResponse,
     )
-    from repro.api.http import ShoalClient, ShoalHttpServer  # noqa: F401
+    from repro.api.context import (  # noqa: F401
+        CancelToken,
+        RequestContext,
+        current_context,
+    )
+    from repro.api.http import (  # noqa: F401
+        GatewayCore,
+        ShoalClient,
+        ShoalHttpServer,
+    )
     from repro.api.middleware import (  # noqa: F401
         CacheMiddleware,
         DeadlineMiddleware,

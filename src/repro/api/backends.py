@@ -39,6 +39,7 @@ import re
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from repro.api.context import current_context
 from repro.api.contract import (
     SCHEMA_VERSION,
     ApiError,
@@ -121,8 +122,19 @@ class _EngineBackend(ShoalBackend):
     def __init__(self, engine):
         self._engine = engine
 
+    @staticmethod
+    def _checkpoint() -> None:
+        """Cancellation-aware call point: refuse to start engine work
+        for a request whose ambient context is already expired or
+        cancelled (the async edge relies on this to abandon hedge
+        losers and blown deadlines before they cost shard time)."""
+        ctx = current_context()
+        if ctx is not None:
+            ctx.raise_if_done()
+
     def search(self, request: SearchRequest) -> SearchResponse:
         request.validate()
+        self._checkpoint()
         try:
             hits = self._engine.search_topics(request.query, request.k)
         except ApiError:
@@ -133,6 +145,7 @@ class _EngineBackend(ShoalBackend):
 
     def recommend(self, request: RecommendRequest) -> RecommendResponse:
         request.validate()
+        self._checkpoint()
         try:
             ids = self._engine.recommend_entities_for_query(
                 request.query, request.k
@@ -147,6 +160,7 @@ class _EngineBackend(ShoalBackend):
 
     def batch(self, request: BatchRequest) -> BatchResponse:
         request.validate()
+        self._checkpoint()
         try:
             if request.kind == "search":
                 rows = self._engine.search_topics_batch(

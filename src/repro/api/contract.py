@@ -70,6 +70,7 @@ ERROR_CODES: Dict[str, int] = {
     "not_found": 404,          # unknown endpoint or resource
     "rate_limited": 429,
     "deadline_exceeded": 504,
+    "cancelled": 499,          # request abandoned (hedge lost, client gone)
     "backend_error": 500,      # the tier behind the gateway failed
     "unavailable": 502,        # transport could not reach the backend
     # Write-path (streaming ingest) backpressure — see repro.streaming:
@@ -727,14 +728,16 @@ class MetricsResponse:
     """The versioned scrape point: one JSON object per subsystem.
 
     ``backend`` is always present (the read tier's stats); ``ingest``,
-    ``updater``, and ``analytics`` appear when the corresponding
-    subsystem is attached to the server.
+    ``updater``, ``analytics``, and ``edge`` appear when the
+    corresponding subsystem is attached to the server (``edge`` is the
+    async edge's hedging/cancellation/coalescing counters).
     """
 
     backend: Dict[str, Any] = field(default_factory=dict)
     ingest: Optional[Dict[str, Any]] = None
     updater: Optional[Dict[str, Any]] = None
     analytics: Optional[Dict[str, Any]] = None
+    edge: Optional[Dict[str, Any]] = None
     version: int = SCHEMA_VERSION
 
     def to_dict(self) -> Dict[str, Any]:
@@ -748,13 +751,15 @@ class MetricsResponse:
             out["updater"] = dict(self.updater)
         if self.analytics is not None:
             out["analytics"] = dict(self.analytics)
+        if self.edge is not None:
+            out["edge"] = dict(self.edge)
         return out
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "MetricsResponse":
         fields = _take(
             payload,
-            ("version", "backend", "ingest", "updater", "analytics"),
+            ("version", "backend", "ingest", "updater", "analytics", "edge"),
             "metrics response",
         )
         backend = fields.get("backend")
@@ -769,6 +774,7 @@ class MetricsResponse:
             ingest=_check_section(fields.get("ingest"), "ingest"),
             updater=_check_section(fields.get("updater"), "updater"),
             analytics=_check_section(fields.get("analytics"), "analytics"),
+            edge=_check_section(fields.get("edge"), "edge"),
             version=version,
         )
 

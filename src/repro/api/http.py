@@ -22,11 +22,19 @@ the in-process backend:
 * ``GET  /v1/stats``      — cache/latency/error counters
 * ``GET  /v1/metrics``    — the versioned scrape point, a
   :class:`MetricsResponse`: backend stats plus ingest-pipe, updater,
-  and analytics-tier progress (bare ``/metrics`` kept as an alias for
-  one release)
+  analytics-tier, and async-edge progress (the unversioned alias was
+  removed after its one-release deprecation; scrape ``/v1/metrics``)
 
 Errors are :class:`ApiError` payloads with the contract's stable codes
 and status mapping (400/404/429/504/500).
+
+:class:`GatewayCore` is the transport-neutral half of the edge: route
+names, payload decoding, ingest/analytics/metrics assembly — shared by
+this threaded server and the asyncio edge in :mod:`repro.api.aio`, so
+the two edges cannot drift apart in behaviour. Each edge mints a
+:class:`~repro.api.context.RequestContext` per request and dispatches
+under it, which is how deadlines and cancellation reach the layers
+below.
 
 :class:`ShoalClient` speaks the same typed contract either over HTTP
 (pass a URL) or in-process (pass any backend). The in-process mode
@@ -46,6 +54,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Union
 
 from repro.api.backends import ShoalBackend
+from repro.api.context import RequestContext
 from repro.api.contract import (
     AnalyticsRequest,
     AnalyticsResponse,
@@ -61,7 +70,7 @@ from repro.api.contract import (
     request_from_dict,
 )
 
-__all__ = ["ShoalHttpServer", "ShoalClient", "API_PREFIX"]
+__all__ = ["GatewayCore", "ShoalHttpServer", "ShoalClient", "API_PREFIX"]
 
 API_PREFIX = "/v1"
 
@@ -76,23 +85,230 @@ def _json_bytes(payload: Dict[str, Any]) -> bytes:
     )
 
 
+class GatewayCore:
+    """The transport-neutral heart of the HTTP edge.
+
+    Everything both edges must agree on lives here — endpoint routing,
+    typed dispatch, ingest batch semantics, analytics query parsing,
+    metrics assembly — while each edge keeps only its I/O: socket
+    handling, keep-alive hygiene, and (for the async edge) hedging and
+    coalescing. Answers are therefore byte-identical across edges by
+    construction, not by convention.
+
+    ``edge_stats`` is an optional zero-argument callable returning the
+    serving edge's own counters (hedges, cancellations, coalescer
+    batches); when set, they appear as the ``edge`` section of
+    ``GET /v1/metrics``.
+    """
+
+    def __init__(
+        self,
+        backend: ShoalBackend,
+        *,
+        ingest_pipe=None,
+        updater=None,
+        analytics_engine=None,
+        analytics_tailer=None,
+        edge_stats=None,
+    ):
+        self.backend = backend
+        self.ingest_pipe = ingest_pipe
+        self.updater = updater
+        self.analytics_engine = analytics_engine
+        self.analytics_tailer = analytics_tailer
+        self.edge_stats = edge_stats
+
+    # -- typed read dispatch -------------------------------------------------
+
+    def dispatch_request(
+        self, request, *, context: Optional[RequestContext] = None
+    ):
+        """Dispatch one decoded contract request to the backend.
+
+        ``context`` (when the edge minted one) becomes the ambient
+        :class:`RequestContext` for the whole call — middleware arms
+        it, backend and router poll it.
+        """
+        if context is not None:
+            with context.use():
+                return self._dispatch(request)
+        return self._dispatch(request)
+
+    def _dispatch(self, request):
+        if isinstance(request, AnalyticsRequest):
+            return self.handle_analytics(request)
+        if isinstance(request, SearchRequest):
+            return self.backend.search(request)
+        if isinstance(request, RecommendRequest):
+            return self.backend.recommend(request)
+        if isinstance(request, BatchRequest):
+            return self.backend.batch(request)
+        raise ApiError(
+            "bad_request", f"not an API request: {type(request).__name__}"
+        )
+
+    def decode_post(self, endpoint: str, payload: Dict[str, Any]):
+        """Decode + validate a POST payload for ``endpoint`` (reads
+        only — ``ingest`` routes through the ingest entry points)."""
+        return request_from_dict(endpoint, payload)
+
+    # -- write path ----------------------------------------------------------
+
+    def ingest_events_from_payload(self, payload: Dict[str, Any]) -> list:
+        """Shape-check an ingest POST body and return its event dicts.
+
+        The whole batch is validated *before* any event is admitted, so
+        a malformed payload can never leave a prefix of the batch
+        durably applied behind a 400 — retries of a rejected-for-shape
+        batch are safe. Raises ``not_found`` when ingest is disabled.
+        """
+        if self.ingest_pipe is None:
+            raise ApiError(
+                "not_found", "ingest is not enabled on this server"
+            )
+        from repro.streaming.ingest import validate_event_payload
+
+        events = payload.get("events")
+        if events is None:
+            events = [payload]  # single bare event object
+        if isinstance(events, (str, bytes)) or not isinstance(events, list):
+            raise ApiError("bad_request", "'events' must be an array")
+        if not events:
+            raise ApiError("invalid_argument", "no events to ingest")
+        for event in events:  # shape-check everything before admitting
+            validate_event_payload(event)
+        return events
+
+    def handle_ingest(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Admit one event or a small batch into the ingest pipe.
+
+        Mid-batch backpressure can still split a batch (durability is
+        per event by design); the ``ingest_overloaded`` error then
+        reports how many events were already admitted so the client can
+        resubmit only the tail.
+        """
+        events = self.ingest_events_from_payload(payload)
+        last_seq = 0
+        accepted = 0
+        for event in events:
+            try:
+                admitted = self.ingest_pipe.submit(event)
+            except ApiError as exc:
+                raise partial_batch_error(exc, accepted, last_seq)
+            accepted += 1
+            last_seq = admitted.seq
+        return {"accepted": accepted, "last_seq": last_seq}
+
+    # -- analytics -----------------------------------------------------------
+
+    def handle_analytics(self, request: AnalyticsRequest):
+        """Serve one analytics query from the attached tier."""
+        if self.analytics_engine is None:
+            raise ApiError(
+                "analytics_unavailable",
+                "no analytics store is attached to this server "
+                "(start it with --analytics-db)",
+            )
+        return self.analytics_engine.query(request)
+
+    def analytics_request_from_query(
+        self, raw_query: str
+    ) -> AnalyticsRequest:
+        """GET /v1/analytics: build the request from query parameters."""
+        params = urllib.parse.parse_qs(raw_query, keep_blank_values=True)
+        payload: Dict[str, Any] = {}
+        for key in ("sql", "report"):
+            if key in params:
+                payload[key] = params[key][-1]
+        if "limit" in params:
+            raw = params["limit"][-1]
+            try:
+                payload["limit"] = int(raw)
+            except ValueError:
+                raise ApiError(
+                    "bad_request", f"'limit' must be an integer, got {raw!r}"
+                )
+        if "sample" in params:
+            raw = params["sample"][-1].lower()
+            if raw in ("", "1", "true", "yes"):
+                payload["sample"] = True
+            elif raw in ("0", "false", "no"):
+                payload["sample"] = False
+            else:
+                raise ApiError(
+                    "bad_request", f"'sample' must be a boolean, got {raw!r}"
+                )
+        return AnalyticsRequest.from_dict(payload)
+
+    # -- operational surface -------------------------------------------------
+
+    def metrics(self) -> MetricsResponse:
+        """The one scrape point: read-path stats + write-path progress."""
+        analytics: Optional[Dict[str, Any]] = None
+        if (
+            self.analytics_tailer is not None
+            or self.analytics_engine is not None
+        ):
+            analytics = {}
+            if self.analytics_tailer is not None:
+                analytics.update(self.analytics_tailer.stats())
+            if self.analytics_engine is not None:
+                analytics.update(self.analytics_engine.stats())
+        return MetricsResponse(
+            backend=self.backend.stats(),
+            ingest=(
+                None if self.ingest_pipe is None else self.ingest_pipe.stats()
+            ),
+            updater=(
+                None if self.updater is None else self.updater.stats_dict()
+            ),
+            analytics=analytics,
+            edge=None if self.edge_stats is None else self.edge_stats(),
+        )
+
+    def dispatch_get(
+        self, endpoint: str, raw_query: str = ""
+    ) -> Dict[str, Any]:
+        """Serve one GET endpoint; returns the JSON payload dict."""
+        if endpoint == "health":
+            return self.backend.health()
+        if endpoint == "stats":
+            return self.backend.stats()
+        if endpoint == "metrics":
+            return self.metrics().to_dict()
+        if endpoint == "analytics":
+            request = self.analytics_request_from_query(raw_query)
+            return self.handle_analytics(request).to_dict()
+        raise ApiError(
+            "not_found", f"no such path: {API_PREFIX}/{endpoint}"
+        )
+
+
+def partial_batch_error(
+    exc: ApiError, accepted: int, last_seq: int
+) -> ApiError:
+    """Re-raise a mid-batch ingest failure annotated with how much of
+    the batch is already durable (both edges and the in-process client
+    emit the identical message shape)."""
+    if not accepted:
+        return exc
+    return ApiError(
+        exc.code,
+        f"{exc.message} (the first {accepted} event(s) of "
+        f"this batch were admitted, last_seq={last_seq}; "
+        "resubmit only the rest)",
+    )
+
+
 class _GatewayHandler(BaseHTTPRequestHandler):
-    """Routes /v1/* onto the server's backend; everything JSON."""
+    """Routes /v1/* onto the server's :class:`GatewayCore`; all JSON."""
 
     server_version = "ShoalHttp/1.0"
     protocol_version = "HTTP/1.1"
 
     # Set by ShoalHttpServer on the handler subclass it builds.
-    backend: ShoalBackend = None  # type: ignore[assignment]
+    core: GatewayCore = None  # type: ignore[assignment]
     quiet: bool = True
-    #: Optional write path (repro.streaming.IngestPipe) and updater,
-    #: surfaced through POST /v1/ingest and GET /v1/metrics.
-    ingest_pipe = None
-    updater = None
-    #: Optional analytics tier (repro.analytics QueryEngine + tailer),
-    #: surfaced through GET/POST /v1/analytics and GET /v1/metrics.
-    analytics_engine = None
-    analytics_tailer = None
 
     def log_message(self, fmt: str, *args) -> None:  # noqa: A003
         if not self.quiet:
@@ -164,17 +380,19 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                 raise body_error
             endpoint = self._endpoint()
             if endpoint == "ingest":
-                self._send(200, self._handle_ingest(payload))
+                self._send(200, self.core.handle_ingest(payload))
                 return
-            request = request_from_dict(endpoint, payload)
-            if isinstance(request, AnalyticsRequest):
-                response = self._handle_analytics(request)
-            elif isinstance(request, SearchRequest):
-                response = self.backend.search(request)
-            elif isinstance(request, RecommendRequest):
-                response = self.backend.recommend(request)
-            else:
-                response = self.backend.batch(request)
+            request = self.core.decode_post(endpoint, payload)
+            # The edge mints the RequestContext: the deadline the
+            # middleware arms and the token the layers below poll. A
+            # synchronous edge cannot preempt its own worker thread, so
+            # cancellation here only trims in-flight shard loops — the
+            # async edge is the one that acts on it mid-request.
+            ctx = RequestContext.for_request(
+                timeout_ms=getattr(request, "timeout_ms", None),
+                tags={"edge": "thread", "endpoint": endpoint},
+            )
+            response = self.core.dispatch_request(request, context=ctx)
             self._send(200, response.to_dict())
         except ApiError as err:
             self._send_error(err)
@@ -182,108 +400,6 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             pass
         except Exception as exc:  # never leak a traceback onto the wire
             self._send_error(ApiError("backend_error", str(exc)))
-
-    def _handle_ingest(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """Admit one event or a small batch into the ingest pipe.
-
-        The whole batch is validated *before* any event is admitted, so
-        a malformed payload can never leave a prefix of the batch
-        durably applied behind a 400 — retries of a rejected-for-shape
-        batch are safe. Mid-batch backpressure can still split a batch
-        (durability is per event by design); the ``ingest_overloaded``
-        error then reports how many events were already admitted so
-        the client can resubmit only the tail.
-        """
-        if self.ingest_pipe is None:
-            raise ApiError(
-                "not_found", "ingest is not enabled on this server"
-            )
-        from repro.streaming.ingest import validate_event_payload
-
-        events = payload.get("events")
-        if events is None:
-            events = [payload]  # single bare event object
-        if isinstance(events, (str, bytes)) or not isinstance(events, list):
-            raise ApiError("bad_request", "'events' must be an array")
-        if not events:
-            raise ApiError("invalid_argument", "no events to ingest")
-        for event in events:  # shape-check everything before admitting
-            validate_event_payload(event)
-        last_seq = 0
-        accepted = 0
-        for event in events:
-            try:
-                admitted = self.ingest_pipe.submit(event)
-            except ApiError as exc:
-                if accepted:
-                    raise ApiError(
-                        exc.code,
-                        f"{exc.message} (the first {accepted} event(s) of "
-                        f"this batch were admitted, last_seq={last_seq}; "
-                        "resubmit only the rest)",
-                    )
-                raise
-            accepted += 1
-            last_seq = admitted.seq
-        return {"accepted": accepted, "last_seq": last_seq}
-
-    def _handle_analytics(self, request: AnalyticsRequest):
-        """Serve one analytics query from the attached tier."""
-        if self.analytics_engine is None:
-            raise ApiError(
-                "analytics_unavailable",
-                "no analytics store is attached to this server "
-                "(start it with --analytics-db)",
-            )
-        return self.analytics_engine.query(request)
-
-    def _analytics_request_from_query(self) -> AnalyticsRequest:
-        """GET /v1/analytics: build the request from query parameters."""
-        query = urllib.parse.urlsplit(self.path).query
-        params = urllib.parse.parse_qs(query, keep_blank_values=True)
-        payload: Dict[str, Any] = {}
-        for key in ("sql", "report"):
-            if key in params:
-                payload[key] = params[key][-1]
-        if "limit" in params:
-            raw = params["limit"][-1]
-            try:
-                payload["limit"] = int(raw)
-            except ValueError:
-                raise ApiError(
-                    "bad_request", f"'limit' must be an integer, got {raw!r}"
-                )
-        if "sample" in params:
-            raw = params["sample"][-1].lower()
-            if raw in ("", "1", "true", "yes"):
-                payload["sample"] = True
-            elif raw in ("0", "false", "no"):
-                payload["sample"] = False
-            else:
-                raise ApiError(
-                    "bad_request", f"'sample' must be a boolean, got {raw!r}"
-                )
-        return AnalyticsRequest.from_dict(payload)
-
-    def _metrics(self) -> MetricsResponse:
-        """The one scrape point: read-path stats + write-path progress."""
-        analytics: Optional[Dict[str, Any]] = None
-        if self.analytics_tailer is not None or self.analytics_engine is not None:
-            analytics = {}
-            if self.analytics_tailer is not None:
-                analytics.update(self.analytics_tailer.stats())
-            if self.analytics_engine is not None:
-                analytics.update(self.analytics_engine.stats())
-        return MetricsResponse(
-            backend=self.backend.stats(),
-            ingest=(
-                None if self.ingest_pipe is None else self.ingest_pipe.stats()
-            ),
-            updater=(
-                None if self.updater is None else self.updater.stats_dict()
-            ),
-            analytics=analytics,
-        )
 
     def _drain_unexpected_body(self) -> None:
         """Consume a body a GET should not have (keep-alive hygiene)."""
@@ -300,24 +416,9 @@ class _GatewayHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802
         self._drain_unexpected_body()
         try:
-            bare_path = self.path.split("?", 1)[0].rstrip("/")
-            if bare_path == "/metrics":
-                # Deprecated unversioned alias of /v1/metrics (one
-                # release); same MetricsResponse body.
-                self._send(200, self._metrics().to_dict())
-                return
             endpoint = self._endpoint()
-            if endpoint == "health":
-                self._send(200, self.backend.health())
-            elif endpoint == "stats":
-                self._send(200, self.backend.stats())
-            elif endpoint == "metrics":
-                self._send(200, self._metrics().to_dict())
-            elif endpoint == "analytics":
-                request = self._analytics_request_from_query()
-                self._send(200, self._handle_analytics(request).to_dict())
-            else:
-                raise ApiError("not_found", f"no such path: {self.path}")
+            raw_query = urllib.parse.urlsplit(self.path).query
+            self._send(200, self.core.dispatch_get(endpoint, raw_query))
         except ApiError as err:
             self._send_error(err)
         except BrokenPipeError:
@@ -353,17 +454,17 @@ class ShoalHttpServer:
         self._updater = updater
         self._analytics_engine = analytics_engine
         self._analytics_tailer = analytics_tailer
+        self._core = GatewayCore(
+            backend,
+            ingest_pipe=ingest_pipe,
+            updater=updater,
+            analytics_engine=analytics_engine,
+            analytics_tailer=analytics_tailer,
+        )
         handler = type(
             "_BoundGatewayHandler",
             (_GatewayHandler,),
-            {
-                "backend": backend,
-                "quiet": quiet,
-                "ingest_pipe": ingest_pipe,
-                "updater": updater,
-                "analytics_engine": analytics_engine,
-                "analytics_tailer": analytics_tailer,
-            },
+            {"core": self._core, "quiet": quiet},
         )
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
@@ -372,6 +473,11 @@ class ShoalHttpServer:
     @property
     def backend(self) -> ShoalBackend:
         return self._backend
+
+    @property
+    def core(self) -> GatewayCore:
+        """The transport-neutral dispatch core this edge serves."""
+        return self._core
 
     @property
     def ingest_pipe(self):

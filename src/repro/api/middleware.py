@@ -11,9 +11,12 @@ place:
 * :class:`RateLimitMiddleware` — token-bucket admission control,
   rejecting excess traffic with ``rate_limited`` before it costs any
   backend work;
-* :class:`DeadlineMiddleware` — per-request deadlines: a request's own
-  ``timeout_ms`` (or the configured default) turns overruns into
-  ``deadline_exceeded``;
+* :class:`DeadlineMiddleware` — per-request deadlines carried by an
+  explicit :class:`~repro.api.context.RequestContext`: the request's own
+  ``timeout_ms`` (or the configured default) arms the ambient context —
+  creating one when no edge did — so the layers below can *cancel* work
+  at their check points, and any overrun that survives to completion is
+  still surfaced as ``deadline_exceeded``;
 * :class:`CacheMiddleware` — a gateway-level result LRU (the shared
   :class:`~repro.api.cache.LRUCache`) keyed on each request's
   ``cache_key()``.
@@ -33,6 +36,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.api.backends import ShoalBackend
 from repro.api.cache import MISS, CacheStats, LRUCache
+from repro.api.context import RequestContext, current_context
 from repro.api.contract import (
     ApiError,
     BatchRequest,
@@ -173,13 +177,19 @@ class RateLimitMiddleware(Middleware):
 
 
 class DeadlineMiddleware(Middleware):
-    """Per-request deadline enforcement.
+    """Per-request deadline enforcement through the request context.
 
     The effective deadline is the request's ``timeout_ms`` when set,
-    else ``default_timeout_ms`` (``None`` disables). A synchronous
-    backend cannot be preempted, so an overrun is detected when the
-    call returns and surfaced as ``deadline_exceeded`` — the answer is
-    dropped exactly as a real edge would have closed the connection.
+    else ``default_timeout_ms`` (``None`` leaves any inherited deadline
+    alone). When an edge already installed a
+    :class:`~repro.api.context.RequestContext`, the limit *arms* it
+    (tighten-only) so the cancellation-aware layers below — backend
+    entry, router shard loops — can abandon work mid-flight; when no
+    context is ambient (in-process callers), the middleware owns one
+    for the duration of the call. An overrun that survives to
+    completion is still surfaced as ``deadline_exceeded`` and the
+    context cancelled, so nothing downstream keeps polishing an answer
+    nobody will read.
     """
 
     def __init__(
@@ -203,18 +213,44 @@ class DeadlineMiddleware(Middleware):
             if request.timeout_ms is not None
             else self._default_ms
         )
-        if limit_ms is None:
-            return call_next(request)
+        ctx = current_context()
+        owned = False
+        if ctx is None:
+            if limit_ms is None:
+                return call_next(request)
+            ctx = RequestContext.for_request(
+                timeout_ms=limit_ms, clock=self._clock
+            )
+            owned = True
+        elif limit_ms is not None:
+            ctx.arm(limit_ms)
+
         t0 = self._clock()
-        response = call_next(request)
-        elapsed_ms = (self._clock() - t0) * 1000.0
-        if elapsed_ms > limit_ms:
+        try:
+            if owned:
+                with ctx.use():
+                    response = call_next(request)
+            else:
+                response = call_next(request)
+        except ApiError as exc:
+            # Count expiries detected below us (a cancellation check
+            # point fired mid-flight) exactly like our own.
+            if exc.code == "deadline_exceeded":
+                with self._lock:
+                    self._expired += 1
+            raise
+        if ctx.expired:
+            elapsed_ms = (self._clock() - t0) * 1000.0
             with self._lock:
                 self._expired += 1
+            ctx.cancel("deadline expired")
+            shown = (
+                f"{limit_ms:g}ms" if limit_ms is not None
+                else "inherited from the edge"
+            )
             raise ApiError(
                 "deadline_exceeded",
-                f"request took {elapsed_ms:.1f}ms; deadline was "
-                f"{limit_ms:g}ms",
+                f"request took {elapsed_ms:.1f}ms; deadline was {shown}",
             )
         return response
 
@@ -347,9 +383,22 @@ class Gateway(ShoalBackend):
     def middlewares(self) -> List[Middleware]:
         return list(self._middlewares)
 
-    def handle(self, request: Request) -> Response:
-        """Dispatch any typed request through the full stack."""
+    def handle(
+        self,
+        request: Request,
+        context: Optional[RequestContext] = None,
+    ) -> Response:
+        """Dispatch any typed request through the full stack.
+
+        ``context`` installs an explicit :class:`RequestContext` as the
+        ambient one for the call (edges pass the context they minted);
+        omitted, whatever context is already ambient — or none — flows
+        through unchanged.
+        """
         request.validate()
+        if context is not None:
+            with context.use():
+                return self._chain(request)
         return self._chain(request)
 
     def search(self, request: SearchRequest) -> SearchResponse:

@@ -38,9 +38,16 @@ system would be driven:
 path: ``POST /v1/ingest`` admits query events into a durable WAL, a
 background micro-batch updater slides the model window, and every new
 generation is hot-swapped into the serving backend with zero read
-downtime. ``GET /v1/metrics`` (bare ``/metrics`` stays as a
-one-release alias) exposes gateway, ingest, updater, and analytics
-counters as one JSON scrape point.
+downtime. ``GET /v1/metrics`` exposes gateway, ingest, updater,
+analytics, and async-edge counters as one JSON scrape point (the
+unversioned alias is gone after its one-release deprecation).
+
+``serve-http --edge async`` serves the same contract from the asyncio
+edge (:class:`~repro.api.aio.AsyncShoalServer`): thousands of
+connections, deadline cancellation, request hedging
+(``--hedge-after-ms``), and coalesced WAL ingest
+(``--coalesce-events`` / ``--coalesce-delay-ms``). ``--edge thread``
+keeps the threaded edge for one more release.
 
 ``serve-http --analytics-db PATH`` (with ``--ingest-wal``) attaches
 the HTAP analytics tier: a background :class:`SegmentTailer` streams
@@ -342,6 +349,8 @@ def _cmd_replay(args) -> int:
         build_workload,
     )
 
+    if args.arrival == "open" and (args.rate is None or args.rate <= 0):
+        raise SystemExit("--arrival open needs --rate RPS > 0")
     backend = None
     if args.backend:
         if args.cluster_dir or args.load:
@@ -386,15 +395,30 @@ def _cmd_replay(args) -> int:
         ),
     )
     warmup = args.warmup if args.warmup is not None else args.requests // 10
+    pacing = (
+        f" at an open-loop {args.rate:g}/s"
+        if args.arrival == "open"
+        else ""
+    )
     print(
         f"replaying {len(workload)} '{args.traffic}' requests "
-        f"({warmup} warm-up) ..."
+        f"({warmup} warm-up){pacing} ..."
     )
+
+    replay_kwargs = dict(
+        profile=args.traffic,
+        warmup=warmup,
+        arrival=args.arrival,
+        rate=args.rate,
+    )
+
+    def replayer(target):
+        return TrafficReplayer(target, k=args.k, concurrency=args.concurrency)
 
     reports = {}
     if args.backend:
-        reports["backend"] = TrafficReplayer(backend, k=args.k).replay(
-            workload, profile=args.traffic, warmup=warmup
+        reports["backend"] = replayer(backend).replay(
+            workload, **replay_kwargs
         )
     else:
         if args.target in ("single", "both"):
@@ -406,8 +430,8 @@ def _cmd_replay(args) -> int:
             single = ServiceBackend.from_model(
                 model, entity_categories=_entity_categories(market)
             )
-            reports["single"] = TrafficReplayer(single, k=args.k).replay(
-                workload, profile=args.traffic, warmup=warmup
+            reports["single"] = replayer(single).replay(
+                workload, **replay_kwargs
             )
         if args.target in ("cluster", "both"):
             if backend is None:
@@ -417,8 +441,8 @@ def _cmd_replay(args) -> int:
                     n_replicas=args.replicas,
                     entity_categories=_entity_categories(market),
                 )
-            reports["cluster"] = TrafficReplayer(backend, k=args.k).replay(
-                workload, profile=args.traffic, warmup=warmup
+            reports["cluster"] = replayer(backend).replay(
+                workload, **replay_kwargs
             )
             print(backend.router.plan_summary)
 
@@ -577,7 +601,12 @@ def _build_analytics_side(args, backend, pipe):
 
 
 def _cmd_serve_http(args) -> int:
-    from repro.api import Gateway, ShoalHttpServer, default_middlewares
+    from repro.api import (
+        AsyncShoalServer,
+        Gateway,
+        ShoalHttpServer,
+        default_middlewares,
+    )
 
     if bool(args.load) == bool(args.cluster_dir):
         raise SystemExit(
@@ -614,16 +643,33 @@ def _cmd_serve_http(args) -> int:
     analytics_engine, analytics_tailer = _build_analytics_side(
         args, backend, pipe
     )
-    server = ShoalHttpServer(
-        gateway,
-        args.host,
-        args.port,
-        quiet=args.quiet,
-        ingest_pipe=pipe,
-        updater=updater,
-        analytics_engine=analytics_engine,
-        analytics_tailer=analytics_tailer,
-    )
+    if args.edge == "async":
+        server = AsyncShoalServer(
+            gateway,
+            args.host,
+            args.port,
+            quiet=args.quiet,
+            ingest_pipe=pipe,
+            updater=updater,
+            analytics_engine=analytics_engine,
+            analytics_tailer=analytics_tailer,
+            default_timeout_ms=args.deadline_ms,
+            hedge_after_ms=args.hedge_after_ms,
+            coalesce_max_events=args.coalesce_events,
+            coalesce_max_delay_ms=args.coalesce_delay_ms,
+        )
+        server.start()  # binds the port so the banner can name it
+    else:
+        server = ShoalHttpServer(
+            gateway,
+            args.host,
+            args.port,
+            quiet=args.quiet,
+            ingest_pipe=pipe,
+            updater=updater,
+            analytics_engine=analytics_engine,
+            analytics_tailer=analytics_tailer,
+        )
     write_side = (
         " /v1/ingest, GET /v1/metrics;" if pipe is not None else ""
     )
@@ -632,7 +678,8 @@ def _cmd_serve_http(args) -> int:
     )
     print(
         f"serving {backend.kind} backend on {server.url} "
-        f"(POST /v1/search /v1/recommend /v1/batch{write_side}"
+        f"({args.edge} edge; "
+        f"POST /v1/search /v1/recommend /v1/batch{write_side}"
         f"{analytics_side} GET /v1/health /v1/stats; Ctrl-C to stop)",
         flush=True,
     )
@@ -968,6 +1015,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-request deadline in milliseconds",
     )
     p_http.add_argument(
+        "--edge", default="async", choices=["thread", "async"],
+        help="HTTP edge: 'async' (asyncio, hedging + coalescing) or "
+             "'thread' (legacy threaded edge, one more release)",
+    )
+    p_http.add_argument(
+        "--hedge-after-ms", type=float, default=None,
+        help="async edge: hedge a slow read against an idle replica "
+             "after this many ms (0 = immediately; default: adaptive "
+             "p95 of observed read latency)",
+    )
+    p_http.add_argument(
+        "--coalesce-events", type=int, default=64,
+        help="async edge: flush coalesced ingest after this many events",
+    )
+    p_http.add_argument(
+        "--coalesce-delay-ms", type=float, default=5.0,
+        help="async edge: max ms a coalesced ingest event waits before "
+             "its batch is flushed to the WAL",
+    )
+    p_http.add_argument(
         "--analytics-db", default=None, metavar="PATH",
         help="enable the HTAP analytics tier: SQLite replica of the "
              "WAL served at GET/POST /v1/analytics (requires "
@@ -1082,6 +1149,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay.add_argument(
         "--target", default="cluster", choices=["single", "cluster", "both"],
         help="what to replay against",
+    )
+    p_replay.add_argument(
+        "--arrival", default="closed", choices=["closed", "open"],
+        help="load model: 'closed' paces on responses (latency-biased "
+             "under saturation), 'open' schedules request i at t0+i/rate "
+             "regardless of how the target is doing",
+    )
+    p_replay.add_argument(
+        "--rate", type=float, default=None, metavar="RPS",
+        help="open-loop arrival rate in requests/s (required with "
+             "--arrival open)",
+    )
+    p_replay.add_argument(
+        "--concurrency", type=int, default=1,
+        help="worker threads driving the target",
     )
     p_replay.set_defaults(func=_cmd_replay)
 

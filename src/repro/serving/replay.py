@@ -34,6 +34,20 @@ Workload profiles:
     still retrieve, but never repeat); even requests are nonsense
     scenario-flavoured tokens that match nothing — the worst case for
     both the result cache and the token → shard index.
+
+Arrival models:
+
+``closed`` (the default)
+    each worker issues its next request only after the previous answer
+    returns. Simple, but latency-biased: when the server slows down,
+    the workload slows down with it, so the worst moments are sampled
+    *least* (coordinated omission).
+``open``
+    request *i* is scheduled at ``t0 + i/rate`` regardless of how the
+    server is doing, and its latency is measured from that scheduled
+    instant — queueing delay included. This is how real traffic
+    arrives; a saturated tier shows up as growing tail latency instead
+    of silently shrinking throughput.
 """
 
 from __future__ import annotations
@@ -216,6 +230,8 @@ class ReplayReport:
     cache_after: Optional[CacheStats]
     n_writes: int = 0
     n_writes_rejected: int = 0
+    arrival: str = "closed"
+    rate: Optional[float] = None
 
     @property
     def qps(self) -> float:
@@ -255,9 +271,12 @@ class ReplayReport:
             if self.n_writes
             else ""
         )
+        pacing = (
+            f", open-loop @ {self.rate:g}/s" if self.arrival == "open" else ""
+        )
         return (
             f"[{self.profile}] {self.latency.summary()}, "
-            f"{self.n_empty} empty results{cache}{writes}"
+            f"{self.n_empty} empty results{cache}{writes}{pacing}"
         )
 
 
@@ -320,12 +339,22 @@ class TrafficReplayer:
         warmup: int = 0,
         writes: Sequence[dict] = (),
         write_every: int = 10,
+        arrival: str = "closed",
+        rate: Optional[float] = None,
     ) -> ReplayReport:
         """Issue every workload query in order; return the report.
 
         ``warmup`` first replays that many leading requests without
         recording them — the warm-tier measurement every serving bench
         should report (cold-start is a separate, one-off cost).
+
+        ``arrival`` picks the load model. ``"closed"`` (default) is
+        worker-paced: each worker waits for its answer before issuing
+        the next request. ``"open"`` schedules request *i* at
+        ``t0 + i/rate`` (``rate`` in requests/s, required) no matter
+        how the target is doing, and measures latency from that
+        scheduled instant — so queueing delay under saturation is
+        *counted*, not coordinated away.
 
         ``writes`` turns the replay into **mixed read+write traffic**:
         every ``write_every``-th read also submits the next write-mode
@@ -340,6 +369,14 @@ class TrafficReplayer:
         """
         if write_every < 1:
             raise ValueError(f"write_every must be >= 1, got {write_every}")
+        if arrival not in ("closed", "open"):
+            raise ValueError(
+                f"arrival must be 'closed' or 'open', got {arrival!r}"
+            )
+        if arrival == "open" and (rate is None or rate <= 0):
+            raise ValueError(
+                "open-loop arrival needs rate > 0 (requests per second)"
+            )
         target, k = self._target, self._k
         for q in workload[:warmup]:
             target.search(SearchRequest(query=q, k=k))
@@ -377,8 +414,28 @@ class TrafficReplayer:
             stats.record(time.perf_counter() - t0)
             return 0 if response.hits else 1
 
+        def issue_open(item, due: float) -> int:
+            # Latency is measured from the *scheduled* arrival, so time
+            # a request spends queued behind a slow tier is counted.
+            index, query = item
+            maybe_write(index)
+            response = target.search(SearchRequest(query=query, k=k))
+            stats.record(time.perf_counter() - due)
+            return 0 if response.hits else 1
+
         indexed = list(enumerate(measured))
-        if self._concurrency == 1:
+        if arrival == "open":
+            futures = []
+            with ThreadPoolExecutor(self._concurrency) as pool:
+                t0 = time.perf_counter()
+                for i, item in enumerate(indexed):
+                    due = t0 + i / rate
+                    delay = due - time.perf_counter()
+                    if delay > 0:
+                        time.sleep(delay)
+                    futures.append(pool.submit(issue_open, item, due))
+                n_empty = sum(f.result() for f in futures)
+        elif self._concurrency == 1:
             for item in indexed:
                 n_empty += issue(item)
         else:
@@ -394,6 +451,8 @@ class TrafficReplayer:
             cache_after=self._cache_stats(),
             n_writes=write_counters["sent"],
             n_writes_rejected=write_counters["rejected"],
+            arrival=arrival,
+            rate=rate if arrival == "open" else None,
         )
 
     def _ingest_submitter(self):

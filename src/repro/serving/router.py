@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from repro.api.cache import CacheStats, LRUCache as _LRUCache
+from repro.api.context import current_context
 from repro.core.correlation import CorrelationGraph
 from repro.core.pipeline import ShoalModel
 from repro.core.serving import (
@@ -53,6 +54,19 @@ from repro.text.bm25 import CollectionStats
 from repro.text.tokenizer import Tokenizer
 
 __all__ = ["ClusterRouter", "ClusterStats", "ShardReplicas"]
+
+
+def _checkpoint() -> None:
+    """Cancellation check point between units of shard work.
+
+    The router polls the ambient :class:`~repro.api.context.RequestContext`
+    before each shard probe and between batch items, so a request whose
+    deadline blew (or whose hedge twin already answered) stops costing
+    replica time at the next boundary instead of running to completion.
+    """
+    ctx = current_context()
+    if ctx is not None:
+        ctx.raise_if_done()
 
 
 class ShardReplicas:
@@ -449,6 +463,7 @@ class ClusterRouter:
             candidate_ids.update(state.shards_with_token.get(tok, ()))
         merged: List[TopicHit] = []
         for i in sorted(candidate_ids):
+            _checkpoint()
             shard = state.shards[i]
             ridx, service = shard.acquire()
             t0 = time.perf_counter()
@@ -469,6 +484,7 @@ class ClusterRouter:
         state = self._state
         results = []
         for q in queries:
+            _checkpoint()
             t0 = time.perf_counter()
             results.append(self._serve_search(state, q, k))
             self._stats.record(time.perf_counter() - t0)
@@ -570,6 +586,7 @@ class ClusterRouter:
         state = self._state
         slates: List[List[int]] = []
         for q in queries:
+            _checkpoint()
             t0 = time.perf_counter()
             hits = self._serve_search(state, q, 1)
             slates.append(

@@ -31,7 +31,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Mapping, Tuple
+from typing import Any, Callable, Deque, Dict, List, Mapping, Sequence, Tuple
 
 from repro.api.contract import ApiError
 from repro.streaming.wal import IngestEvent, WriteAheadLog
@@ -225,6 +225,89 @@ class IngestPipe:
             self._accepted += 1
             self._not_empty.notify()
             return event
+
+    def submit_many(
+        self, payloads: Sequence[Mapping[str, Any]]
+    ) -> List[IngestEvent]:
+        """Admit a pre-validated batch under one lock hold and ONE WAL
+        barrier — the coalescing edge's entry point.
+
+        Every payload must already have passed
+        :func:`validate_event_payload` (the edge validates per-request
+        so one malformed client cannot fail its batch-mates). The
+        backpressure contract mirrors :meth:`submit`, applied to the
+        batch head-first:
+
+        * closed pipe → ``ingest_unavailable`` (nothing admitted);
+        * ``shed``: admit only what fits; zero room →
+          ``ingest_overloaded``; otherwise the admitted prefix is
+          returned and the rest counts as shed — the caller detects the
+          short return and backpressures per-request;
+        * ``drop_oldest``: admit everything, evicting the oldest queued
+          events;
+        * ``block``: wait up to the timeout for enough room, then shed
+          the whole batch (consistent with the "stayed full" message).
+
+        Durable-before-ack holds: events are in the WAL (one fsync per
+        batch under the ``"always"`` policy via
+        :meth:`~repro.streaming.wal.WriteAheadLog.append_many`) before
+        this returns, and the caller acks only after it returns.
+        """
+        if not payloads:
+            return []
+        fields = [validate_event_payload(p) for p in payloads]
+        n = len(fields)
+        with self._not_full:
+            if self._closed:
+                raise ApiError(
+                    "ingest_unavailable", "ingest pipe is closed"
+                )
+            free = self._max_queue - len(self._queue)
+            if self._overflow == "shed":
+                n_admit = min(free, n)
+                if n_admit == 0:
+                    self._shed += n
+                    raise ApiError(
+                        "ingest_overloaded",
+                        f"ingest queue is full ({self._max_queue} events); "
+                        "retry with backoff",
+                    )
+            elif self._overflow == "drop_oldest":
+                n_admit = n
+                overflow = n - free
+                for _ in range(min(max(overflow, 0), len(self._queue))):
+                    self._queue.popleft()
+                    self._dropped += 1
+            else:  # block
+                deadline = self._clock() + self._block_timeout_s
+                while self._max_queue - len(self._queue) < n:
+                    remaining = deadline - self._clock()
+                    if self._closed:
+                        raise ApiError(
+                            "ingest_unavailable", "ingest pipe is closed"
+                        )
+                    if remaining <= 0 or not self._not_full.wait(
+                        timeout=remaining
+                    ):
+                        if self._max_queue - len(self._queue) >= n:
+                            break
+                        self._shed += n
+                        raise ApiError(
+                            "ingest_overloaded",
+                            f"ingest queue stayed full for "
+                            f"{self._block_timeout_s:g}s; retry with "
+                            "backoff",
+                        )
+                n_admit = n
+            # Durability before acknowledgement, one barrier per batch.
+            events = self._wal.append_many(fields[:n_admit])
+            now = self._clock()
+            for event in events:
+                self._queue.append((event, now))
+            self._accepted += len(events)
+            self._shed += n - n_admit
+            self._not_empty.notify()
+            return events
 
     # -- the updater-facing side ---------------------------------------------
 

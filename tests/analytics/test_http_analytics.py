@@ -208,12 +208,14 @@ class TestMetricsScrape:
         assert analytics["lag"] == 0
         assert analytics["queries_served"] >= 1
 
-    def test_versioned_and_bare_metrics_agree(self, analytics_server):
+    def test_bare_metrics_alias_removed(self, analytics_server):
+        """The deprecated unversioned /metrics alias is gone: 404."""
         server, _ = analytics_server
-        _, bare = _get(f"{server.url}/metrics")
+        status, body = _get(f"{server.url}/metrics")
+        assert status == 404
+        assert body["error"]["code"] == "not_found"
         _, versioned = _get(f"{server.url}/v1/metrics")
-        assert bare.keys() == versioned.keys()
-        assert bare["analytics"]["applied_seq"] == N_EVENTS
+        assert versioned["analytics"]["applied_seq"] == N_EVENTS
 
     def test_metrics_without_analytics_has_no_section(
         self, tiny_model, tiny_marketplace

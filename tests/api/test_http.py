@@ -242,20 +242,27 @@ class TestHttpOperationalEndpoints:
         assert excinfo.value.code == 404
 
     def test_metrics_endpoint_scrapes_gateway_stats(self, served):
-        """GET /metrics (and /v1/metrics) return the JSON scrape point."""
+        """GET /v1/metrics returns the JSON scrape point."""
         import json as _json
 
         server, remote, _ = served
-        for path in ("/metrics", "/v1/metrics"):
-            with urllib.request.urlopen(
-                f"{server.url}{path}", timeout=10
-            ) as resp:
-                payload = _json.loads(resp.read().decode("utf-8"))
-            assert payload["backend"]["backend"] == "gateway"
-            assert "gateway_cache" in payload["backend"]
+        with urllib.request.urlopen(
+            f"{server.url}/v1/metrics", timeout=10
+        ) as resp:
+            payload = _json.loads(resp.read().decode("utf-8"))
+        assert payload["backend"]["backend"] == "gateway"
+        assert "gateway_cache" in payload["backend"]
         typed = remote.metrics()
         assert typed.backend["backend"] == "gateway"
         assert typed.to_dict()["backend"] == payload["backend"]
+
+    def test_bare_metrics_alias_is_gone(self, served):
+        """The unversioned /metrics alias was removed after its
+        one-release deprecation: the path is now a plain 404."""
+        server, _, _ = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{server.url}/metrics", timeout=10)
+        assert excinfo.value.code == 404
 
 
 class TestHttpMiddlewareIntegration:

@@ -198,6 +198,80 @@ class TestDeadlineMiddleware:
         gateway = self._slow_gateway(CountingBackend(), clock, cost_s=99)
         assert gateway.search(SearchRequest(query="beach", k=5)).hits == ()
 
+    def test_owned_context_is_ambient_below_and_cancelled_on_overrun(self):
+        """Without an edge-minted context the middleware creates one,
+        installs it for the layers below, and flips its token when the
+        budget is blown — that flip is what stops in-flight shard work."""
+        from repro.api.context import current_context
+
+        clock = FakeClock()
+        seen = []
+
+        class Peeking(CountingBackend):
+            def search(self, request):
+                seen.append(current_context())
+                clock.advance(0.2)
+                return SearchResponse(hits=())
+
+        gateway = Gateway(
+            Peeking(), [DeadlineMiddleware(100, clock=clock)]
+        )
+        with pytest.raises(ApiError) as excinfo:
+            gateway.search(SearchRequest(query="beach", k=5))
+        assert excinfo.value.code == "deadline_exceeded"
+        (ctx,) = seen
+        assert ctx is not None
+        assert ctx.expired
+        assert ctx.cancelled  # the overrun cancels the owned context
+        assert current_context() is None  # and nothing leaked out
+
+    def test_ambient_context_is_armed_not_replaced(self):
+        """An edge-minted context flows through: the middleware only
+        tightens its deadline (on the context's own clock)."""
+        from repro.api.context import RequestContext, current_context
+
+        clock = FakeClock(now=10.0)
+        edge_ctx = RequestContext.for_request(
+            timeout_ms=5_000, tags={"edge": "test"}, clock=clock
+        )
+        seen = []
+
+        class Peeking(CountingBackend):
+            def search(self, request):
+                seen.append(current_context())
+                return SearchResponse(hits=())
+
+        gateway = Gateway(Peeking(), [DeadlineMiddleware(None)])
+        with edge_ctx.use():
+            gateway.search(
+                SearchRequest(query="beach", k=5, timeout_ms=100)
+            )
+        (ctx,) = seen
+        assert ctx is edge_ctx  # same object, not a fresh one
+        # 100ms from now=10.0 beats the edge's 5s budget.
+        assert ctx.remaining_ms() == pytest.approx(100.0)
+        assert not ctx.cancelled
+
+    def test_expired_ambient_context_counts_and_cancels(self):
+        from repro.api.context import RequestContext
+
+        clock = FakeClock()
+        edge_ctx = RequestContext.for_request(timeout_ms=100, clock=clock)
+        middleware = DeadlineMiddleware(None, clock=clock)
+
+        class Slow(CountingBackend):
+            def search(self, request):
+                clock.advance(0.2)
+                return SearchResponse(hits=())
+
+        gateway = Gateway(Slow(), [middleware])
+        with edge_ctx.use():
+            with pytest.raises(ApiError) as excinfo:
+                gateway.search(SearchRequest(query="beach", k=5))
+        assert excinfo.value.code == "deadline_exceeded"
+        assert edge_ctx.cancelled
+        assert middleware.stats()["deadline"]["expired"] == 1
+
 
 class TestMetricsMiddleware:
     def test_latency_and_error_accounting(self):

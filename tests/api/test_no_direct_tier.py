@@ -11,6 +11,10 @@ A second guard bans the *legacy method names* in the same frontend
 paths: the deprecated thin delegates (``search_topics`` & co.) are
 gone from the backends, so any surviving call site would now be either
 dead code or an accidental raw-engine dependency.
+
+A third guard bans the removed unversioned ``/metrics`` path: the
+one-release alias is gone, so every scrape in a frontend, script, or
+workflow must name ``/v1/metrics``.
 """
 
 from __future__ import annotations
@@ -39,6 +43,21 @@ FRONTEND_PATHS = [
     "benchmarks",
     "src/repro/cli.py",
     "src/repro/serving/replay.py",
+]
+
+#: The unversioned metrics path, removed after its one-release
+#: deprecation. Matches ``/metrics`` unless it is the tail of
+#: ``/v1/metrics`` or of a prose word-chain like ``analytics/metrics``
+#: (URL offenders end in a digit, quote, brace, or whitespace).
+BARE_METRICS = re.compile(r"(?<![A-Za-z])(?<!/v1)/metrics\b")
+
+#: Everything that speaks HTTP to a served gateway: frontends plus the
+#: operational scripts, CI workflows, and the README's curl examples.
+METRICS_SCAN_PATHS = FRONTEND_PATHS + [
+    "scripts",
+    ".github/workflows",
+    "README.md",
+    "src/repro/api",
 ]
 
 #: Frontends allowed to time the raw engine *behind* an adapter
@@ -92,6 +111,35 @@ def test_frontend_has_no_legacy_delegate_calls(path):
     )
 
 
+def _metrics_scan_files():
+    for entry in METRICS_SCAN_PATHS:
+        path = REPO_ROOT / entry
+        if path.is_file():
+            yield path
+        elif path.is_dir():
+            yield from sorted(
+                p
+                for p in path.rglob("*")
+                if p.is_file() and p.suffix in (".py", ".yml", ".yaml", ".md")
+            )
+
+
+@pytest.mark.parametrize(
+    "path",
+    list(_metrics_scan_files()),
+    ids=lambda p: str(p.relative_to(REPO_ROOT)),
+)
+def test_no_bare_metrics_path_anywhere(path):
+    offending = []
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if BARE_METRICS.search(line):
+            offending.append(f"{path.name}:{lineno}: {line.strip()}")
+    assert not offending, (
+        "unversioned /metrics path (the alias was removed; scrape "
+        "/v1/metrics):\n" + "\n".join(offending)
+    )
+
+
 def test_the_guard_itself_still_bites():
     """The regexes must keep matching the patterns they exist to ban."""
     for snippet in (
@@ -122,3 +170,15 @@ def test_the_guard_itself_still_bites():
         "# search_topics is engine-only now",
     ):
         assert not LEGACY_CALLS.search(snippet), snippet
+    for snippet in (
+        'urlopen(f"{url}/metrics")',
+        "curl -s localhost:8080/metrics",
+        '"GET /metrics" stays as an alias',
+    ):
+        assert BARE_METRICS.search(snippet), snippet
+    for snippet in (
+        'urlopen(f"{url}/v1/metrics")',
+        "curl -s localhost:8080/v1/metrics",
+        "| `GET /v1/metrics` | one JSON scrape point |",
+    ):
+        assert not BARE_METRICS.search(snippet), snippet

@@ -202,3 +202,102 @@ class TestTransparencyDuringSwap:
                 f"old nor the new generation"
             )
         assert len(observations) > 100  # the readers actually overlapped
+
+    def test_async_edge_reads_see_old_or_new_never_broken(
+        self, tmp_path, stream_market, stream_inputs, live_events
+    ):
+        """Same property, observed through the asyncio HTTP edge: while
+        the generation swaps underneath, every wire answer must be
+        byte-identical to the old or the new generation's answer —
+        never a 5xx, never a blend."""
+        import http.client
+        import json
+
+        from repro.api import Gateway
+        from repro.api.aio import AsyncShoalServer
+
+        inc = make_base_inc(stream_market, stream_inputs)
+        single = ServiceBackend(inc.service())
+        cluster = ClusterBackend.from_model(
+            inc.model, 4, entity_categories=inc.entity_categories
+        )
+        switch = GenerationSwitch()
+        switch.attach(single).attach(cluster)
+
+        pool = sorted({q.text for q in stream_market.query_log.queries})[:20]
+
+        wal = WriteAheadLog(tmp_path / "wal", fsync="never")
+        pipe = IngestPipe(wal, max_queue=10_000)
+        updater = StreamingUpdater(inc, pipe, switch=switch)
+        updater.seed_log(stream_market.query_log.window(0, BASE_LAST_DAY))
+        for e in live_events[:150]:
+            pipe.submit(event_payload(e))
+
+        servers = {
+            "single": AsyncShoalServer(single, port=0).start(),
+            "cluster": AsyncShoalServer(cluster, port=0).start(),
+        }
+
+        def wire_search(server, query):
+            conn = http.client.HTTPConnection(
+                server.host, server.port, timeout=10
+            )
+            try:
+                conn.request(
+                    "POST", "/v1/search",
+                    body=json.dumps({"query": query, "k": 5}).encode(),
+                    headers={"Content-Type": "application/json"},
+                )
+                resp = conn.getresponse()
+                return resp.status, resp.read()
+            finally:
+                conn.close()
+
+        old_answers = {
+            q: wire_search(servers["single"], q)[1] for q in pool
+        }
+        stop = threading.Event()
+        errors, observations = [], []
+
+        def reader(server):
+            i = 0
+            while not stop.is_set():
+                q = pool[i % len(pool)]
+                status, body = wire_search(server, q)
+                if status != 200:
+                    errors.append((status, body))
+                else:
+                    observations.append((q, body))
+                i += 1
+
+        threads = [
+            threading.Thread(target=reader, args=(s,), daemon=True)
+            for s in servers.values()
+            for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            generation = updater.run_once(timeout_s=0.0)  # swap happens
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+
+        try:
+            assert generation is not None
+            assert not errors, (
+                f"wire reads failed during the swap: {errors[:3]}"
+            )
+            new_answers = {
+                q: wire_search(servers["single"], q)[1] for q in pool
+            }
+            for q, body in observations:
+                assert body in (old_answers[q], new_answers[q]), (
+                    f"wire answer for {q!r} during the swap matches "
+                    f"neither the old nor the new generation"
+                )
+            assert len(observations) > 50
+        finally:
+            for server in servers.values():
+                server.shutdown()
