@@ -1,0 +1,173 @@
+"""F9 — replication economics: delta shipping beats full snapshots.
+
+Two gates, both acceptance criteria of the replication subsystem:
+
+1. **Shipped bytes per generation < 0.5x a full snapshot** — the
+   cross-generation delta codec (unchanged artifacts ship as sha-256
+   refs, changed ones as zlib literals) must at least halve what a
+   naive ship-the-snapshot design would push per generation. Measured
+   headroom is ~4x; the gate is deliberately loose so it trips on
+   regressions, not noise.
+
+2. **Publish + rebuild lag is bounded** — the primary's synchronous
+   publish (roll WAL, copy segments, encode delta) must stay under
+   2s per generation on the tiny profile, and a cold follower must
+   tail, rebuild, and fingerprint the whole two-generation feed in
+   under 30s. Replication that lags the micro-batch cadence would
+   make epoch quorum unreachable in steady state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.core.config import ShoalConfig
+from repro.core.incremental import IncrementalShoal
+from repro.data.marketplace import PROFILES, generate_marketplace
+from repro.data.queries import QueryLogConfig
+from repro.replication import Feed, Follower, SegmentShipper
+from repro.store.persistence import load_entity_categories, load_model
+from repro.streaming import IngestPipe, StreamingUpdater, WriteAheadLog
+
+BASE_LAST_DAY = 6
+MIN_BATCH = 10
+DELTA_RATIO_GATE = 0.5
+PUBLISH_LAG_GATE_S = 2.0
+CATCH_UP_GATE_S = 30.0
+
+
+@pytest.fixture(scope="module")
+def repl_bench_market():
+    cfg = dataclasses.replace(
+        PROFILES["tiny"],
+        query_log=QueryLogConfig(n_days=9, events_per_day=300),
+    )
+    return cfg, generate_marketplace(cfg)
+
+
+@pytest.fixture(scope="module")
+def shipped_feed(repl_bench_market, tmp_path_factory):
+    """A primary that shipped two generations; returns the world."""
+    cfg, market = repl_bench_market
+    root = tmp_path_factory.mktemp("repl-bench")
+    inc0 = IncrementalShoal(
+        ShoalConfig(),
+        {e.entity_id: e.title for e in market.catalog.entities},
+        {q.query_id: q.text for q in market.query_log.queries},
+        {e.entity_id: e.category_id for e in market.catalog.entities},
+        retrain_every=100,
+    )
+    inc0.advance(market.query_log, last_day=BASE_LAST_DAY)
+    base_dir = root / "base"
+    inc0.model.save(
+        base_dir,
+        entity_categories={
+            e.entity_id: e.category_id for e in market.catalog.entities
+        },
+        metadata={"profile": "tiny", "seed": cfg.seed},
+    )
+
+    model = load_model(base_dir)
+    cats = load_entity_categories(base_dir)
+    inc = IncrementalShoal.from_model(
+        model, entity_categories=cats, retrain_every=100
+    )
+    wal = WriteAheadLog(root / "wal", fsync="never")
+    pipe = IngestPipe(wal)
+    shipper = SegmentShipper(
+        wal,
+        root / "feed",
+        base_snapshot_dir=base_dir,
+        manifest={
+            "profile": "tiny",
+            "seed": cfg.seed,
+            "query_log": dataclasses.asdict(cfg.query_log),
+            "base_last_day": market.query_log.days()[-1],
+            "retrain_every": 100,
+            "max_day_skew": 2,
+            "min_batch_events": MIN_BATCH,
+        },
+    )
+    shipper.initialise()
+    updater = StreamingUpdater(
+        inc,
+        pipe,
+        switch=None,
+        generations_dir=root / "gens",
+        min_batch_events=MIN_BATCH,
+        on_generation=shipper.publish_generation,
+    )
+    updater.seed_log(market.query_log)
+    updater.recover()
+
+    live = [e for e in market.query_log.events if e.day > BASE_LAST_DAY]
+    generations = []
+    for chunk in (live[:40], live[40:80]):
+        for event in chunk:
+            pipe.submit(
+                {
+                    "day": int(event.day),
+                    "user_id": int(event.user_id),
+                    "query_id": int(event.query_id),
+                    "clicked": [int(c) for c in event.clicked_entity_ids],
+                }
+            )
+        generation = None
+        while generation is None:
+            generation = updater.run_once(timeout_s=0.2)
+        generations.append(generation)
+    assert shipper.stats()["generations_published"] == 2
+    return root, shipper, generations
+
+
+def _snapshot_bytes(directory) -> int:
+    return sum(p.stat().st_size for p in directory.iterdir() if p.is_file())
+
+
+class TestShippedBytesGate:
+    def test_delta_under_half_a_full_snapshot(self, shipped_feed):
+        root, _, generations = shipped_feed
+        index = Feed(root / "feed").read_generation_index()
+        assert len(index) == 2
+        for entry, generation in zip(index, generations):
+            assert entry["kind"] == "delta"  # fallback would be "full"
+            full = _snapshot_bytes(generation.snapshot_dir)
+            ratio = entry["bytes"] / full
+            print(
+                f"\ngen {entry['number']}: shipped {entry['bytes']}B of "
+                f"{full}B snapshot (ratio {ratio:.3f})"
+            )
+            assert ratio < DELTA_RATIO_GATE, (
+                f"generation {entry['number']} shipped {ratio:.2f}x of a "
+                f"full snapshot (gate {DELTA_RATIO_GATE})"
+            )
+
+    def test_index_accounts_full_bytes_honestly(self, shipped_feed):
+        root, _, _ = shipped_feed
+        for entry in Feed(root / "feed").read_generation_index():
+            assert entry["bytes"] < entry["full_bytes"]
+
+
+class TestReplicationLagGate:
+    def test_publish_lag_bounded(self, shipped_feed):
+        _, shipper, _ = shipped_feed
+        last = shipper.stats()["last_publish_s"]
+        print(f"\nlast publish took {last * 1e3:.1f}ms")
+        assert last < PUBLISH_LAG_GATE_S
+
+    def test_cold_follower_catch_up_bounded(self, shipped_feed, tmp_path):
+        root, _, generations = shipped_feed
+        follower = Follower(
+            root / "feed", tmp_path / "work", follower_id="bench"
+        )
+        follower.bootstrap()
+        t0 = time.perf_counter()
+        built = follower.catch_up(timeout_s=CATCH_UP_GATE_S + 30.0)
+        elapsed = time.perf_counter() - t0
+        print(f"\ncold catch-up: {built} generations in {elapsed:.2f}s")
+        assert built == len(generations)
+        assert follower.stats()["seqs_behind"] == 0
+        assert elapsed < CATCH_UP_GATE_S

@@ -7,12 +7,44 @@ Nothing here is part of the public API.
 
 from __future__ import annotations
 
+import json
 import math
-from typing import Iterable, Optional, Sequence, Union
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
 RngLike = Union[None, int, np.random.Generator]
+
+
+def atomic_write_json(
+    path: Union[str, Path], payload: Dict[str, Any], *, indent: int = 2
+) -> Path:
+    """Atomically persist ``payload`` as JSON at ``path``.
+
+    Written to a ``.tmp`` sibling and renamed into place, so a reader
+    never observes a torn file and a crash mid-write leaves the
+    previous version intact. This is the one checkpoint/sidecar write
+    idiom of the repo — the WAL checkpoint, the analytics tailer
+    sidecar, and the replication feed all go through it.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(
+        json.dumps(payload, indent=indent, sort_keys=True, allow_nan=False)
+    )
+    os.replace(tmp, path)
+    return path
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
+    """Atomically materialise ``data`` at ``path`` (tmp + rename)."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+    return path
 
 
 def ensure_rng(seed: RngLike = None) -> np.random.Generator:

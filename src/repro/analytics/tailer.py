@@ -27,12 +27,11 @@ operator can inspect tailer progress without opening SQLite.
 
 from __future__ import annotations
 
-import json
-import os
 import threading
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
+from repro._util import atomic_write_json
 from repro.analytics.store import AnalyticsStore
 from repro.streaming.wal import IngestEvent, WalCorruption, WriteAheadLog
 
@@ -249,11 +248,7 @@ class SegmentTailer:
                 "wal_head_seq": self._head_seq,
                 "wal_dir": str(self._wal_dir),
             }
-        tmp = self._checkpoint_path.with_name(
-            self._checkpoint_path.name + ".tmp"
-        )
-        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
-        os.replace(tmp, self._checkpoint_path)
+        atomic_write_json(self._checkpoint_path, payload)
 
     def catch_up(self) -> int:
         """Poll until a pass applies nothing (offline/drain helper)."""

@@ -304,6 +304,7 @@ class AsyncShoalServer:
         coalesce_max_events: int = 64,
         coalesce_max_delay_ms: float = 5.0,
         max_workers: Optional[int] = None,
+        replication_stats=None,
     ):
         if hedge_after_ms is not None and hedge_after_ms < 0:
             raise ValueError(
@@ -329,6 +330,7 @@ class AsyncShoalServer:
             analytics_engine=analytics_engine,
             analytics_tailer=analytics_tailer,
             edge_stats=lambda: self._stats.to_dict(self._coalescer),
+            replication_stats=replication_stats,
         )
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers or 32,

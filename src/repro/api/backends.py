@@ -19,6 +19,7 @@ so frontends never construct or dispatch on a concrete tier.
     open_backend("snapshot:/path/to/model-snapshot")   # single service
     open_backend("local:/path/to/model-snapshot")      # alias of snapshot:
     open_backend("cluster:/path/to/cluster-snapshot")  # sharded router
+    open_backend("follower:/path/to/ship-feed")        # replication follower
     open_backend("http://10.0.0.7:8080")               # remote gateway
     open_backend("/path/to/either-kind-of-dir")        # sniffed from MANIFEST
 
@@ -365,9 +366,10 @@ def open_backend(
 
     Supported schemes: ``snapshot:DIR`` (alias ``local:DIR``) for a
     single-service model snapshot, ``cluster:DIR`` for a sharded
-    cluster snapshot, ``http://`` / ``https://`` for a remote gateway,
-    and a bare directory path whose manifest decides between the first
-    two. Every malformed URI — unknown scheme, empty target, missing or
+    cluster snapshot, ``follower:DIR`` for an embedded replication
+    follower tailing a ship feed, ``http://`` / ``https://`` for a
+    remote gateway, and a bare directory path whose manifest decides
+    between the first two. Every malformed URI — unknown scheme, empty target, missing or
     unreadable snapshot — raises :class:`ApiError`
     (``invalid_argument``) naming what was wrong, never a raw
     ``OSError``.
@@ -401,12 +403,23 @@ def open_backend(
                 "invalid_argument",
                 f"cannot open cluster snapshot {target!r}: {exc}",
             )
+    if uri.startswith("follower:"):
+        target = uri[len("follower:"):]
+        if not target:
+            raise ApiError(
+                "invalid_argument",
+                "'follower:' URI is missing its replication feed directory",
+            )
+        return _open_follower(
+            target, cache_size=cache_size, n_replicas=n_replicas
+        )
     scheme_match = _SCHEME_RE.match(uri)
     if scheme_match is not None:
         raise ApiError(
             "invalid_argument",
             f"unknown backend scheme {scheme_match.group(1)!r} in {uri!r}: "
-            "expected snapshot:, local:, cluster:, http:// or https://",
+            "expected snapshot:, local:, cluster:, follower:, http:// or "
+            "https://",
         )
     path = Path(uri)
     if path.is_dir():
@@ -426,6 +439,38 @@ def open_backend(
 #: A URI-ish prefix (e.g. ``ftp:``) that is not a plain path. Single
 #: letters are excluded so Windows-style ``C:\...`` never matches.
 _SCHEME_RE = re.compile(r"^([A-Za-z][A-Za-z0-9+.-]+):")
+
+
+def _open_follower(target: str, *, cache_size: int, n_replicas: int):
+    """Join a replication feed as an embedded follower.
+
+    Bootstraps a :class:`repro.replication.Follower` over a throwaway
+    workdir, catches it up to the feed's current epoch, and leaves its
+    tail loop running in the background — the returned backend serves
+    reads that track the primary's coordinated swaps. Closing the
+    backend stops the loop.
+    """
+    import tempfile
+
+    from repro.replication import Follower
+    from repro.replication.feed import FeedError
+
+    try:
+        follower = Follower(
+            target,
+            tempfile.mkdtemp(prefix="shoal-follower-"),
+            n_replicas=n_replicas,
+            cache_size=cache_size,
+        )
+        backend = follower.bootstrap()
+        follower.catch_up(timeout_s=120.0)
+        follower.start()
+        return backend
+    except (FeedError, OSError, ValueError, KeyError) as exc:
+        raise ApiError(
+            "invalid_argument",
+            f"cannot open replication feed {target!r}: {exc}",
+        )
 
 
 def _open_snapshot(

@@ -728,9 +728,12 @@ class MetricsResponse:
     """The versioned scrape point: one JSON object per subsystem.
 
     ``backend`` is always present (the read tier's stats); ``ingest``,
-    ``updater``, ``analytics``, and ``edge`` appear when the
-    corresponding subsystem is attached to the server (``edge`` is the
-    async edge's hedging/cancellation/coalescing counters).
+    ``updater``, ``analytics``, ``edge``, and ``replication`` appear
+    when the corresponding subsystem is attached to the server
+    (``edge`` is the async edge's hedging/cancellation/coalescing
+    counters; ``replication`` is the shipper's publish counters on a
+    primary or the follower's lag — segments behind, seqs behind,
+    epoch — on a replica).
     """
 
     backend: Dict[str, Any] = field(default_factory=dict)
@@ -738,6 +741,7 @@ class MetricsResponse:
     updater: Optional[Dict[str, Any]] = None
     analytics: Optional[Dict[str, Any]] = None
     edge: Optional[Dict[str, Any]] = None
+    replication: Optional[Dict[str, Any]] = None
     version: int = SCHEMA_VERSION
 
     def to_dict(self) -> Dict[str, Any]:
@@ -753,13 +757,23 @@ class MetricsResponse:
             out["analytics"] = dict(self.analytics)
         if self.edge is not None:
             out["edge"] = dict(self.edge)
+        if self.replication is not None:
+            out["replication"] = dict(self.replication)
         return out
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "MetricsResponse":
         fields = _take(
             payload,
-            ("version", "backend", "ingest", "updater", "analytics", "edge"),
+            (
+                "version",
+                "backend",
+                "ingest",
+                "updater",
+                "analytics",
+                "edge",
+                "replication",
+            ),
             "metrics response",
         )
         backend = fields.get("backend")
@@ -775,6 +789,9 @@ class MetricsResponse:
             updater=_check_section(fields.get("updater"), "updater"),
             analytics=_check_section(fields.get("analytics"), "analytics"),
             edge=_check_section(fields.get("edge"), "edge"),
+            replication=_check_section(
+                fields.get("replication"), "replication"
+            ),
             version=version,
         )
 

@@ -98,7 +98,10 @@ class GatewayCore:
     ``edge_stats`` is an optional zero-argument callable returning the
     serving edge's own counters (hedges, cancellations, coalescer
     batches); when set, they appear as the ``edge`` section of
-    ``GET /v1/metrics``.
+    ``GET /v1/metrics``. ``replication_stats`` is the same shape for
+    the replication role — a shipper's publish counters on a primary,
+    a follower's lag (segments behind, seqs behind, epoch) on a
+    replica — surfacing as the ``replication`` section.
     """
 
     def __init__(
@@ -110,6 +113,7 @@ class GatewayCore:
         analytics_engine=None,
         analytics_tailer=None,
         edge_stats=None,
+        replication_stats=None,
     ):
         self.backend = backend
         self.ingest_pipe = ingest_pipe
@@ -117,6 +121,7 @@ class GatewayCore:
         self.analytics_engine = analytics_engine
         self.analytics_tailer = analytics_tailer
         self.edge_stats = edge_stats
+        self.replication_stats = replication_stats
 
     # -- typed read dispatch -------------------------------------------------
 
@@ -264,6 +269,11 @@ class GatewayCore:
             ),
             analytics=analytics,
             edge=None if self.edge_stats is None else self.edge_stats(),
+            replication=(
+                None
+                if self.replication_stats is None
+                else self.replication_stats()
+            ),
         )
 
     def dispatch_get(
@@ -448,6 +458,7 @@ class ShoalHttpServer:
         updater=None,
         analytics_engine=None,
         analytics_tailer=None,
+        replication_stats=None,
     ):
         self._backend = backend
         self._ingest_pipe = ingest_pipe
@@ -460,6 +471,7 @@ class ShoalHttpServer:
             updater=updater,
             analytics_engine=analytics_engine,
             analytics_tailer=analytics_tailer,
+            replication_stats=replication_stats,
         )
         handler = type(
             "_BoundGatewayHandler",

@@ -480,7 +480,10 @@ def _cmd_abtest(args) -> int:
 
 
 def _build_ingest_side(args, backend):
-    """(pipe, updater) for ``serve-http --ingest-wal`` (None,None without).
+    """(pipe, updater, shipper) for ``serve-http --ingest-wal``.
+
+    All three are ``None`` without ``--ingest-wal``; the shipper is
+    ``None`` without ``--ship-feed``.
 
     Seeds the updater's sliding-window store by regenerating the query
     log the snapshot was fitted on (profile/seed come from the snapshot
@@ -490,7 +493,12 @@ def _build_ingest_side(args, backend):
     generation hot-swaps in with probe-query health checks.
     """
     if not args.ingest_wal:
-        return None, None
+        if getattr(args, "ship_feed", None):
+            raise SystemExit(
+                "--ship-feed requires --ingest-wal DIR: followers replay "
+                "the primary's closed WAL segments"
+            )
+        return None, None, None
     if not args.load:
         raise SystemExit(
             "--ingest-wal requires --load DIR: the updater warm-starts "
@@ -518,7 +526,13 @@ def _build_ingest_side(args, backend):
     market = generate_marketplace(PROFILES[profile].with_seed(seed))
     model = backend.service.model
     cats = load_entity_categories(args.load) or _entity_categories(market)
-    inc = IncrementalShoal.from_model(model, entity_categories=cats)
+    # These two knobs shape every refit; a replication feed ships them
+    # so followers rebuild with byte-identical settings.
+    retrain_every = 7
+    max_day_skew = 2
+    inc = IncrementalShoal.from_model(
+        model, entity_categories=cats, retrain_every=retrain_every
+    )
 
     probes = [
         q.text
@@ -547,21 +561,48 @@ def _build_ingest_side(args, backend):
         from repro.analytics import DriftMonitor
 
         drift_gate = DriftMonitor(threshold=args.drift_threshold)
+    shipper = None
+    generations_dir = args.generations
+    if getattr(args, "ship_feed", None):
+        import tempfile
+
+        from repro.replication import SegmentShipper
+
+        if generations_dir is None:
+            # The shipper encodes deltas between on-disk generation
+            # snapshots, so shipping implies persisting them.
+            generations_dir = tempfile.mkdtemp(prefix="shoal-generations-")
+        shipper = SegmentShipper(
+            wal,
+            args.ship_feed,
+            base_snapshot_dir=args.load,
+            manifest={
+                "profile": profile,
+                "seed": seed,
+                "base_last_day": market.query_log.days()[-1],
+                "retrain_every": retrain_every,
+                "max_day_skew": max_day_skew,
+                "min_batch_events": args.ingest_batch_events // 4 or 1,
+            },
+        )
+        shipper.initialise()
     updater = StreamingUpdater(
         inc,
         pipe,
         switch=switch,
-        generations_dir=args.generations,
+        generations_dir=generations_dir,
         batch_max_events=args.ingest_batch_events,
         batch_max_age_s=args.ingest_batch_age_s,
         min_batch_events=args.ingest_batch_events // 4 or 1,
+        max_day_skew=max_day_skew,
         drift_gate=drift_gate,
+        on_generation=None if shipper is None else shipper.publish_generation,
     )
     updater.seed_log(market.query_log)
     recovered = updater.recover()
     if recovered:
         print(f"recovered {recovered} events from the WAL at {args.ingest_wal}")
-    return pipe, updater
+    return pipe, updater, shipper
 
 
 def _build_analytics_side(args, backend, pipe):
@@ -635,7 +676,7 @@ def _cmd_serve_http(args) -> int:
             deadline_ms=args.deadline_ms,
         ),
     )
-    pipe, updater = _build_ingest_side(args, backend)
+    pipe, updater, shipper = _build_ingest_side(args, backend)
     if updater is not None:
         # The gateway's result cache must drop on each hot-swap too.
         updater.switch.attach(gateway)
@@ -643,6 +684,28 @@ def _cmd_serve_http(args) -> int:
     analytics_engine, analytics_tailer = _build_analytics_side(
         args, backend, pipe
     )
+    replication_stats = None
+    coordinator_stop = None
+    if shipper is not None:
+        import threading as _threading
+
+        from repro.replication import EpochCoordinator, coordinator_loop
+
+        coordinator = EpochCoordinator(
+            args.ship_feed, quorum=args.ship_quorum
+        )
+        coordinator_stop = _threading.Event()
+        _threading.Thread(
+            target=coordinator_loop,
+            args=(coordinator,),
+            kwargs={"stop": coordinator_stop},
+            name="shoal-epoch-coordinator",
+            daemon=True,
+        ).start()
+        replication_stats = lambda: {  # noqa: E731
+            **shipper.stats(),
+            "coordinator": coordinator.stats(),
+        }
     if args.edge == "async":
         server = AsyncShoalServer(
             gateway,
@@ -657,6 +720,7 @@ def _cmd_serve_http(args) -> int:
             hedge_after_ms=args.hedge_after_ms,
             coalesce_max_events=args.coalesce_events,
             coalesce_max_delay_ms=args.coalesce_delay_ms,
+            replication_stats=replication_stats,
         )
         server.start()  # binds the port so the banner can name it
     else:
@@ -669,6 +733,7 @@ def _cmd_serve_http(args) -> int:
             updater=updater,
             analytics_engine=analytics_engine,
             analytics_tailer=analytics_tailer,
+            replication_stats=replication_stats,
         )
     write_side = (
         " /v1/ingest, GET /v1/metrics;" if pipe is not None else ""
@@ -681,6 +746,81 @@ def _cmd_serve_http(args) -> int:
         f"({args.edge} edge; "
         f"POST /v1/search /v1/recommend /v1/batch{write_side}"
         f"{analytics_side} GET /v1/health /v1/stats; Ctrl-C to stop)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        if coordinator_stop is not None:
+            coordinator_stop.set()
+        server.shutdown()
+    return 0
+
+
+def _cmd_serve_follower(args) -> int:
+    """Serve reads from a replication feed, swapping on epoch bumps."""
+    import tempfile
+
+    from repro.api import (
+        AsyncShoalServer,
+        Gateway,
+        ShoalHttpServer,
+        default_middlewares,
+    )
+    from repro.replication import Follower
+
+    engine_cache = 0 if args.cache_size > 0 else 4096
+    workdir = args.workdir or tempfile.mkdtemp(prefix="shoal-follower-")
+    follower = Follower(
+        args.feed,
+        workdir,
+        follower_id=args.id,
+        n_shards=args.shards,
+        n_replicas=args.replicas,
+        cache_size=engine_cache,
+    )
+    backend = follower.bootstrap()
+    gateway = Gateway(
+        backend,
+        default_middlewares(
+            cache_size=args.cache_size,
+            cache_ttl_s=args.cache_ttl_s,
+            rate_limit=args.rate_limit,
+            deadline_ms=args.deadline_ms,
+        ),
+    )
+    # Epoch swaps must drop the gateway's result cache, exactly like
+    # the primary's hot-swap path.
+    follower.switch.attach(gateway)
+    built = follower.catch_up(timeout_s=args.catch_up_s)
+    if built:
+        print(f"caught up: rebuilt {built} generations from {args.feed}")
+    follower.start()
+    if args.edge == "async":
+        server = AsyncShoalServer(
+            gateway,
+            args.host,
+            args.port,
+            quiet=args.quiet,
+            default_timeout_ms=args.deadline_ms,
+            replication_stats=follower.stats,
+        )
+        server.start()
+    else:
+        server = ShoalHttpServer(
+            gateway,
+            args.host,
+            args.port,
+            quiet=args.quiet,
+            replication_stats=follower.stats,
+        )
+    print(
+        f"serving follower {follower.follower_id} on {server.url} "
+        f"({args.edge} edge; feed {args.feed}, epoch "
+        f"{follower.epoch}; POST /v1/search /v1/recommend /v1/batch; "
+        "GET /v1/health /v1/stats /v1/metrics; Ctrl-C to stop)",
         flush=True,
     )
     try:
@@ -1047,10 +1187,82 @@ def build_parser() -> argparse.ArgumentParser:
              "identical partitions; default: never skip)",
     )
     p_http.add_argument(
+        "--ship-feed", default=None, metavar="DIR",
+        help="publish closed WAL segments + generation snapshot deltas "
+             "into this replication feed directory and run the epoch "
+             "coordinator over it (requires --ingest-wal)",
+    )
+    p_http.add_argument(
+        "--ship-quorum", type=int, default=1,
+        help="followers that must report a byte-identical rebuild "
+             "before an epoch swap is broadcast",
+    )
+    p_http.add_argument(
         "--quiet", action="store_true", default=False,
         help="suppress per-request access logging",
     )
     p_http.set_defaults(func=_cmd_serve_http)
+
+    p_follower = sub.add_parser(
+        "serve-follower",
+        help="serve reads from a replication feed (see serve-http "
+             "--ship-feed), hot-swapping on coordinated epoch bumps",
+    )
+    p_follower.add_argument(
+        "--feed", required=True, metavar="DIR",
+        help="replication feed directory published by the primary",
+    )
+    p_follower.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="scratch directory for rebuilt generation snapshots "
+             "(default: a fresh temp directory)",
+    )
+    p_follower.add_argument(
+        "--id", default=None,
+        help="stable follower identity in reports (default: random)",
+    )
+    p_follower.add_argument("--host", default="127.0.0.1")
+    p_follower.add_argument(
+        "--port", type=int, default=8081, help="0 picks an ephemeral port"
+    )
+    p_follower.add_argument(
+        "--shards", type=int, default=1,
+        help="serve through an n-shard cluster tier instead of a "
+             "single service",
+    )
+    p_follower.add_argument(
+        "--replicas", type=int, default=1,
+        help="replicas per shard (with --shards > 1)",
+    )
+    p_follower.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="gateway result-cache entries (0 disables)",
+    )
+    p_follower.add_argument(
+        "--cache-ttl-s", type=float, default=None,
+        help="gateway result-cache TTL in seconds (default: no expiry)",
+    )
+    p_follower.add_argument(
+        "--rate-limit", type=float, default=None, metavar="QPS",
+        help="token-bucket admission rate (default: unlimited)",
+    )
+    p_follower.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="default per-request deadline in milliseconds",
+    )
+    p_follower.add_argument(
+        "--edge", default="async", choices=["thread", "async"],
+        help="HTTP edge implementation",
+    )
+    p_follower.add_argument(
+        "--catch-up-s", type=float, default=60.0,
+        help="max seconds to replay the feed before the port opens",
+    )
+    p_follower.add_argument(
+        "--quiet", action="store_true", default=False,
+        help="suppress per-request access logging",
+    )
+    p_follower.set_defaults(func=_cmd_serve_follower)
 
     p_ingest = sub.add_parser(
         "ingest",

@@ -145,6 +145,13 @@ def _classify(target: Any) -> Tuple[Any, str]:
         return target.service, "service"
     if isinstance(target, ClusterBackend):
         return target.router, "cluster"
+    inner = getattr(target, "replicated_backend", None)
+    if inner is not None:
+        # A replication FollowerBackend (duck-typed to avoid importing
+        # repro.replication here) delegates to the tier it wraps, so
+        # attaching it must swap that inner tier — and dedup against an
+        # already-attached copy of the same engine.
+        return _classify(inner)
     if isinstance(target, ShoalService):
         return target, "service"
     refresh = getattr(target, "refresh", None)

@@ -96,6 +96,7 @@ class StreamingUpdater:
         min_batch_events: int = 1,
         max_day_skew: int = 2,
         drift_gate=None,
+        on_generation=None,
     ):
         if inc.model is None:
             raise ValueError(
@@ -130,6 +131,12 @@ class StreamingUpdater:
         #: whose taxonomy partition is trivially different from what is
         #: serving is produced and checkpointed but NOT rolled out.
         self._drift_gate = drift_gate
+
+        #: Optional callable(Generation) invoked after every advanced
+        #: generation, before WAL compaction — so a subscriber (e.g. a
+        #: replication SegmentShipper) still finds the segments that
+        #: produced the generation on disk. Exceptions are contained.
+        self._on_generation = on_generation
 
         self._applied_seq = 0
         self._events_applied = 0
@@ -334,6 +341,16 @@ class StreamingUpdater:
                 "last_day": generation.last_day,
             },
         )
+        if self._on_generation is not None:
+            # Must run before compaction: a shipper subscriber copies
+            # the closed segments that produced this generation.
+            try:
+                self._on_generation(generation)
+            except Exception as exc:  # noqa: BLE001 - subscriber is advisory
+                self._last_error = (
+                    f"on_generation hook failed "
+                    f"({type(exc).__name__}: {exc})"
+                )
         # Events older than the new window can never be refit again.
         self._pipe.wal.compact(update.first_day)
         return generation

@@ -177,14 +177,9 @@ def write_checkpoint(directory: Union[str, Path], payload: Dict[str, Any]) -> Pa
     replays the full retained WAL because the window store is
     in-memory.
     """
-    directory = Path(directory)
-    target = directory / _CHECKPOINT
-    tmp = directory / (_CHECKPOINT + ".tmp")
-    tmp.write_text(
-        json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
-    )
-    os.replace(tmp, target)
-    return target
+    from repro._util import atomic_write_json
+
+    return atomic_write_json(Path(directory) / _CHECKPOINT, payload)
 
 
 def read_checkpoint(directory: Union[str, Path]) -> Optional[Dict[str, Any]]:
@@ -442,15 +437,58 @@ class WriteAheadLog:
         return events
 
     def _roll_segment(self) -> None:
-        """Close the active segment and open the next (caller holds lock)."""
+        """Close the active segment and open the next (caller holds lock).
+
+        The directory entry is fsynced after the close so a crash right
+        after the roll cannot leave a shipper observing a closed
+        segment whose name is not yet durable in the directory — a
+        closed segment is a *published* artifact (segment shipping
+        copies it to followers), so its link must be as durable as its
+        bytes.
+        """
         self._handle.flush()
         if self._fsync != "never":
             self._do_fsync()
         self._handle.close()
+        if self._fsync != "never":
+            self._fsync_directory()
         number = _segment_number(self._segments[-1].path) + 1
         meta = _SegmentMeta(self._dir / _segment_name(number))
         self._segments.append(meta)
         self._handle = open(meta.path, "a", encoding="utf-8")
+
+    def _fsync_directory(self) -> None:
+        """Make the segment files' directory entries durable."""
+        try:
+            dir_fd = os.open(self._dir, os.O_RDONLY)
+        except OSError:
+            return  # platform cannot open directories (e.g. Windows)
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass  # directory fsync unsupported on this filesystem
+        finally:
+            os.close(dir_fd)
+
+    def roll(self) -> Optional[Path]:
+        """Publicly close the active segment so it becomes shippable.
+
+        The segment shipper calls this when a freshly produced
+        generation's boundary sequence still sits in the active
+        segment: rolling makes every event the generation covers part
+        of a *closed* (immutable, shippable) segment, which bounds the
+        follower publish lag deterministically. A roll of an empty
+        active segment is a no-op (returns None) so repeated calls
+        cannot litter the log with empty files.
+        """
+        with self._lock:
+            if self._closed:
+                raise ValueError("write-ahead log is closed")
+            if self._segments[-1].n_events == 0:
+                return None
+            closed = self._segments[-1].path
+            self._roll_segment()
+            return closed
 
     def sync(self) -> None:
         """Flush + fsync the active segment (the "batch" policy hook)."""
@@ -491,6 +529,27 @@ class WriteAheadLog:
     def segments(self) -> List[Path]:
         with self._lock:
             return [m.path for m in self._segments]
+
+    def closed_segments(self) -> List[Dict[str, Any]]:
+        """Every closed (immutable) segment, oldest first.
+
+        Each entry carries the metadata a shipper needs to publish the
+        segment without re-reading it under the log's lock: ``path``,
+        ``n_events``, ``min_seq``, ``max_seq``, ``max_day``. The active
+        segment is never included — it is still being appended to, so
+        copying it would ship a torn suffix.
+        """
+        with self._lock:
+            return [
+                {
+                    "path": m.path,
+                    "n_events": m.n_events,
+                    "min_seq": m.min_seq,
+                    "max_seq": m.max_seq,
+                    "max_day": m.max_day,
+                }
+                for m in self._segments[:-1]
+            ]
 
     # -- compaction ----------------------------------------------------------
 

@@ -1,0 +1,165 @@
+"""Shared fixtures for the replication suite.
+
+One session-scoped "shipped world" — a primary that streamed two
+micro-batches through the WAL, published segments + deltas into a feed
+— is built once; tests that mutate feed state (follower reports, epoch
+broadcasts) work on per-test copies of that feed so they cannot bleed
+into each other.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import shutil
+
+import pytest
+
+from repro.core.config import ShoalConfig
+from repro.core.incremental import IncrementalShoal
+from repro.data.marketplace import PROFILES, generate_marketplace
+from repro.data.queries import QueryLogConfig
+from repro.replication import SegmentShipper
+from repro.store.persistence import load_entity_categories, load_model
+from repro.streaming import IngestPipe, StreamingUpdater, WriteAheadLog
+
+BASE_LAST_DAY = 6  # the 7-day base window is days 0..6
+MIN_BATCH = 10
+
+
+@pytest.fixture(scope="session")
+def repl_config():
+    return dataclasses.replace(
+        PROFILES["tiny"],
+        query_log=QueryLogConfig(n_days=9, events_per_day=300),
+    )
+
+
+@pytest.fixture(scope="session")
+def repl_market(repl_config):
+    return generate_marketplace(repl_config)
+
+
+@pytest.fixture(scope="session")
+def repl_live_events(repl_market):
+    """Events beyond the base window, in event order."""
+    return [
+        e for e in repl_market.query_log.events if e.day > BASE_LAST_DAY
+    ]
+
+
+@pytest.fixture(scope="session")
+def repl_base_snapshot(tmp_path_factory, repl_market, repl_config):
+    """The base model snapshot both primary and followers boot from."""
+    market = repl_market
+    inc = IncrementalShoal(
+        ShoalConfig(),
+        {e.entity_id: e.title for e in market.catalog.entities},
+        {q.query_id: q.text for q in market.query_log.queries},
+        {e.entity_id: e.category_id for e in market.catalog.entities},
+        retrain_every=100,
+    )
+    inc.advance(market.query_log, last_day=BASE_LAST_DAY)
+    target = tmp_path_factory.mktemp("repl") / "base-snapshot"
+    inc.model.save(
+        target,
+        entity_categories={
+            e.entity_id: e.category_id for e in market.catalog.entities
+        },
+        metadata={"profile": "tiny", "seed": repl_config.seed},
+    )
+    return target
+
+
+def feed_manifest(repl_config) -> dict:
+    """The replication manifest a ``--ship-feed`` primary would write
+    for this world (tiny profile with the 9-day test log)."""
+    return {
+        "profile": "tiny",
+        "seed": repl_config.seed,
+        "query_log": dataclasses.asdict(repl_config.query_log),
+        "base_last_day": 8,
+        "retrain_every": 100,
+        "max_day_skew": 2,
+        "min_batch_events": MIN_BATCH,
+    }
+
+
+def build_primary(root, base_snapshot, market, repl_config):
+    """(pipe, updater, shipper) — the primary's write side, wired to
+    ship into ``root/feed`` exactly as ``serve-http --ship-feed`` does."""
+    model = load_model(base_snapshot)
+    cats = load_entity_categories(base_snapshot)
+    inc = IncrementalShoal.from_model(
+        model, entity_categories=cats, retrain_every=100
+    )
+    wal = WriteAheadLog(root / "wal", fsync="never")
+    pipe = IngestPipe(wal)
+    shipper = SegmentShipper(
+        wal,
+        root / "feed",
+        base_snapshot_dir=base_snapshot,
+        manifest=feed_manifest(repl_config),
+    )
+    shipper.initialise()
+    updater = StreamingUpdater(
+        inc,
+        pipe,
+        switch=None,
+        generations_dir=root / "gens",
+        min_batch_events=MIN_BATCH,
+        on_generation=shipper.publish_generation,
+    )
+    updater.seed_log(market.query_log)
+    updater.recover()
+    return pipe, updater, shipper
+
+
+def event_payload(event) -> dict:
+    return {
+        "day": int(event.day),
+        "user_id": int(event.user_id),
+        "query_id": int(event.query_id),
+        "clicked": [int(c) for c in event.clicked_entity_ids],
+    }
+
+
+def stream_generation(pipe, updater, events):
+    """Push ``events`` and drive the updater until it ships a generation."""
+    for event in events:
+        pipe.submit(event_payload(event))
+    generation = None
+    while generation is None:
+        generation = updater.run_once(timeout_s=0.2)
+    return generation
+
+
+@pytest.fixture(scope="session")
+def shipped_world(
+    tmp_path_factory, repl_base_snapshot, repl_market, repl_config,
+    repl_live_events,
+):
+    """A primary that shipped two generations (events [:40], [40:80]).
+
+    Returns (root, updater, generations) — treat the feed under
+    ``root / 'feed'`` as read-only; use the ``feed_copy`` fixture for
+    anything that writes reports or epochs.
+    """
+    root = tmp_path_factory.mktemp("shipped-world")
+    pipe, updater, shipper = build_primary(
+        root, repl_base_snapshot, repl_market, repl_config
+    )
+    generations = [
+        stream_generation(pipe, updater, repl_live_events[:40]),
+        stream_generation(pipe, updater, repl_live_events[40:80]),
+    ]
+    assert shipper.stats()["generations_published"] == 2
+    return root, updater, generations
+
+
+@pytest.fixture
+def feed_copy(tmp_path, shipped_world):
+    """A private, mutable copy of the shipped world's feed."""
+    root, _, _ = shipped_world
+    target = tmp_path / "feed"
+    shutil.copytree(root / "feed", target)
+    return target

@@ -1,0 +1,185 @@
+"""Snapshot delta codec: round-trip, corruption detection, fallback."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.replication import (
+    BaseMissing,
+    DeltaCorruption,
+    apply_delta,
+    encode_delta,
+    read_delta_header,
+    snapshot_fingerprint,
+)
+
+
+@pytest.fixture(scope="module")
+def snapshot_pair(shipped_world):
+    """(base, target): two consecutive generation snapshot directories."""
+    root, _, generations = shipped_world
+    return generations[0].snapshot_dir, generations[1].snapshot_dir
+
+
+def _artifact_bytes(directory):
+    return {
+        p.name: p.read_bytes()
+        for p in sorted(directory.iterdir())
+        if p.is_file()
+    }
+
+
+class TestRoundTrip:
+    def test_delta_rebuilds_target_byte_identically(
+        self, snapshot_pair, tmp_path
+    ):
+        base, target = snapshot_pair
+        delta = tmp_path / "gen.delta"
+        header = encode_delta(
+            target, delta, base_dir=base,
+            generation=2, base_generation=1, applied_seq=80, last_day=8,
+        )
+        out = tmp_path / "rebuilt"
+        applied = apply_delta(delta, out, base_dir=base)
+        assert applied["fingerprint"] == header["fingerprint"]
+        assert _artifact_bytes(out) == _artifact_bytes(target)
+        assert snapshot_fingerprint(out) == snapshot_fingerprint(target)
+
+    def test_full_delta_needs_no_base_and_matches(
+        self, snapshot_pair, tmp_path
+    ):
+        _, target = snapshot_pair
+        full = tmp_path / "gen.full"
+        header = encode_delta(
+            target, full, base_dir=None,
+            generation=2, applied_seq=80, last_day=8,
+        )
+        assert header["kind"] == "full"
+        out = tmp_path / "rebuilt-full"
+        apply_delta(full, out)  # no base_dir at all
+        assert _artifact_bytes(out) == _artifact_bytes(target)
+
+    def test_delta_ships_fewer_bytes_than_full(self, snapshot_pair, tmp_path):
+        base, target = snapshot_pair
+        delta = tmp_path / "a.delta"
+        full = tmp_path / "a.full"
+        d = encode_delta(
+            target, delta, base_dir=base,
+            generation=2, base_generation=1, applied_seq=80, last_day=8,
+        )
+        f = encode_delta(
+            target, full, base_dir=None,
+            generation=2, applied_seq=80, last_day=8,
+        )
+        assert d["bytes"] < f["bytes"]
+        # unchanged artifacts ship as zero-payload refs
+        assert any(e["op"] == "ref" for e in d["files"])
+
+
+class TestCorruption:
+    def _encode(self, snapshot_pair, tmp_path):
+        base, target = snapshot_pair
+        delta = tmp_path / "gen.delta"
+        encode_delta(
+            target, delta, base_dir=base,
+            generation=2, base_generation=1, applied_seq=80, last_day=8,
+        )
+        return base, delta
+
+    def test_payload_bitflip_detected(self, snapshot_pair, tmp_path):
+        base, delta = self._encode(snapshot_pair, tmp_path)
+        raw = bytearray(delta.read_bytes())
+        raw[-1] ^= 0xFF  # flip a payload byte, header line untouched
+        delta.write_bytes(bytes(raw))
+        with pytest.raises(DeltaCorruption, match="checksum"):
+            apply_delta(delta, tmp_path / "out", base_dir=base)
+
+    def test_truncated_payload_detected(self, snapshot_pair, tmp_path):
+        base, delta = self._encode(snapshot_pair, tmp_path)
+        raw = delta.read_bytes()
+        delta.write_bytes(raw[:-64])
+        with pytest.raises(DeltaCorruption):
+            apply_delta(delta, tmp_path / "out", base_dir=base)
+
+    def test_tampered_header_checksum_detected(
+        self, snapshot_pair, tmp_path
+    ):
+        base, delta = self._encode(snapshot_pair, tmp_path)
+        raw = delta.read_bytes()
+        head, _, payload = raw.partition(b"\n")
+        header = json.loads(head)
+        header["files"][0]["sha256"] = "0" * 64
+        delta.write_bytes(
+            json.dumps(header, sort_keys=True).encode() + b"\n" + payload
+        )
+        with pytest.raises(DeltaCorruption):
+            apply_delta(delta, tmp_path / "out", base_dir=base)
+
+    def test_not_a_delta_file_rejected(self, tmp_path):
+        junk = tmp_path / "junk.delta"
+        junk.write_bytes(b"\x00\x01\x02 definitely not json\n")
+        with pytest.raises(DeltaCorruption):
+            read_delta_header(junk)
+
+    def test_corrupted_base_artifact_detected(
+        self, snapshot_pair, tmp_path
+    ):
+        """A ref resolving to different bytes than shipped must fail —
+        the checksum covers ref'd files too, not just literals."""
+        base, target = snapshot_pair
+        delta = tmp_path / "gen.delta"
+        encode_delta(
+            target, delta, base_dir=base,
+            generation=2, base_generation=1, applied_seq=80, last_day=8,
+        )
+        import shutil
+
+        bad_base = tmp_path / "bad-base"
+        shutil.copytree(base, bad_base)
+        header = read_delta_header(delta)
+        ref_name = next(
+            e["name"] for e in header["files"] if e["op"] == "ref"
+        )
+        with open(bad_base / ref_name, "ab") as fh:
+            fh.write(b"x")
+        with pytest.raises(DeltaCorruption):
+            apply_delta(delta, tmp_path / "out", base_dir=bad_base)
+
+
+class TestBaseMissingFallback:
+    def test_delta_without_base_raises_base_missing(
+        self, snapshot_pair, tmp_path
+    ):
+        base, target = snapshot_pair
+        delta = tmp_path / "gen.delta"
+        encode_delta(
+            target, delta, base_dir=base,
+            generation=2, base_generation=1, applied_seq=80, last_day=8,
+        )
+        with pytest.raises(BaseMissing):
+            apply_delta(delta, tmp_path / "out")
+
+    def test_fallback_to_full_when_base_missing(
+        self, snapshot_pair, tmp_path
+    ):
+        """The reader-side protocol: BaseMissing -> apply the full
+        encoding instead, landing on identical bytes."""
+        base, target = snapshot_pair
+        delta = tmp_path / "gen.delta"
+        full = tmp_path / "gen.full"
+        encode_delta(
+            target, delta, base_dir=base,
+            generation=2, base_generation=1, applied_seq=80, last_day=8,
+        )
+        encode_delta(
+            target, full, base_dir=None,
+            generation=2, applied_seq=80, last_day=8,
+        )
+        out = tmp_path / "out"
+        try:
+            apply_delta(delta, out)  # base gone
+        except BaseMissing:
+            apply_delta(full, out)
+        assert _artifact_bytes(out) == _artifact_bytes(target)
