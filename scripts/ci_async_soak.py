@@ -15,7 +15,12 @@ soak uses — for a fixed duration, and fails if
   acknowledged (zero lost events, coalescing included);
 * the edge never hedged: the run's ``edge.hedges.launched`` counter
   must be >= 1 (start the server with ``--hedge-after-ms 0`` so every
-  not-instant read hedges and the counter provably moves).
+  not-instant read hedges and the counter provably moves);
+* the observability surface regressed: ``GET /v1/metrics?format=prom``
+  must pass the strict OpenMetrics parser, the tracer must have
+  sampled at least one trace, and ``GET /v1/trace`` must return a
+  coherent span tree that also resolves by its ``request_id``
+  (see :mod:`obs_gates`).
 
 Usage::
 
@@ -36,7 +41,9 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
 
+from obs_gates import check_observability  # noqa: E402
 from repro.data.marketplace import PROFILES, generate_marketplace  # noqa: E402
 from repro.serving import WorkloadConfig, build_workload  # noqa: E402
 from repro.serving.replay import build_write_workload  # noqa: E402
@@ -222,6 +229,7 @@ def main(argv=None) -> int:
             "the edge never hedged a request (launched=0); start the "
             "server with --hedge-after-ms 0"
         )
+    failures.extend(check_observability(args.url, who="async edge"))
 
     if failures:
         for f in failures:

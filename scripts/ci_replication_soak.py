@@ -16,7 +16,12 @@ fleet of ``serve-follower`` replicas for a fixed duration and fails if
 * any follower's answers diverge from the primary's: ``--sample``
   distinct queries are replayed against every process post-settle and
   each search/recommend response must be **byte-identical** to the
-  primary's.
+  primary's;
+* any process's observability surface regressed: the primary AND
+  every follower must serve ``GET /v1/metrics?format=prom`` past the
+  strict OpenMetrics parser, have sampled at least one trace, and
+  resolve a coherent span tree end-to-end via ``GET /v1/trace``
+  (see :mod:`obs_gates`).
 
 Usage::
 
@@ -35,7 +40,9 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
 
+from obs_gates import check_observability  # noqa: E402
 from repro.api import (  # noqa: E402
     ApiError,
     RecommendRequest,
@@ -227,6 +234,11 @@ def main(argv=None) -> int:
             )
     if n_writes == 0:
         failures.append("no write was ever admitted")
+    failures.extend(check_observability(args.url, who="primary"))
+    for url, _client in followers:
+        failures.extend(
+            check_observability(url, who=f"follower {url}")
+        )
     if failures:
         for f in failures:
             print(f"GATE FAILED: {f}")

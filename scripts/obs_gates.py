@@ -1,0 +1,176 @@
+"""Shared observability gates for the CI soak scripts.
+
+Both soaks (async edge, replication) end by running these checks
+against every process in the fleet:
+
+* ``GET /v1/metrics?format=prom`` must answer 200 with the
+  OpenMetrics content type and a body the strict parser
+  (:func:`repro.obs.parse_openmetrics`) accepts, and the tracer must
+  have sampled at least one trace during the soak;
+* ``GET /v1/trace`` must return a sampled trace whose spans form a
+  single coherent tree (one root, every parent resolves, children
+  nest inside their parents), and looking that trace up again by its
+  ``request_id`` must return the same span tree — i.e. the id a
+  client would read out of an access log resolves end-to-end.
+
+Each check appends human-readable strings to a failure list the
+calling soak prints as ``GATE FAILED: ...``; the helper never raises
+on a failed gate, only on programmer error.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.parse
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs import OpenMetricsError, parse_openmetrics
+
+# Slack when checking that children nest inside their parents: span
+# clocks are monotonic within a process, but executor hand-offs on
+# the async edge jitter the reads by up to a millisecond or so.
+NEST_EPS_MS = 1.5
+
+
+def _get(host: str, port: int, path: str) -> Tuple[int, str, str]:
+    """GET returning (status, content-type, raw body text)."""
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        return (
+            resp.status,
+            resp.getheader("Content-Type", ""),
+            resp.read().decode("utf-8"),
+        )
+    finally:
+        conn.close()
+
+
+def _span_tree_failures(who: str, trace: Dict[str, Any]) -> List[str]:
+    """Structural checks: the spans of one trace form a single tree
+    rooted at the edge, every span carries the trace's request id,
+    and children nest inside their parents."""
+    failures: List[str] = []
+    request_id = trace.get("request_id", "")
+    spans = trace.get("spans") or []
+    if not spans:
+        return [f"{who}: trace {request_id!r} has no spans"]
+
+    by_id = {s["span_id"]: s for s in spans}
+    roots = [s for s in spans if s.get("parent_id") is None]
+    if len(roots) != 1:
+        failures.append(
+            f"{who}: trace {request_id!r} has {len(roots)} roots "
+            f"(want exactly 1)"
+        )
+    for span in spans:
+        if not span["span_id"].startswith(f"{request_id}:"):
+            failures.append(
+                f"{who}: span {span['span_id']!r} does not carry "
+                f"request id {request_id!r}"
+            )
+        parent_id = span.get("parent_id")
+        if parent_id is None:
+            continue
+        parent = by_id.get(parent_id)
+        if parent is None:
+            failures.append(
+                f"{who}: span {span['span_id']!r} points at missing "
+                f"parent {parent_id!r}"
+            )
+            continue
+        child_end = span["start_ms"] + span["duration_ms"]
+        parent_end = parent["start_ms"] + parent["duration_ms"]
+        if (
+            span["start_ms"] < parent["start_ms"] - NEST_EPS_MS
+            or child_end > parent_end + NEST_EPS_MS
+        ):
+            failures.append(
+                f"{who}: span {span['name']!r} "
+                f"[{span['start_ms']}, {child_end}]ms escapes parent "
+                f"{parent['name']!r} "
+                f"[{parent['start_ms']}, {parent_end}]ms"
+            )
+    return failures
+
+
+def check_observability(url: str, *, who: str) -> List[str]:
+    """Run the prom-scrape and trace-resolution gates against one
+    process; returns failure strings (empty == all gates passed)."""
+    parsed = urllib.parse.urlsplit(url)
+    host, port = parsed.hostname, parsed.port or 80
+    failures: List[str] = []
+
+    # -- strict OpenMetrics scrape ---------------------------------
+    status, ctype, body = _get(host, port, "/v1/metrics?format=prom")
+    if status != 200:
+        failures.append(
+            f"{who}: GET /v1/metrics?format=prom answered {status}"
+        )
+    elif not ctype.startswith("application/openmetrics-text"):
+        failures.append(
+            f"{who}: prom scrape served content-type {ctype!r}"
+        )
+    else:
+        try:
+            doc = parse_openmetrics(body)
+        except OpenMetricsError as exc:
+            failures.append(
+                f"{who}: prom exposition rejected by the strict "
+                f"parser: {exc}"
+            )
+        else:
+            sampled: Optional[float] = None
+            try:
+                sampled = doc.value("shoal_tracer_traces_sampled")
+            except KeyError:
+                failures.append(
+                    f"{who}: shoal_tracer_traces_sampled missing "
+                    f"from the prom exposition (tracing off?)"
+                )
+            if sampled is not None and sampled < 1:
+                failures.append(
+                    f"{who}: tracer sampled {sampled} traces during "
+                    f"the soak (need >= 1)"
+                )
+
+    # -- one sampled trace resolves end-to-end ---------------------
+    status, _, body = _get(host, port, "/v1/trace")
+    if status != 200:
+        failures.append(
+            f"{who}: GET /v1/trace answered {status}: {body[:200]}"
+        )
+        return failures
+    latest = json.loads(body)
+    failures.extend(_span_tree_failures(who, latest))
+
+    # The id from the latest trace must round-trip through the exact
+    # lookup — this is the access-log -> /v1/trace path a human debugs
+    # with.
+    request_id = latest.get("request_id", "")
+    query = urllib.parse.urlencode({"request_id": request_id})
+    status, _, body = _get(host, port, f"/v1/trace?{query}")
+    if status != 200:
+        failures.append(
+            f"{who}: trace {request_id!r} did not resolve by id "
+            f"(status {status}): {body[:200]}"
+        )
+    else:
+        exact = json.loads(body)
+        if exact.get("request_id") != request_id:
+            failures.append(
+                f"{who}: looked up {request_id!r} but got trace "
+                f"{exact.get('request_id')!r}"
+            )
+        failures.extend(_span_tree_failures(who, exact))
+
+    if not failures:
+        print(
+            f"observability gates passed for {who}: strict prom "
+            f"scrape ok, trace {request_id!r} "
+            f"({len(latest.get('spans') or [])} spans, "
+            f"{latest.get('duration_ms')}ms) resolved end-to-end"
+        )
+    return failures

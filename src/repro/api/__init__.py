@@ -67,6 +67,7 @@ _EXPORTS = {
     "AnalyticsRequest": "repro.api.contract",
     "AnalyticsResponse": "repro.api.contract",
     "MetricsResponse": "repro.api.contract",
+    "TraceResponse": "repro.api.contract",
     "request_from_dict": "repro.api.contract",
     # context
     "RequestContext": "repro.api.context",
@@ -131,6 +132,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         RecommendResponse,
         SearchRequest,
         SearchResponse,
+        TraceResponse,
     )
     from repro.api.context import (  # noqa: F401
         CancelToken,

@@ -61,9 +61,11 @@ from repro.api.http import (
     API_PREFIX,
     MAX_BODY_BYTES,
     GatewayCore,
+    RawResponse,
     _json_bytes,
     partial_batch_error,
 )
+from repro.obs.tracer import traced
 from repro.serving.stats import RequestStats
 
 __all__ = ["AsyncShoalServer"]
@@ -214,10 +216,21 @@ class _IngestCoalescer:
         if not pending:
             return
         flat = [event for events, _ in pending for event in events]
+
+        def flush_batch():
+            # Runs on the worker thread so the WAL-append span nests
+            # under this one in a single background trace.
+            with traced(
+                "ingest.coalesce_flush",
+                tags={
+                    "events": str(len(flat)),
+                    "requests": str(len(pending)),
+                },
+            ):
+                return self._pipe.submit_many(flat)
+
         try:
-            admitted = await self._run_blocking(
-                lambda: self._pipe.submit_many(flat)
-            )
+            admitted = await self._run_blocking(flush_batch)
         except ApiError as exc:
             self._reject_all(pending, exc)
             return
@@ -305,6 +318,7 @@ class AsyncShoalServer:
         coalesce_max_delay_ms: float = 5.0,
         max_workers: Optional[int] = None,
         replication_stats=None,
+        tracer=None,
     ):
         if hedge_after_ms is not None and hedge_after_ms < 0:
             raise ValueError(
@@ -323,6 +337,7 @@ class AsyncShoalServer:
         self._coalesce_max_delay_ms = coalesce_max_delay_ms
         self._stats = _EdgeStats()
         self._coalescer: Optional[_IngestCoalescer] = None
+        self._tracer = tracer
         self._core = GatewayCore(
             backend,
             ingest_pipe=ingest_pipe,
@@ -331,6 +346,12 @@ class AsyncShoalServer:
             analytics_tailer=analytics_tailer,
             edge_stats=lambda: self._stats.to_dict(self._coalescer),
             replication_stats=replication_stats,
+            tracer=tracer,
+            edge_histograms=lambda: (
+                {"edge_read_latency_ms": self._stats.read_stats}
+                if self._stats.read_stats.count > 0
+                else {}
+            ),
         )
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers or 32,
@@ -509,12 +530,17 @@ class AsyncShoalServer:
                 status, payload, close = await self._serve_one(
                     method, raw_path, headers, reader
                 )
-                body = _json_bytes(payload)
+                if isinstance(payload, RawResponse):
+                    body = payload.body
+                    content_type = payload.content_type
+                else:
+                    body = _json_bytes(payload)
+                    content_type = "application/json; charset=utf-8"
                 closing = close or not keep_alive
                 conn_header = "Connection: close\r\n" if closing else ""
                 head = (
                     f"HTTP/1.1 {status} {_PHRASES.get(status, 'Unknown')}\r\n"
-                    "Content-Type: application/json; charset=utf-8\r\n"
+                    f"Content-Type: {content_type}\r\n"
                     f"Content-Length: {len(body)}\r\n"
                     f"{conn_header}"
                     "\r\n"
@@ -543,8 +569,9 @@ class AsyncShoalServer:
         raw_path: str,
         headers: Dict[str, str],
         reader: asyncio.StreamReader,
-    ) -> Tuple[int, Dict[str, Any], bool]:
-        """Route one request; returns (status, payload, close_socket)."""
+    ) -> Tuple[int, Any, bool]:
+        """Route one request; returns (status, payload, close_socket).
+        ``payload`` is a JSON dict or a :class:`RawResponse`."""
         path, _, raw_query = raw_path.partition("?")
         path = path.rstrip("/")
         force_close = False
@@ -664,9 +691,14 @@ class AsyncShoalServer:
         ctx = RequestContext.for_request(
             timeout_ms=timeout_ms,
             tags={"edge": "async", "endpoint": endpoint},
+            tracer=self._tracer,
         )
         t0 = time.perf_counter()
-        response = await self._hedged_dispatch(request, ctx)
+        # The root span lives on the event loop; attempts run on
+        # executor threads, so each is parented explicitly (contextvars
+        # do not cross run_in_executor).
+        with traced("edge.request", context=ctx) as root:
+            response = await self._hedged_dispatch(request, ctx, root.span)
         self._stats.read_stats.record(time.perf_counter() - t0)
         return response.to_dict()
 
@@ -679,13 +711,23 @@ class AsyncShoalServer:
             return None
         return max(summary.p95_ms, _HEDGE_FLOOR_MS) / 1000.0
 
-    def _attempt(self, request, attempt_ctx: RequestContext):
+    def _attempt(self, request, attempt_ctx: RequestContext, parent_span=None):
         """One dispatch attempt on the executor, under its context."""
+        role = attempt_ctx.tags.get("attempt", "primary")
 
         def run():
             # contextvars do not cross run_in_executor: the worker
-            # enters the context itself.
-            return self._core.dispatch_request(request, context=attempt_ctx)
+            # enters the context itself (and parents its span to the
+            # edge root explicitly).
+            with traced(
+                "edge.attempt",
+                context=attempt_ctx,
+                parent=parent_span,
+                tags={"attempt": role},
+            ):
+                return self._core.dispatch_request(
+                    request, context=attempt_ctx
+                )
 
         loop = asyncio.get_running_loop()
         return asyncio.ensure_future(
@@ -704,10 +746,12 @@ class AsyncShoalServer:
             "in-flight shard work was cancelled",
         )
 
-    async def _hedged_dispatch(self, request, ctx: RequestContext):
+    async def _hedged_dispatch(
+        self, request, ctx: RequestContext, parent_span=None
+    ):
         attempts: List[Tuple["asyncio.Future", RequestContext]] = []
         primary_ctx = ctx.child(tags={"attempt": "primary"})
-        primary = self._attempt(request, primary_ctx)
+        primary = self._attempt(request, primary_ctx, parent_span)
         attempts.append((primary, primary_ctx))
 
         def remaining_s() -> Optional[float]:
@@ -724,7 +768,9 @@ class AsyncShoalServer:
             done, _ = await asyncio.wait({primary}, timeout=head_start)
             if not done and not ctx.expired:
                 hedge_ctx = ctx.child(tags={"attempt": "hedge"})
-                attempts.append((self._attempt(request, hedge_ctx), hedge_ctx))
+                attempts.append(
+                    (self._attempt(request, hedge_ctx, parent_span), hedge_ctx)
+                )
                 self._stats.hedges_launched += 1
 
         # Phase 2: first success wins; losers are cancelled.

@@ -52,6 +52,7 @@ from repro.api.contract import (
     SearchResponse,
 )
 from repro.core.serving import ShoalService
+from repro.obs.tracer import traced
 
 __all__ = [
     "ShoalBackend",
@@ -136,45 +137,52 @@ class _EngineBackend(ShoalBackend):
     def search(self, request: SearchRequest) -> SearchResponse:
         request.validate()
         self._checkpoint()
-        try:
-            hits = self._engine.search_topics(request.query, request.k)
-        except ApiError:
-            raise
-        except Exception as exc:
-            raise ApiError("backend_error", f"{self.kind} search failed: {exc}")
+        with traced("backend.search", tags={"kind": self.kind}):
+            try:
+                hits = self._engine.search_topics(request.query, request.k)
+            except ApiError:
+                raise
+            except Exception as exc:
+                raise ApiError(
+                    "backend_error", f"{self.kind} search failed: {exc}"
+                )
         return SearchResponse(hits=tuple(hits))
 
     def recommend(self, request: RecommendRequest) -> RecommendResponse:
         request.validate()
         self._checkpoint()
-        try:
-            ids = self._engine.recommend_entities_for_query(
-                request.query, request.k
-            )
-        except ApiError:
-            raise
-        except Exception as exc:
-            raise ApiError(
-                "backend_error", f"{self.kind} recommend failed: {exc}"
-            )
+        with traced("backend.recommend", tags={"kind": self.kind}):
+            try:
+                ids = self._engine.recommend_entities_for_query(
+                    request.query, request.k
+                )
+            except ApiError:
+                raise
+            except Exception as exc:
+                raise ApiError(
+                    "backend_error", f"{self.kind} recommend failed: {exc}"
+                )
         return RecommendResponse(entity_ids=tuple(ids))
 
     def batch(self, request: BatchRequest) -> BatchResponse:
         request.validate()
         self._checkpoint()
-        try:
-            if request.kind == "search":
-                rows = self._engine.search_topics_batch(
-                    list(request.queries), request.k
+        with traced("backend.batch", tags={"kind": self.kind}):
+            try:
+                if request.kind == "search":
+                    rows = self._engine.search_topics_batch(
+                        list(request.queries), request.k
+                    )
+                else:
+                    rows = self._engine.recommend_batch(
+                        list(request.queries), request.k
+                    )
+            except ApiError:
+                raise
+            except Exception as exc:
+                raise ApiError(
+                    "backend_error", f"{self.kind} batch failed: {exc}"
                 )
-            else:
-                rows = self._engine.recommend_batch(
-                    list(request.queries), request.k
-                )
-        except ApiError:
-            raise
-        except Exception as exc:
-            raise ApiError("backend_error", f"{self.kind} batch failed: {exc}")
         return BatchResponse(
             kind=request.kind, results=tuple(tuple(r) for r in rows)
         )

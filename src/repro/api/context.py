@@ -114,6 +114,7 @@ class RequestContext:
         token: Optional[CancelToken] = None,
         tags: Optional[Mapping[str, str]] = None,
         clock: Callable[[], float] = time.monotonic,
+        tracer: Optional[object] = None,
     ):
         self.request_id = (
             request_id if request_id is not None
@@ -121,6 +122,10 @@ class RequestContext:
         )
         self.token = token if token is not None else CancelToken()
         self.tags: Dict[str, str] = dict(tags or {})
+        #: Optional :class:`repro.obs.tracer.Tracer` — spans opened via
+        #: :func:`repro.obs.tracer.traced` inherit this request's id
+        #: and tag map. Duck-typed so the context stays a leaf module.
+        self.tracer = tracer
         self._clock = clock
         self._deadline = deadline
         self._children = itertools.count(1)
@@ -132,9 +137,10 @@ class RequestContext:
         timeout_ms: Optional[float] = None,
         tags: Optional[Mapping[str, str]] = None,
         clock: Callable[[], float] = time.monotonic,
+        tracer: Optional[object] = None,
     ) -> "RequestContext":
         """The edge entry point: a fresh context, optionally armed."""
-        ctx = cls(tags=tags, clock=clock)
+        ctx = cls(tags=tags, clock=clock, tracer=tracer)
         if timeout_ms is not None:
             ctx.arm(timeout_ms)
         return ctx
@@ -224,6 +230,7 @@ class RequestContext:
             token=self.token.child(),
             tags=merged,
             clock=self._clock,
+            tracer=self.tracer,
         )
 
     @contextlib.contextmanager

@@ -40,6 +40,8 @@ __all__ = [
     "AnalyticsRequest",
     "AnalyticsResponse",
     "MetricsResponse",
+    "TraceResponse",
+    "SPAN_STATUSES",
     "request_from_dict",
     "topic_hit_to_dict",
     "topic_hit_from_dict",
@@ -710,6 +712,131 @@ class AnalyticsResponse:
         )
 
 
+# -- tracing -----------------------------------------------------------------
+
+
+#: Terminal span states a sampled trace may carry on the wire.
+SPAN_STATUSES = ("ok", "error", "cancelled")
+
+
+def _span_from_dict(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    fields = _take(
+        payload,
+        ("span_id", "parent_id", "name", "tags", "start_ms",
+         "duration_ms", "status", "detail"),
+        "span",
+    )
+    for key in ("span_id", "name", "status"):
+        if not isinstance(fields.get(key), str):
+            raise ApiError(
+                "bad_request", f"span {key!r} must be a string"
+            )
+    if fields["status"] not in SPAN_STATUSES:
+        raise ApiError(
+            "bad_request",
+            f"span status must be one of {', '.join(SPAN_STATUSES)}, "
+            f"got {fields['status']!r}",
+        )
+    parent_id = fields.get("parent_id")
+    if parent_id is not None and not isinstance(parent_id, str):
+        raise ApiError("bad_request", "'parent_id' must be a string or null")
+    detail = fields.get("detail")
+    if detail is not None and not isinstance(detail, str):
+        raise ApiError("bad_request", "'detail' must be a string or null")
+    tags = fields.get("tags", {})
+    if not isinstance(tags, Mapping) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in tags.items()
+    ):
+        raise ApiError(
+            "bad_request", "span 'tags' must map strings to strings"
+        )
+    for key in ("start_ms", "duration_ms"):
+        value = fields.get(key, 0.0)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ApiError("bad_request", f"span {key!r} must be a number")
+    return {
+        "span_id": fields["span_id"],
+        "parent_id": parent_id,
+        "name": fields["name"],
+        "tags": dict(tags),
+        "start_ms": fields.get("start_ms", 0.0),
+        "duration_ms": fields.get("duration_ms", 0.0),
+        "status": fields["status"],
+        "detail": detail,
+    }
+
+
+@dataclass(frozen=True)
+class TraceResponse:
+    """One sampled span tree, as ``GET /v1/trace`` returns it.
+
+    ``spans`` is in ``(start_ms, span_id)`` order; exactly one span has
+    ``parent_id == None`` (the edge root), every other ``parent_id``
+    names an earlier span, and ``start_ms`` values are relative to the
+    root's start. ``sampled`` records why the tail-based sampler kept
+    this trace (``"error"``, ``"deadline"``, or ``"slow"``); ``ts`` is
+    the wall-clock finalize time (epoch seconds).
+    """
+
+    request_id: str
+    endpoint: str
+    duration_ms: float
+    sampled: str
+    spans: Tuple[Dict[str, Any], ...] = field(default_factory=tuple)
+    ts: float = 0.0
+    version: int = SCHEMA_VERSION
+
+    def __post_init__(self):
+        object.__setattr__(self, "spans", tuple(self.spans))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "request_id": self.request_id,
+            "endpoint": self.endpoint,
+            "duration_ms": self.duration_ms,
+            "sampled": self.sampled,
+            "ts": self.ts,
+            "spans": [dict(s) for s in self.spans],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TraceResponse":
+        fields = _take(
+            payload,
+            ("version", "request_id", "endpoint", "duration_ms",
+             "sampled", "ts", "spans"),
+            "trace response",
+        )
+        for key in ("request_id", "endpoint", "sampled"):
+            if not isinstance(fields.get(key), str):
+                raise ApiError(
+                    "bad_request", f"trace {key!r} must be a string"
+                )
+        for key in ("duration_ms", "ts"):
+            value = fields.get(key, 0.0)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ApiError(
+                    "bad_request", f"trace {key!r} must be a number"
+                )
+        spans = fields.get("spans")
+        if not isinstance(spans, Sequence) or isinstance(spans, str):
+            raise ApiError("bad_request", "'spans' must be an array")
+        if not spans:
+            raise ApiError("bad_request", "a trace must carry spans")
+        version = fields.get("version", SCHEMA_VERSION)
+        _check_version(version)
+        return cls(
+            request_id=fields["request_id"],
+            endpoint=fields["endpoint"],
+            duration_ms=fields["duration_ms"],
+            sampled=fields["sampled"],
+            spans=tuple(_span_from_dict(s) for s in spans),
+            ts=fields.get("ts", 0.0),
+            version=version,
+        )
+
+
 def _check_section(value: Any, name: str) -> Optional[Dict[str, Any]]:
     """A metrics section: a JSON object or absent."""
     if value is None:
@@ -742,6 +869,7 @@ class MetricsResponse:
     analytics: Optional[Dict[str, Any]] = None
     edge: Optional[Dict[str, Any]] = None
     replication: Optional[Dict[str, Any]] = None
+    tracer: Optional[Dict[str, Any]] = None
     version: int = SCHEMA_VERSION
 
     def to_dict(self) -> Dict[str, Any]:
@@ -759,6 +887,8 @@ class MetricsResponse:
             out["edge"] = dict(self.edge)
         if self.replication is not None:
             out["replication"] = dict(self.replication)
+        if self.tracer is not None:
+            out["tracer"] = dict(self.tracer)
         return out
 
     @classmethod
@@ -773,6 +903,7 @@ class MetricsResponse:
                 "analytics",
                 "edge",
                 "replication",
+                "tracer",
             ),
             "metrics response",
         )
@@ -792,6 +923,7 @@ class MetricsResponse:
             replication=_check_section(
                 fields.get("replication"), "replication"
             ),
+            tracer=_check_section(fields.get("tracer"), "tracer"),
             version=version,
         )
 
@@ -810,6 +942,9 @@ RESPONSE_TYPES = {
     "recommend": RecommendResponse,
     "batch": BatchResponse,
     "analytics": AnalyticsResponse,
+    # GET-only: served from the tracer ring, never POSTed, so it has
+    # no REQUEST_TYPES row.
+    "trace": TraceResponse,
 }
 
 

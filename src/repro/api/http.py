@@ -23,7 +23,12 @@ the in-process backend:
 * ``GET  /v1/metrics``    — the versioned scrape point, a
   :class:`MetricsResponse`: backend stats plus ingest-pipe, updater,
   analytics-tier, and async-edge progress (the unversioned alias was
-  removed after its one-release deprecation; scrape ``/v1/metrics``)
+  removed after its one-release deprecation; scrape ``/v1/metrics``).
+  ``?format=prom`` renders the same tree as OpenMetrics text instead
+* ``GET  /v1/trace``      — one sampled span tree
+  (:class:`~repro.api.contract.TraceResponse`); ``?request_id=`` for
+  an exact lookup, bare for the most recent (``404 not_found`` when
+  tracing is disabled or the trace was not kept)
 
 Errors are :class:`ApiError` payloads with the contract's stable codes
 and status mapping (400/404/429/504/500).
@@ -67,10 +72,22 @@ from repro.api.contract import (
     RESPONSE_TYPES,
     SearchRequest,
     SearchResponse,
+    TraceResponse,
     request_from_dict,
 )
+from repro.obs.exposition import (
+    CONTENT_TYPE as OPENMETRICS_CONTENT_TYPE,
+    render_openmetrics,
+)
+from repro.obs.tracer import traced
 
-__all__ = ["GatewayCore", "ShoalHttpServer", "ShoalClient", "API_PREFIX"]
+__all__ = [
+    "GatewayCore",
+    "RawResponse",
+    "ShoalHttpServer",
+    "ShoalClient",
+    "API_PREFIX",
+]
 
 API_PREFIX = "/v1"
 
@@ -83,6 +100,21 @@ def _json_bytes(payload: Dict[str, Any]) -> bytes:
     return json.dumps(payload, ensure_ascii=False, allow_nan=False).encode(
         "utf-8"
     )
+
+
+class RawResponse:
+    """A non-JSON GET answer (e.g. OpenMetrics text) with its MIME type.
+
+    ``GatewayCore.dispatch_get`` normally returns a JSON payload dict;
+    when it returns one of these instead, the edge writes ``body``
+    verbatim under ``content_type`` rather than JSON-encoding.
+    """
+
+    __slots__ = ("body", "content_type")
+
+    def __init__(self, body: bytes, content_type: str) -> None:
+        self.body = body
+        self.content_type = content_type
 
 
 class GatewayCore:
@@ -114,6 +146,8 @@ class GatewayCore:
         analytics_tailer=None,
         edge_stats=None,
         replication_stats=None,
+        tracer=None,
+        edge_histograms=None,
     ):
         self.backend = backend
         self.ingest_pipe = ingest_pipe
@@ -122,6 +156,13 @@ class GatewayCore:
         self.analytics_tailer = analytics_tailer
         self.edge_stats = edge_stats
         self.replication_stats = replication_stats
+        #: Optional :class:`repro.obs.tracer.Tracer`; enables
+        #: ``GET /v1/trace`` and the ``tracer`` metrics section.
+        self.tracer = tracer
+        #: Optional zero-arg callable -> {name: Histogram} with the
+        #: edge's own live latency recorders, rendered as real
+        #: histogram families by ``?format=prom``.
+        self.edge_histograms = edge_histograms
 
     # -- typed read dispatch -------------------------------------------------
 
@@ -274,18 +315,91 @@ class GatewayCore:
                 if self.replication_stats is None
                 else self.replication_stats()
             ),
+            tracer=None if self.tracer is None else self.tracer.stats(),
         )
+
+    def render_prom(self) -> bytes:
+        """The whole metrics tree as OpenMetrics text.
+
+        Scalar leaves of ``GET /v1/metrics`` flatten into gauge
+        families; live latency recorders (the gateway's per-endpoint
+        histograms and the edge's read recorder) render as real
+        histogram families with bucket counts.
+        """
+        histograms = {}
+        backend_histograms = getattr(self.backend, "histograms", None)
+        if callable(backend_histograms):
+            histograms.update(backend_histograms())
+        if self.edge_histograms is not None:
+            histograms.update(self.edge_histograms())
+        return render_openmetrics(
+            self.metrics().to_dict(), histograms=histograms
+        ).encode("utf-8")
+
+    def handle_trace(self, raw_query: str = "") -> Dict[str, Any]:
+        """GET /v1/trace: one sampled span tree, as a TraceResponse.
+
+        ``?request_id=`` looks up an exact trace (child attempt ids
+        like ``req-7.1`` resolve to their root trace ``req-7``); with
+        no parameter the most recently sampled trace is returned.
+        """
+        if self.tracer is None:
+            raise ApiError(
+                "not_found", "tracing is not enabled on this server"
+            )
+        params = urllib.parse.parse_qs(raw_query, keep_blank_values=True)
+        request_id = params.get("request_id", [None])[-1]
+        if request_id:
+            trace = self.tracer.export(request_id)
+            if trace is None:
+                raise ApiError(
+                    "not_found",
+                    f"no sampled trace for request {request_id!r} "
+                    "(it may not have been kept by the tail sampler, "
+                    "or has been evicted)",
+                )
+        else:
+            trace = self.tracer.latest()
+            if trace is None:
+                raise ApiError(
+                    "not_found", "no traces have been sampled yet"
+                )
+        return TraceResponse(
+            request_id=trace["request_id"],
+            endpoint=trace["endpoint"],
+            duration_ms=trace["duration_ms"],
+            sampled=trace["sampled"],
+            spans=tuple(trace["spans"]),
+            ts=trace["ts"],
+        ).to_dict()
 
     def dispatch_get(
         self, endpoint: str, raw_query: str = ""
-    ) -> Dict[str, Any]:
-        """Serve one GET endpoint; returns the JSON payload dict."""
+    ) -> "Dict[str, Any] | RawResponse":
+        """Serve one GET endpoint; returns the JSON payload dict (or a
+        :class:`RawResponse` for non-JSON formats)."""
         if endpoint == "health":
             return self.backend.health()
         if endpoint == "stats":
             return self.backend.stats()
         if endpoint == "metrics":
+            params = urllib.parse.parse_qs(
+                raw_query, keep_blank_values=True
+            )
+            fmt = params.get("format", ["json"])[-1] or "json"
+            if fmt == "prom":
+                return RawResponse(
+                    self.render_prom(), OPENMETRICS_CONTENT_TYPE
+                )
+            if fmt != "json":
+                raise ApiError(
+                    "bad_request",
+                    f"unknown metrics format {fmt!r}; "
+                    "expected 'json' or 'prom'",
+                )
             return self.metrics().to_dict()
+        if endpoint == "trace":
+            return self.handle_trace(raw_query)
         if endpoint == "analytics":
             request = self.analytics_request_from_query(raw_query)
             return self.handle_analytics(request).to_dict()
@@ -326,10 +440,14 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
     # -- plumbing ------------------------------------------------------------
 
-    def _send(self, status: int, payload: Dict[str, Any]) -> None:
-        body = _json_bytes(payload)
+    def _send(self, status: int, payload) -> None:
+        if isinstance(payload, RawResponse):
+            body, content_type = payload.body, payload.content_type
+        else:
+            body = _json_bytes(payload)
+            content_type = "application/json; charset=utf-8"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -401,8 +519,10 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             ctx = RequestContext.for_request(
                 timeout_ms=getattr(request, "timeout_ms", None),
                 tags={"edge": "thread", "endpoint": endpoint},
+                tracer=self.core.tracer,
             )
-            response = self.core.dispatch_request(request, context=ctx)
+            with traced("edge.request", context=ctx):
+                response = self.core.dispatch_request(request, context=ctx)
             self._send(200, response.to_dict())
         except ApiError as err:
             self._send_error(err)
@@ -459,6 +579,7 @@ class ShoalHttpServer:
         analytics_engine=None,
         analytics_tailer=None,
         replication_stats=None,
+        tracer=None,
     ):
         self._backend = backend
         self._ingest_pipe = ingest_pipe
@@ -472,6 +593,7 @@ class ShoalHttpServer:
             analytics_engine=analytics_engine,
             analytics_tailer=analytics_tailer,
             replication_stats=replication_stats,
+            tracer=tracer,
         )
         handler = type(
             "_BoundGatewayHandler",
@@ -774,6 +896,45 @@ class ShoalClient(ShoalBackend):
             )
         return MetricsResponse(backend=self._inner.stats())
 
+    def metrics_prom(self) -> str:
+        """GET /v1/metrics?format=prom — the OpenMetrics text body."""
+        if self._base_url is None:
+            raise ApiError(
+                "not_found",
+                "OpenMetrics exposition requires an HTTP gateway target",
+            )
+        endpoint = "metrics?format=prom"
+        url = f"{self._base_url}{API_PREFIX}/{endpoint}"
+        try:
+            with urllib.request.urlopen(
+                urllib.request.Request(url, method="GET"),
+                timeout=self._timeout,
+            ) as resp:
+                return resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ApiError(
+                "backend_error",
+                f"HTTP {exc.code} from {url}: {exc.read()[:200]!r}",
+            )
+        except urllib.error.URLError as exc:
+            raise ApiError("unavailable", f"cannot reach {url}: {exc.reason}")
+
+    def trace(self, request_id: Optional[str] = None) -> TraceResponse:
+        """Fetch one sampled span tree (GET /v1/trace).
+
+        With ``request_id`` (root or hedge-child id) an exact lookup;
+        without, the most recently sampled trace. Raises ``not_found``
+        when the trace was not kept or tracing is disabled.
+        """
+        endpoint = "trace"
+        if request_id is not None:
+            endpoint += f"?request_id={urllib.parse.quote(request_id)}"
+        if self._base_url is not None:
+            return TraceResponse.from_dict(self._http("GET", endpoint, None))
+        raise ApiError(
+            "not_found", "tracing is not enabled on this backend"
+        )
+
     def close(self) -> None:
         if self._inner is not None:
             self._inner.close()
@@ -782,7 +943,7 @@ class ShoalClient(ShoalBackend):
 def _assert_response_types_registered() -> None:
     """Guard: the endpoint tables of contract and client must agree."""
     assert set(RESPONSE_TYPES) == {
-        "search", "recommend", "batch", "analytics",
+        "search", "recommend", "batch", "analytics", "trace",
     }
 
 

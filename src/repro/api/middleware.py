@@ -30,6 +30,7 @@ sits innermost so a hit costs one locked dict probe.
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
@@ -38,6 +39,7 @@ from repro.api.backends import ShoalBackend
 from repro.api.cache import MISS, CacheStats, LRUCache
 from repro.api.context import RequestContext, current_context
 from repro.api.contract import (
+    ERROR_CODES,
     ApiError,
     BatchRequest,
     BatchResponse,
@@ -46,7 +48,8 @@ from repro.api.contract import (
     SearchRequest,
     SearchResponse,
 )
-from repro.serving.stats import LatencySummary, RequestStats
+from repro.obs.histogram import Histogram, LatencySummary
+from repro.obs.tracer import default_tracer, traced
 
 __all__ = [
     "Middleware",
@@ -66,6 +69,9 @@ Handler = Callable[[Request], Response]
 class Middleware:
     """One layer of the stack: observe/short-circuit, then ``call_next``."""
 
+    #: Short name used for the middleware's trace span (``mw.<name>``).
+    name = "middleware"
+
     def handle(self, request: Request, call_next: Handler) -> Response:
         raise NotImplementedError
 
@@ -82,6 +88,8 @@ class CacheMiddleware(Middleware):
     instead of requiring a full invalidation; ``clock`` is injectable
     for deterministic tests.
     """
+
+    name = "cache"
 
     def __init__(
         self,
@@ -107,6 +115,25 @@ class CacheMiddleware(Middleware):
         self._cache.put(key, response)
         return response
 
+    def handle_observed(
+        self, request: Request, call_next: Handler
+    ) -> Response:
+        """The traced-chain variant: additionally tags the ambient
+        request context with the hit/miss outcome so the access log
+        and the span tree can show where the answer came from."""
+        key = (self._epoch, request.cache_key())
+        cached = self._cache.get(key)
+        ctx = current_context()
+        if cached is not MISS:
+            if ctx is not None:
+                ctx.tags["cache"] = "hit"
+            return cached
+        if ctx is not None:
+            ctx.tags["cache"] = "miss"
+        response = call_next(request)
+        self._cache.put(key, response)
+        return response
+
     def invalidate(self) -> None:
         self._epoch += 1
         self._cache.clear()
@@ -125,6 +152,8 @@ class RateLimitMiddleware(Middleware):
     request spends one token or is rejected with ``rate_limited``.
     ``clock`` is injectable (monotonic seconds) so tests can drive time.
     """
+
+    name = "rate_limit"
 
     def __init__(
         self,
@@ -191,6 +220,8 @@ class DeadlineMiddleware(Middleware):
     context cancelled, so nothing downstream keeps polishing an answer
     nobody will read.
     """
+
+    name = "deadline"
 
     def __init__(
         self,
@@ -272,11 +303,20 @@ _ENDPOINT_OF = {
 
 
 class MetricsMiddleware(Middleware):
-    """Unified request metrics: per-endpoint latency + errors by code."""
+    """Unified request metrics: per-endpoint latency + errors by code.
+
+    Latency lands in the shared fixed-bucket
+    :class:`~repro.obs.histogram.Histogram` (the same recorder the
+    router and the async edge use); :meth:`histograms` hands the live
+    recorders to the OpenMetrics exposition layer so ``?format=prom``
+    can render real cumulative buckets, not pre-digested percentiles.
+    """
+
+    name = "metrics"
 
     def __init__(self):
-        self._stats: Dict[str, RequestStats] = {
-            name: RequestStats() for name in ("search", "recommend", "batch")
+        self._stats: Dict[str, Histogram] = {
+            name: Histogram() for name in ("search", "recommend", "batch")
         }
         self._errors: Dict[str, int] = {}
         self._lock = threading.Lock()
@@ -296,6 +336,14 @@ class MetricsMiddleware(Middleware):
 
     def latency(self, endpoint: str) -> LatencySummary:
         return self._stats[endpoint].summary()
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """Live per-endpoint recorders, keyed for exposition."""
+        return {
+            f"gateway_{name}_latency_ms": recorder
+            for name, recorder in self._stats.items()
+            if recorder.count > 0
+        }
 
     def error_counts(self) -> Dict[str, int]:
         with self._lock:
@@ -353,11 +401,17 @@ class Gateway(ShoalBackend):
         self,
         backend: ShoalBackend,
         middlewares: Optional[Sequence[Middleware]] = None,
+        *,
+        access_log=None,
     ):
         self._backend = backend
         self._middlewares: List[Middleware] = list(
             default_middlewares() if middlewares is None else middlewares
         )
+        #: File-like sink for one structured JSON line per request
+        #: (``serve-http --access-log``); None disables logging.
+        self._access_log = access_log
+        self._access_log_lock = threading.Lock()
 
         def terminal(request: Request) -> Response:
             if isinstance(request, SearchRequest):
@@ -370,10 +424,17 @@ class Gateway(ShoalBackend):
                 "bad_request", f"not an API request: {type(request).__name__}"
             )
 
+        # Two pre-composed chains: the bare one is the tracing-off hot
+        # path (no span handles, no ambient lookups per stage), the
+        # traced one wraps every stage in an ``mw.<name>`` span. Which
+        # one runs is decided once per request in :meth:`_observed`.
         chain: Handler = terminal
+        traced_chain: Handler = terminal
         for mw in reversed(self._middlewares):
-            chain = _bind(mw, chain)
+            chain = _bind_plain(mw, chain)
+            traced_chain = _bind(mw, traced_chain)
         self._chain = chain
+        self._traced_chain = traced_chain
 
     @property
     def backend(self) -> ShoalBackend:
@@ -398,8 +459,90 @@ class Gateway(ShoalBackend):
         request.validate()
         if context is not None:
             with context.use():
+                return self._observed(request, context)
+        ctx = current_context()
+        if (
+            (ctx is None or ctx.tracer is None)
+            and self._access_log is None
+            and default_tracer() is None
+        ):
+            # Tracing and logging both off: straight down the bare
+            # pre-composed chain, nothing per-request to observe.
+            return self._chain(request)
+        return self._observed(request, ctx)
+
+    def _observed(
+        self, request: Request, ctx: Optional[RequestContext]
+    ) -> Response:
+        """Run the middleware chain under a ``gateway`` span and emit
+        the per-request access-log line — the one place every edge and
+        every hedge attempt funnels through.
+
+        The tracer is resolved exactly once here; with tracing and
+        logging both off the request takes the bare pre-composed chain
+        with zero per-request instrumentation cost.
+        """
+        tracer = ctx.tracer if ctx is not None else None
+        if tracer is None:
+            tracer = default_tracer()
+        if tracer is None and self._access_log is None:
+            return self._chain(request)
+        endpoint = _ENDPOINT_OF.get(type(request), "search")
+        if self._access_log is None:
+            with tracer.span(
+                "gateway", context=ctx, tags={"endpoint": endpoint}
+            ):
+                return self._traced_chain(request)
+        t0 = time.perf_counter()
+        status = 200
+        error: Optional[str] = None
+        try:
+            if tracer is None:
                 return self._chain(request)
-        return self._chain(request)
+            with tracer.span(
+                "gateway", context=ctx, tags={"endpoint": endpoint}
+            ):
+                return self._traced_chain(request)
+        except ApiError as exc:
+            status = ERROR_CODES.get(exc.code, 500)
+            error = exc.code
+            raise
+        finally:
+            self._log_request(
+                ctx, endpoint, status, (time.perf_counter() - t0) * 1000.0,
+                error,
+            )
+
+    def _log_request(
+        self,
+        ctx: Optional[RequestContext],
+        endpoint: str,
+        status: int,
+        duration_ms: float,
+        error: Optional[str],
+    ) -> None:
+        tags = ctx.tags if ctx is not None else {}
+        record = {
+            "ts": round(time.time(), 6),
+            "request_id": ctx.request_id if ctx is not None else None,
+            "endpoint": endpoint,
+            "status": status,
+            "duration_ms": round(duration_ms, 3),
+            "attempt": tags.get("attempt", "primary"),
+            "cache": tags.get("cache"),
+            "edge": tags.get("edge"),
+        }
+        if error is not None:
+            record["error"] = error
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        try:
+            with self._access_log_lock:
+                self._access_log.write(line)
+                flush = getattr(self._access_log, "flush", None)
+                if flush is not None:
+                    flush()
+        except (OSError, ValueError):  # pragma: no cover - sink went away
+            pass
 
     def search(self, request: SearchRequest) -> SearchResponse:
         return self.handle(request)
@@ -436,11 +579,33 @@ class Gateway(ShoalBackend):
                 return mw.cache_stats()
         return None
 
+    def histograms(self) -> Dict[str, Histogram]:
+        """Live latency recorders for OpenMetrics exposition."""
+        out: Dict[str, Histogram] = {}
+        for mw in self._middlewares:
+            if isinstance(mw, MetricsMiddleware):
+                out.update(mw.histograms())
+        return out
+
     def close(self) -> None:
         self._backend.close()
 
 
 def _bind(mw: Middleware, call_next: Handler) -> Handler:
+    # Duck-typed stages (tests) may not declare a name.
+    span_name = f"mw.{getattr(mw, 'name', type(mw).__name__.lower())}"
+    # A middleware may carry an observed variant of its handler with
+    # extra context tagging that the plain chain must not pay for.
+    handler = getattr(mw, "handle_observed", mw.handle)
+
+    def bound(request: Request) -> Response:
+        with traced(span_name):
+            return handler(request, call_next)
+
+    return bound
+
+
+def _bind_plain(mw: Middleware, call_next: Handler) -> Handler:
     def bound(request: Request) -> Response:
         return mw.handle(request, call_next)
 

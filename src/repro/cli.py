@@ -32,7 +32,11 @@ system would be driven:
 * ``python -m repro.cli analytics`` — fold a WAL into the SQLite
   analytics store offline and print a canned report (``--report``) or
   run one guarded read-only SQL statement (``--sql``) against it
-  (``repro.analytics``).
+  (``repro.analytics``);
+* ``python -m repro.cli trace`` — fetch one sampled span tree from a
+  running server's ``GET /v1/trace`` endpoint and render it as an
+  indented tree (``--request-id`` for an exact lookup, otherwise the
+  most recently sampled trace).
 
 ``serve-http --ingest-wal DIR`` additionally opens the **live** write
 path: ``POST /v1/ingest`` admits query events into a durable WAL, a
@@ -48,6 +52,14 @@ connections, deadline cancellation, request hedging
 (``--hedge-after-ms``), and coalesced WAL ingest
 (``--coalesce-events`` / ``--coalesce-delay-ms``). ``--edge thread``
 keeps the threaded edge for one more release.
+
+Both serving roles (``serve-http`` and ``serve-follower``) carry the
+observability surface: a :class:`~repro.obs.Tracer` samples
+per-request span trees served at ``GET /v1/trace``
+(``--trace-capacity 0`` disables tracing), ``GET
+/v1/metrics?format=prom`` renders the whole metrics tree as
+OpenMetrics text for scraping, and ``--access-log PATH`` appends one
+structured JSON line per gateway request (``-`` writes to stdout).
 
 ``serve-http --analytics-db PATH`` (with ``--ingest-wal``) attaches
 the HTAP analytics tier: a background :class:`SegmentTailer` streams
@@ -641,6 +653,38 @@ def _build_analytics_side(args, backend, pipe):
     return QueryEngine(store), tailer
 
 
+def _open_access_log(args):
+    """File object for ``--access-log`` (None when off, ``-`` = stdout).
+
+    Line-buffered so a crash loses at most the in-flight line and tail
+    tooling sees requests as they complete.
+    """
+    path = getattr(args, "access_log", None)
+    if not path:
+        return None
+    if path == "-":
+        return sys.stdout
+    return open(path, "a", buffering=1, encoding="utf-8")
+
+
+def _build_tracer(args):
+    """Tracer for a serving role, installed as the process default.
+
+    The edge hands it to every :class:`RequestContext` it mints, so
+    request spans land in it; installing it as the module default also
+    catches background work (updater folds, shipper publishes, follower
+    replays) as ``bg-N`` root traces. ``--trace-capacity 0`` disables
+    tracing entirely (``/v1/trace`` then answers ``not_found``).
+    """
+    if args.trace_capacity <= 0:
+        return None
+    from repro.obs import Tracer, set_default_tracer
+
+    tracer = Tracer(capacity=args.trace_capacity)
+    set_default_tracer(tracer)
+    return tracer
+
+
 def _cmd_serve_http(args) -> int:
     from repro.api import (
         AsyncShoalServer,
@@ -667,6 +711,7 @@ def _cmd_serve_http(args) -> int:
             cache_size=engine_cache,
             n_replicas=args.replicas,
         )
+    tracer = _build_tracer(args)
     gateway = Gateway(
         backend,
         default_middlewares(
@@ -675,6 +720,7 @@ def _cmd_serve_http(args) -> int:
             rate_limit=args.rate_limit,
             deadline_ms=args.deadline_ms,
         ),
+        access_log=_open_access_log(args),
     )
     pipe, updater, shipper = _build_ingest_side(args, backend)
     if updater is not None:
@@ -721,6 +767,7 @@ def _cmd_serve_http(args) -> int:
             coalesce_max_events=args.coalesce_events,
             coalesce_max_delay_ms=args.coalesce_delay_ms,
             replication_stats=replication_stats,
+            tracer=tracer,
         )
         server.start()  # binds the port so the banner can name it
     else:
@@ -734,10 +781,9 @@ def _cmd_serve_http(args) -> int:
             analytics_engine=analytics_engine,
             analytics_tailer=analytics_tailer,
             replication_stats=replication_stats,
+            tracer=tracer,
         )
-    write_side = (
-        " /v1/ingest, GET /v1/metrics;" if pipe is not None else ""
-    )
+    write_side = " /v1/ingest;" if pipe is not None else ""
     analytics_side = (
         " GET/POST /v1/analytics;" if analytics_engine is not None else ""
     )
@@ -745,7 +791,8 @@ def _cmd_serve_http(args) -> int:
         f"serving {backend.kind} backend on {server.url} "
         f"({args.edge} edge; "
         f"POST /v1/search /v1/recommend /v1/batch{write_side}"
-        f"{analytics_side} GET /v1/health /v1/stats; Ctrl-C to stop)",
+        f"{analytics_side} GET /v1/health /v1/stats /v1/metrics "
+        f"/v1/trace; Ctrl-C to stop)",
         flush=True,
     )
     try:
@@ -782,6 +829,7 @@ def _cmd_serve_follower(args) -> int:
         cache_size=engine_cache,
     )
     backend = follower.bootstrap()
+    tracer = _build_tracer(args)
     gateway = Gateway(
         backend,
         default_middlewares(
@@ -790,6 +838,7 @@ def _cmd_serve_follower(args) -> int:
             rate_limit=args.rate_limit,
             deadline_ms=args.deadline_ms,
         ),
+        access_log=_open_access_log(args),
     )
     # Epoch swaps must drop the gateway's result cache, exactly like
     # the primary's hot-swap path.
@@ -806,6 +855,7 @@ def _cmd_serve_follower(args) -> int:
             quiet=args.quiet,
             default_timeout_ms=args.deadline_ms,
             replication_stats=follower.stats,
+            tracer=tracer,
         )
         server.start()
     else:
@@ -815,12 +865,13 @@ def _cmd_serve_follower(args) -> int:
             args.port,
             quiet=args.quiet,
             replication_stats=follower.stats,
+            tracer=tracer,
         )
     print(
         f"serving follower {follower.follower_id} on {server.url} "
         f"({args.edge} edge; feed {args.feed}, epoch "
         f"{follower.epoch}; POST /v1/search /v1/recommend /v1/batch; "
-        "GET /v1/health /v1/stats /v1/metrics; Ctrl-C to stop)",
+        "GET /v1/health /v1/stats /v1/metrics /v1/trace; Ctrl-C to stop)",
         flush=True,
     )
     try:
@@ -1035,6 +1086,64 @@ def _cmd_analytics(args) -> int:
     return 0
 
 
+def _render_span_tree(spans) -> List[str]:
+    """Indented text rendering of a TraceResponse's span list.
+
+    Parents always precede children in the exported list, so a single
+    pass with a child map suffices. Orphans (parent evicted by the
+    per-trace span cap) render as extra roots rather than vanishing.
+    """
+    by_parent: dict = {}
+    ids = {s["span_id"] for s in spans}
+    roots = []
+    for s in spans:
+        parent = s.get("parent_id")
+        if parent is None or parent not in ids:
+            roots.append(s)
+        else:
+            by_parent.setdefault(parent, []).append(s)
+
+    lines: List[str] = []
+
+    def walk(span, depth):
+        tags = span.get("tags") or {}
+        tag_text = " ".join(f"{k}={v}" for k, v in sorted(tags.items()))
+        status = span["status"]
+        if span.get("detail"):
+            status += f" ({span['detail']})"
+        lines.append(
+            f"{'  ' * depth}{span['name']:<{max(32 - 2 * depth, 8)}} "
+            f"+{span['start_ms']:8.3f}ms  {span['duration_ms']:8.3f}ms  "
+            f"{status}" + (f"  [{tag_text}]" if tag_text else "")
+        )
+        for child in by_parent.get(span["span_id"], []):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return lines
+
+
+def _cmd_trace(args) -> int:
+    """Fetch one sampled span tree from GET /v1/trace and render it."""
+    from repro.api import ApiError, ShoalClient
+
+    client = ShoalClient(args.url, timeout=args.timeout)
+    try:
+        response = client.trace(args.request_id)
+    except ApiError as exc:
+        print(f"trace error [{exc.code}]: {exc}")
+        return 1
+    print(
+        f"trace {response.request_id}  endpoint={response.endpoint}  "
+        f"duration={response.duration_ms:.3f}ms  "
+        f"sampled={response.sampled}  spans={len(response.spans)}"
+    )
+    for line in _render_span_tree(response.spans):
+        print(line)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SHOAL reproduction CLI"
@@ -1201,6 +1310,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", default=False,
         help="suppress per-request access logging",
     )
+    p_http.add_argument(
+        "--access-log", default=None, metavar="PATH",
+        help="append one structured JSON line per gateway request "
+             "here ('-' = stdout; default: off)",
+    )
+    p_http.add_argument(
+        "--trace-capacity", type=int, default=256,
+        help="sampled traces the in-memory ring retains for "
+             "GET /v1/trace (0 disables tracing)",
+    )
     p_http.set_defaults(func=_cmd_serve_http)
 
     p_follower = sub.add_parser(
@@ -1261,6 +1380,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_follower.add_argument(
         "--quiet", action="store_true", default=False,
         help="suppress per-request access logging",
+    )
+    p_follower.add_argument(
+        "--access-log", default=None, metavar="PATH",
+        help="append one structured JSON line per gateway request "
+             "here ('-' = stdout; default: off)",
+    )
+    p_follower.add_argument(
+        "--trace-capacity", type=int, default=256,
+        help="sampled traces the in-memory ring retains for "
+             "GET /v1/trace (0 disables tracing)",
     )
     p_follower.set_defaults(func=_cmd_serve_follower)
 
@@ -1326,6 +1455,22 @@ def build_parser() -> argparse.ArgumentParser:
              "events get topic_id -1 without it)",
     )
     p_analytics.set_defaults(func=_cmd_analytics)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="fetch one sampled span tree from a server's GET /v1/trace",
+    )
+    p_trace.add_argument(
+        "--url", required=True, metavar="URL",
+        help="gateway base URL, e.g. http://127.0.0.1:8080",
+    )
+    p_trace.add_argument(
+        "--request-id", default=None,
+        help="exact request id to look up (accepts hedge-child ids "
+             "like req-7.1; default: the most recently sampled trace)",
+    )
+    p_trace.add_argument("--timeout", type=float, default=10.0)
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_replay = sub.add_parser(
         "replay", help="replay a traffic workload against service/cluster"

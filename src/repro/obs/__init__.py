@@ -1,0 +1,45 @@
+"""Observability substrate: one histogram, per-request trace trees,
+and OpenMetrics exposition.
+
+``repro.obs`` is a leaf package — it imports nothing from the serving
+stack, so every tier (edges, middleware, router, streaming write path,
+replication) can report through it without import cycles.
+"""
+
+from repro.obs.exposition import (
+    CONTENT_TYPE,
+    OpenMetricsDoc,
+    OpenMetricsError,
+    parse_openmetrics,
+    render_openmetrics,
+)
+from repro.obs.histogram import (
+    BUCKET_BOUNDS_MS,
+    Histogram,
+    LatencySummary,
+    percentile,
+)
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    default_tracer,
+    set_default_tracer,
+    traced,
+)
+
+__all__ = [
+    "BUCKET_BOUNDS_MS",
+    "CONTENT_TYPE",
+    "Histogram",
+    "LatencySummary",
+    "OpenMetricsDoc",
+    "OpenMetricsError",
+    "Span",
+    "Tracer",
+    "default_tracer",
+    "parse_openmetrics",
+    "percentile",
+    "render_openmetrics",
+    "set_default_tracer",
+    "traced",
+]

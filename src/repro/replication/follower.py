@@ -48,6 +48,7 @@ from repro.api.contract import (
 )
 from repro.core.incremental import IncrementalShoal
 from repro.data.marketplace import PROFILES, generate_marketplace
+from repro.obs.tracer import traced
 from repro.replication.delta import snapshot_fingerprint
 from repro.replication.feed import Feed, FeedError
 from repro.store.persistence import load_entity_categories, load_model
@@ -374,7 +375,15 @@ class Follower:
             switch = self._switch
         assert switch is not None
         try:
-            switch.swap(generation)
+            with traced(
+                "follower.swap",
+                tags={
+                    "follower": self.follower_id,
+                    "epoch": str(number),
+                    "generation": str(target),
+                },
+            ):
+                switch.swap(generation)
         except SwapError as exc:
             # The switch already rolled the tier back to what it was
             # serving; record the epoch as seen so one bad broadcast
@@ -426,7 +435,13 @@ class Follower:
             # poll: catch-up after a cold start must not be rate-limited
             # by the poll interval.
             while True:
-                generation = self._updater.run_once(timeout_s=timeout_s)
+                with traced(
+                    "follower.replay",
+                    tags={"follower": self.follower_id},
+                ) as span:
+                    generation = self._updater.run_once(timeout_s=timeout_s)
+                    if generation is not None:
+                        span.tag("generation", str(generation.number))
                 if generation is None:
                     break
                 built += 1

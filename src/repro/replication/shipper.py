@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from repro._util import atomic_write_bytes
+from repro.obs.tracer import traced
 from repro.replication.delta import encode_delta, snapshot_fingerprint
 from repro.replication.feed import Feed, FeedError
 from repro.streaming.rollout import Generation
@@ -137,7 +138,10 @@ class SegmentShipper:
 
     def _publish(self, generation: Generation) -> Dict[str, Any]:
         started = time.monotonic()
-        with self._lock:
+        with traced(
+            "replication.publish",
+            tags={"generation": str(generation.number)},
+        ), self._lock:
             if self._nonce is None:
                 raise FeedError("shipper used before initialise()")
             self._feed.check_nonce(self._nonce)

@@ -49,6 +49,7 @@ from repro.serving.sharding import (
     ShardSet,
     shard_fingerprint,
 )
+from repro.obs.tracer import traced
 from repro.serving.stats import LatencySummary, RequestStats
 from repro.text.bm25 import CollectionStats
 from repro.text.tokenizer import Tokenizer
@@ -448,8 +449,9 @@ class ClusterRouter:
         cached = state.front.get(key)
         if cached is not _LRUCache._MISS:
             return list(cached)
-        tokens = tuple(self._tokenizer.tokenize(query))
-        hits = self._search_tokens(state, tokens, k)
+        with traced("router.search", tags={"front_cache": "miss"}):
+            tokens = tuple(self._tokenizer.tokenize(query))
+            hits = self._search_tokens(state, tokens, k)
         state.front.put(key, tuple(hits))
         return hits
 
@@ -468,7 +470,11 @@ class ClusterRouter:
             ridx, service = shard.acquire()
             t0 = time.perf_counter()
             try:
-                merged.extend(service.search_tokens(tokens, k))
+                with traced(
+                    "router.shard_probe",
+                    tags={"shard": str(i), "replica": str(ridx)},
+                ):
+                    merged.extend(service.search_tokens(tokens, k))
             finally:
                 shard.release(ridx, time.perf_counter() - t0)
         # Global doc order is ascending topic id, and the unsharded

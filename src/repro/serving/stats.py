@@ -1,115 +1,23 @@
 """Request-level statistics for the serving cluster.
 
-A router that claims to handle production traffic must be able to say
-what that traffic looked like: how many requests, at what rate, and at
-which tail latencies. :class:`RequestStats` is a thread-safe recorder
-of per-request wall-clock latencies; :class:`LatencySummary` is its
-point-in-time rollup with the p50/p95/p99 quantiles operators actually
-page on.
+The actual implementation now lives in :mod:`repro.obs.histogram` —
+one fixed-bucket histogram shared by the router, the gateway
+middleware, and the async edge, instead of the three hand-rolled
+recorders this module, ``MetricsMiddleware``, and the router used to
+carry. This module survives as the compatibility surface:
+``RequestStats`` *is* :class:`repro.obs.histogram.Histogram`, and
+:class:`~repro.obs.histogram.LatencySummary` keeps its shape
+field-for-field so stats dicts, replay reports, and benches are
+unchanged.
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from dataclasses import dataclass
-from typing import List, Sequence
+from repro.obs.histogram import Histogram, LatencySummary, percentile
 
 __all__ = ["LatencySummary", "RequestStats", "percentile"]
 
-
-def percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending-sorted sequence.
-
-    ``q`` is in [0, 100]. Empty input returns 0.0 — a summary over no
-    requests reads as all-zero rather than raising mid-report.
-    """
-    if not sorted_values:
-        return 0.0
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"percentile must be in [0, 100], got {q!r}")
-    rank = max(1, int(-(-q * len(sorted_values) // 100)))  # ceil
-    return float(sorted_values[min(rank, len(sorted_values)) - 1])
-
-
-@dataclass(frozen=True)
-class LatencySummary:
-    """Rollup of recorded request latencies (milliseconds) plus QPS."""
-
-    count: int
-    elapsed_seconds: float
-    qps: float
-    mean_ms: float
-    p50_ms: float
-    p95_ms: float
-    p99_ms: float
-    max_ms: float
-
-    @property
-    def total_seconds(self) -> float:
-        """Sum of all recorded request latencies."""
-        return self.mean_ms * self.count / 1000.0
-
-    def summary(self) -> str:
-        return (
-            f"{self.count} requests in {self.elapsed_seconds:.2f}s "
-            f"({self.qps:,.0f} qps), latency p50={self.p50_ms:.3f}ms "
-            f"p95={self.p95_ms:.3f}ms p99={self.p99_ms:.3f}ms "
-            f"max={self.max_ms:.3f}ms"
-        )
-
-
-class RequestStats:
-    """Thread-safe recorder of per-request latencies.
-
-    QPS is computed over the wall-clock span from the first recorded
-    request to the most recent one (or to *now* while traffic is still
-    flowing), which matches what an external load generator would
-    measure, not the sum of service times.
-    """
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._latencies: List[float] = []
-        self._started_at: float = 0.0
-        self._last_at: float = 0.0
-
-    def record(self, seconds: float) -> None:
-        """Record one request that took ``seconds`` of wall-clock time."""
-        now = time.perf_counter()
-        with self._lock:
-            if not self._latencies:
-                self._started_at = now - seconds
-            self._latencies.append(seconds)
-            self._last_at = now
-
-    @property
-    def count(self) -> int:
-        with self._lock:
-            return len(self._latencies)
-
-    def reset(self) -> None:
-        with self._lock:
-            self._latencies.clear()
-            self._started_at = 0.0
-            self._last_at = 0.0
-
-    def summary(self) -> LatencySummary:
-        with self._lock:
-            lat = sorted(self._latencies)
-            elapsed = max(self._last_at - self._started_at, 0.0)
-        n = len(lat)
-        if n == 0:
-            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
-        qps = n / elapsed if elapsed > 0 else 0.0
-        to_ms = 1000.0
-        return LatencySummary(
-            count=n,
-            elapsed_seconds=elapsed,
-            qps=qps,
-            mean_ms=sum(lat) / n * to_ms,
-            p50_ms=percentile(lat, 50.0) * to_ms,
-            p95_ms=percentile(lat, 95.0) * to_ms,
-            p99_ms=percentile(lat, 99.0) * to_ms,
-            max_ms=lat[-1] * to_ms,
-        )
+#: The one latency recorder. Kept under its historical name — callers
+#: that want histogram-specific APIs (buckets, merge) should import
+#: :class:`repro.obs.histogram.Histogram` directly.
+RequestStats = Histogram

@@ -34,6 +34,7 @@ from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Mapping, Sequence, Tuple
 
 from repro.api.contract import ApiError
+from repro.obs.tracer import traced
 from repro.streaming.wal import IngestEvent, WriteAheadLog
 
 __all__ = ["IngestPipe", "OVERFLOW_POLICIES"]
@@ -220,7 +221,8 @@ class IngestPipe:
                             )
             # Durability before acknowledgement: the WAL record is the
             # admission receipt.
-            event = self._wal.append(**fields)
+            with traced("ingest.wal_append", tags={"events": "1"}):
+                event = self._wal.append(**fields)
             self._queue.append((event, self._clock()))
             self._accepted += 1
             self._not_empty.notify()
@@ -300,7 +302,10 @@ class IngestPipe:
                         )
                 n_admit = n
             # Durability before acknowledgement, one barrier per batch.
-            events = self._wal.append_many(fields[:n_admit])
+            with traced(
+                "ingest.wal_append", tags={"events": str(n_admit)}
+            ):
+                events = self._wal.append_many(fields[:n_admit])
             now = self._clock()
             for event in events:
                 self._queue.append((event, now))

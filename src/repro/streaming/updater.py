@@ -38,6 +38,7 @@ from typing import Any, Dict, Iterable, Optional, Union
 
 from repro.core.incremental import IncrementalShoal
 from repro.data.queries import Query, QueryLog
+from repro.obs.tracer import traced
 from repro.store.querylog import QueryLogStore, QueryLogStoreConfig
 from repro.streaming.ingest import IngestPipe
 from repro.streaming.rollout import Generation, GenerationSwitch, SwapError
@@ -272,6 +273,16 @@ class StreamingUpdater:
 
     def _advance_generation(self) -> Generation:
         """Slide the window over the store and roll the result out."""
+        with traced(
+            "updater.batch_fold",
+            tags={
+                "generation": str(self._generation_number + 1),
+                "pending": str(self._pending_since_generation),
+            },
+        ):
+            return self._advance_generation_inner()
+
+    def _advance_generation_inner(self) -> Generation:
         days = self._store.days()
         last_day = days[-1] if days else 0
         update = self._inc.advance(self._store.snapshot(), last_day)

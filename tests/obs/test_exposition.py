@@ -1,0 +1,182 @@
+"""OpenMetrics rendering + the strict parser the CI soaks gate on."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import (
+    CONTENT_TYPE,
+    Histogram,
+    OpenMetricsError,
+    parse_openmetrics,
+    render_openmetrics,
+)
+
+
+@pytest.fixture()
+def tree():
+    """A miniature of the real /v1/metrics tree: nested sections,
+    ints, floats, bools, strings, None."""
+    return {
+        "gateway": {
+            "search": {"count": 12, "p99_ms": 4.25},
+            "cache": {"hits": 3, "enabled": True},
+        },
+        "ingest": {"wal": {"segments": 2}, "fsync": "batch"},
+        "replication": None,  # absent sections carry no samples
+    }
+
+
+class TestRender:
+    def test_round_trips_through_the_strict_parser(self, tree):
+        doc = parse_openmetrics(render_openmetrics(tree))
+        assert doc.value("shoal_gateway_search_count") == 12
+        assert doc.value("shoal_gateway_search_p99_ms") == 4.25
+        assert doc.value("shoal_gateway_cache_enabled") == 1
+        assert doc.types["shoal_gateway_search_count"] == "gauge"
+
+    def test_strings_become_meta_labels(self, tree):
+        doc = parse_openmetrics(render_openmetrics(tree))
+        assert doc.value(
+            "shoal_meta", path="ingest_fsync", value="batch"
+        ) == 1
+
+    def test_histograms_render_as_real_families(self, tree):
+        h = Histogram()
+        for ms in (0.5, 3.0, 3.0, 250.0):
+            h.record_ms(ms)
+        text = render_openmetrics(
+            tree, histograms={"gateway_search_latency_ms": h}
+        )
+        doc = parse_openmetrics(text)
+        family = "shoal_gateway_search_latency_ms"
+        assert doc.types[family] == "histogram"
+        assert doc.value(f"{family}_count") == 4
+        assert doc.value(f"{family}_sum") == pytest.approx(256.5)
+        assert doc.value(f"{family}_bucket", le="+Inf") == 4
+
+    def test_ends_with_eof(self, tree):
+        assert render_openmetrics(tree).endswith("# EOF\n")
+
+    def test_weird_key_characters_are_sanitized(self):
+        text = render_openmetrics({"a b/c": {"99%tile": 1}})
+        doc = parse_openmetrics(text)
+        assert doc.names() == ["shoal_a_b_c__99_tile"]
+
+    def test_label_values_are_escaped(self):
+        text = render_openmetrics({"note": 'say "hi"\nplease\\now'})
+        doc = parse_openmetrics(text)
+        assert doc.value(
+            "shoal_meta", path="note", value='say "hi"\nplease\\now'
+        ) == 1
+
+    def test_content_type_is_openmetrics(self):
+        assert CONTENT_TYPE.startswith("application/openmetrics-text")
+
+
+VALID = "# TYPE a gauge\na 1\n# EOF\n"
+
+
+class TestStrictParser:
+    def test_accepts_the_minimal_document(self):
+        doc = parse_openmetrics(VALID)
+        assert doc.value("a") == 1
+
+    def test_rejects_missing_eof(self):
+        with pytest.raises(OpenMetricsError, match="EOF"):
+            parse_openmetrics("# TYPE a gauge\na 1\n")
+
+    def test_rejects_eof_before_the_end(self):
+        with pytest.raises(OpenMetricsError, match="before the end"):
+            parse_openmetrics("# EOF\na 1\n# EOF\n")
+
+    def test_rejects_samples_without_a_type(self):
+        with pytest.raises(OpenMetricsError, match="no TYPE"):
+            parse_openmetrics("a 1\n# EOF\n")
+
+    def test_rejects_duplicate_family_declaration(self):
+        with pytest.raises(OpenMetricsError, match="declared twice"):
+            parse_openmetrics(
+                "# TYPE a gauge\na 1\n# TYPE a gauge\na 2\n# EOF\n"
+            )
+
+    def test_rejects_non_contiguous_family_samples(self):
+        text = (
+            "# TYPE a gauge\na 1\n"
+            "# TYPE b gauge\nb 1\n"
+            "a 2\n# EOF\n"
+        )
+        with pytest.raises(OpenMetricsError, match="contiguous"):
+            parse_openmetrics(text)
+
+    def test_rejects_blank_lines(self):
+        with pytest.raises(OpenMetricsError, match="blank line"):
+            parse_openmetrics("# TYPE a gauge\n\na 1\n# EOF\n")
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(OpenMetricsError, match="bad value"):
+            parse_openmetrics("# TYPE a gauge\na oops\n# EOF\n")
+
+    def test_rejects_unquoted_label_values(self):
+        with pytest.raises(OpenMetricsError, match="unquoted"):
+            parse_openmetrics('# TYPE a gauge\na{x=1} 1\n# EOF\n')
+
+    def test_rejects_duplicate_labels(self):
+        with pytest.raises(OpenMetricsError, match="duplicate label"):
+            parse_openmetrics(
+                '# TYPE a gauge\na{x="1",x="2"} 1\n# EOF\n'
+            )
+
+    def test_rejects_non_cumulative_histogram_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_count 5\nh_sum 9\n# EOF\n"
+        )
+        with pytest.raises(OpenMetricsError, match="cumulative"):
+            parse_openmetrics(text)
+
+    def test_rejects_histogram_missing_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 2\n'
+            "h_count 2\nh_sum 1\n# EOF\n"
+        )
+        with pytest.raises(OpenMetricsError, match=r"\+Inf"):
+            parse_openmetrics(text)
+
+    def test_rejects_count_disagreeing_with_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 2\n'
+            'h_bucket{le="+Inf"} 2\n'
+            "h_count 3\nh_sum 1\n# EOF\n"
+        )
+        with pytest.raises(OpenMetricsError, match="_count"):
+            parse_openmetrics(text)
+
+    def test_rejects_unordered_bucket_bounds(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="2"} 1\n'
+            'h_bucket{le="1"} 1\n'
+            'h_bucket{le="+Inf"} 1\n'
+            "h_count 1\nh_sum 1\n# EOF\n"
+        )
+        with pytest.raises(OpenMetricsError, match="increasing"):
+            parse_openmetrics(text)
+
+    def test_inf_values_parse(self):
+        doc = parse_openmetrics("# TYPE a gauge\na +Inf\n# EOF\n")
+        assert math.isinf(doc.value("a"))
+
+    def test_value_raises_on_ambiguity(self):
+        doc = parse_openmetrics(
+            '# TYPE a gauge\na{x="1"} 1\na{x="2"} 2\n# EOF\n'
+        )
+        with pytest.raises(KeyError):
+            doc.value("a")

@@ -188,7 +188,10 @@ class TestStats:
             stats.record(ms / 1000.0)
         s = stats.summary()
         assert s.count == 5
-        assert s.p50_ms == pytest.approx(3.0)
+        # Percentiles come from the shared fixed-bucket histogram:
+        # at most one bucket (10%) above the exact nearest-rank value,
+        # and never above the exact tracked maximum.
+        assert 3.0 <= s.p50_ms <= 3.0 * 1.10
         assert s.p99_ms == pytest.approx(100.0)
         assert s.max_ms == pytest.approx(100.0)
         assert s.total_seconds == pytest.approx(0.110)
